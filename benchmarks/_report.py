@@ -1,0 +1,42 @@
+"""Shared reporting helpers for the benchmark harness.
+
+Every bench prints a paper-vs-measured table through these helpers so
+the console output of ``pytest benchmarks/ --benchmark-only -s`` reads
+as a faithful regeneration of the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print a fixed-width table."""
+    widths = [len(h) for h in headers]
+    cells = [[_fmt(v) for v in row] for row in rows]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in cells:
+        print("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.4g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def paper_vs_measured(
+    title: str,
+    rows: list[tuple[str, object, object]],
+    headers: tuple[str, str, str] = ("quantity", "paper", "measured"),
+) -> None:
+    """Print a three-column paper-vs-measured comparison."""
+    print_table(title, list(headers), [list(r) for r in rows])

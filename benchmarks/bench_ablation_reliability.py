@@ -1,0 +1,80 @@
+"""Ablation: robustness (Section 6.1) — failure scaling, SDC detection,
+and the multi-plane network's fault isolation (Section 5.1.1).
+"""
+
+import numpy as np
+from _report import print_table
+
+from repro.network import build_mpft_cluster
+from repro.reliability import (
+    assess_impact,
+    detection_rate,
+    fail_entire_plane,
+    fail_link,
+    goodput_vs_scale,
+)
+
+
+def bench_goodput_vs_scale(benchmark):
+    """Single-point failure probability grows with system size (§6.1.1):
+    goodput erodes as clusters grow, even with optimal checkpointing."""
+    rows = benchmark(goodput_vs_scale, [16, 64, 256, 1024, 4096])
+    print_table(
+        "Section 6.1: training goodput vs cluster scale",
+        ["nodes", "cluster MTBF (h)", "ckpt interval (h)", "goodput"],
+        [
+            [r.num_nodes, round(r.mtbf_hours, 1), round(r.interval_hours, 2), f"{r.goodput:.2%}"]
+            for r in rows
+        ],
+    )
+    goodputs = [r.goodput for r in rows]
+    assert goodputs == sorted(goodputs, reverse=True)
+    assert goodputs[-1] < goodputs[0]
+
+
+def bench_sdc_detection(benchmark):
+    """§6.1.2: checksum validation and redundancy checks catch silent
+    corruption that application heuristics miss."""
+    rng = np.random.default_rng(0)
+
+    def run():
+        return {
+            "Freivalds (compute check)": detection_rate((24, 24), 40, rng, detector="freivalds"),
+            "block checksum (storage check)": detection_rate((24, 24), 40, rng, detector="checksum"),
+        }
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Section 6.1: SDC detection rate (high-order bit flips)",
+        ["detector", "detection rate"],
+        [[name, f"{rate:.0%}"] for name, rate in rates.items()],
+    )
+    assert rates["Freivalds (compute check)"] > 0.9
+    assert rates["block checksum (storage check)"] == 1.0
+
+
+def bench_multiplane_fault_isolation(benchmark):
+    """§5.1.1: plane failures are isolated — connectivity survives a
+    link failure and even the loss of an entire plane."""
+
+    def run():
+        link_cluster = build_mpft_cluster(4)
+        fail_link(link_cluster.topology, "n0g0", "MPFT/p0/leaf0")
+        plane_cluster = build_mpft_cluster(4)
+        fail_entire_plane(plane_cluster, plane=0)
+        return (
+            assess_impact(link_cluster).connectivity,
+            assess_impact(plane_cluster).connectivity,
+        )
+
+    link_conn, plane_conn = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Section 5.1.1: MPFT connectivity under failures",
+        ["failure", "GPU-pair connectivity"],
+        [
+            ["one NIC-to-leaf link down", f"{link_conn:.0%}"],
+            ["entire plane down", f"{plane_conn:.0%}"],
+        ],
+    )
+    assert link_conn == 1.0
+    assert plane_conn == 1.0

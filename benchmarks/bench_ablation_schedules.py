@@ -1,0 +1,67 @@
+"""Ablation: pipeline schedules — 1F1B vs ZB1P vs DualPipe (§4.2).
+
+The paper adopts DualPipe for its small bubble and balanced memory.
+This bench compares the analytic bubbles of the three schedule
+families at the V3 chunk-cost ratios and cross-checks the event-level
+simulator, printing a rendered timeline for visual inspection.
+"""
+
+from _report import print_table
+
+from repro.parallel import (
+    ChunkCosts,
+    TrainingJobConfig,
+    analytic_1f1b_bubble,
+    analytic_dualpipe_bubble,
+    analytic_zb1p_bubble,
+    simulate_pipeline,
+)
+
+
+def bench_schedule_bubbles(benchmark):
+    costs = TrainingJobConfig().chunk_costs()
+    p = 16
+
+    def run():
+        return {
+            "1F1B": analytic_1f1b_bubble(p, costs),
+            "ZB1P": analytic_zb1p_bubble(p, costs),
+            "DualPipe": analytic_dualpipe_bubble(p, costs),
+        }
+
+    bubbles = benchmark(run)
+    busy = 120 * costs.total  # Table 4 job: 120 micro-batches/rank
+    print_table(
+        "Pipeline bubble comparison at V3 chunk costs (PP=16)",
+        ["schedule", "bubble (s)", "bubble fraction of step"],
+        [
+            [name, round(b, 2), f"{b / (busy + b):.1%}"]
+            for name, b in bubbles.items()
+        ],
+    )
+    assert bubbles["DualPipe"] < bubbles["ZB1P"] < bubbles["1F1B"]
+
+
+def bench_schedule_event_sim_and_render(benchmark):
+    costs = ChunkCosts(1.0, 1.76, 0.42)
+
+    def run():
+        dual = simulate_pipeline(8, 6, costs, bidirectional=True)
+        uni = simulate_pipeline(8, 12, costs, bidirectional=False)
+        return dual, uni
+
+    dual, uni = benchmark.pedantic(run, rounds=1, iterations=1)
+    dual.validate()
+    uni.validate()
+    print_table(
+        "Event-level schedules, equal total work (PP=8, 12 micro-batches)",
+        ["schedule", "total time", "bubble fraction"],
+        [
+            ["DualPipe (bidirectional)", round(dual.total_time, 1), f"{dual.bubble_fraction:.1%}"],
+            ["unidirectional zero-bubble", round(uni.total_time, 1), f"{uni.bubble_fraction:.1%}"],
+        ],
+    )
+    print("\nDualPipe timeline (F/B/W; lowercase = reverse direction):")
+    print(dual.render(width=96))
+    assert dual.bubble_fraction < 0.25
+    assert dual.total_time <= uni.total_time * 1.1

@@ -1,0 +1,80 @@
+"""Ablation: the decode serving frontier (§2.3.1-2.3.2 combined).
+
+Sweeps per-device batch under dual micro-batch overlap and shows the
+two regimes the paper describes: the communication-bound limit (whose
+TPOT matches §2.3.2's closed form) and the compute-bound regime that
+long contexts push the system into.
+"""
+
+from _report import print_table
+
+from repro.inference import (
+    ServingConfig,
+    compute_comm_crossover_context,
+    serving_point,
+    throughput_latency_frontier,
+)
+
+
+def bench_serving_frontier(benchmark):
+    config = ServingConfig(context_tokens=2048)
+
+    def run():
+        return throughput_latency_frontier(config, [4, 8, 16, 32, 64, 128])
+
+    frontier = benchmark(run)
+    print_table(
+        "Serving frontier: DeepSeek-V3 decode, EP256, ctx 2048, 40GB/s NIC",
+        ["batch/device", "TPOT (ms)", "tok/s per GPU", "bound"],
+        [
+            [p.batch, round(p.tpot * 1e3, 2), round(p.throughput_per_gpu, 0), p.bound]
+            for p in frontier
+        ],
+    )
+    # Throughput saturates once communication binds; TPOT keeps rising.
+    assert frontier[-1].bound == "communication"
+    assert frontier[-1].tpot > frontier[0].tpot
+    assert frontier[-1].throughput_per_gpu >= frontier[0].throughput_per_gpu
+
+
+def bench_serving_paper_anchor(benchmark):
+    """The comm-bound corner reproduces §2.3.2's TPOT arithmetic."""
+
+    def run():
+        ib = serving_point(
+            ServingConfig(nic_bandwidth=50e9, context_tokens=1, compute_efficiency=1.0), 32
+        )
+        gb = serving_point(
+            ServingConfig(nic_bandwidth=900e9, context_tokens=1, compute_efficiency=1.0), 32
+        )
+        return ib, gb
+
+    ib, gb = benchmark(run)
+    print_table(
+        "Serving anchor vs §2.3.2 (hidden 7168; paper rounds to 7K)",
+        ["system", "paper TPOT", "model TPOT (ms)", "bound"],
+        [
+            ["CX7 IB 50 GB/s", "14.76 ms", round(ib.tpot * 1e3, 2), ib.bound],
+            ["GB200 900 GB/s", "0.82 ms (idealized)", round(gb.tpot * 1e3, 2), gb.bound],
+        ],
+    )
+    assert ib.bound == "communication"
+    assert abs(ib.tpot - 15.11e-3) / 15.11e-3 < 0.02
+    # The paper calls its GB200 number "purely theoretical": with a real
+    # compute model the bound moves to compute at this tiny batch.
+    assert gb.bound == "compute"
+
+
+def bench_serving_context_crossover(benchmark):
+    def run():
+        return compute_comm_crossover_context(
+            ServingConfig(), 32, [1024, 2048, 4096, 8192, 16384, 65536]
+        )
+
+    crossover = benchmark(run)
+    print_table(
+        "Context length where MLA compute overtakes EP communication (B=32)",
+        ["quantity", "value"],
+        [["crossover context (tokens)", crossover]],
+    )
+    assert crossover is not None and crossover <= 16384

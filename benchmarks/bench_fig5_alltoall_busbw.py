@@ -1,0 +1,44 @@
+"""Figure 5: NCCL all-to-all bus bandwidth, 32-128 GPUs, MRFT vs MPFT.
+
+The paper's finding: the multi-plane network performs the same as the
+single-plane multi-rail network (PXN forwards cross-plane traffic over
+NVLink in both), with per-GPU bus bandwidth in the tens of GB/s
+settling toward NIC saturation as the job spans more nodes.
+"""
+
+from _report import print_table
+
+from repro.network import build_mpft_cluster, build_mrft_cluster, run_all_to_all
+
+GPU_COUNTS = (32, 64, 128)
+BYTES_PER_PAIR = 1 << 20
+
+
+def _sweep():
+    series = {"mpft": [], "mrft": []}
+    for gpus in GPU_COUNTS:
+        for builder in (build_mpft_cluster, build_mrft_cluster):
+            cluster = builder(gpus // 8)
+            result = run_all_to_all(cluster, cluster.gpus(), BYTES_PER_PAIR, mode="drain")
+            series[cluster.scheme].append(result.busbw / 1e9)
+    return series
+
+
+def bench_fig5(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [n, round(series["mpft"][i], 2), round(series["mrft"][i], 2)]
+        for i, n in enumerate(GPU_COUNTS)
+    ]
+    print_table(
+        "Figure 5: all-to-all busbw (GB/s per GPU), MPFT vs MRFT",
+        ["GPUs", "MPFT", "MRFT"],
+        rows,
+    )
+    for i in range(len(GPU_COUNTS)):
+        # Parity between the topologies (the headline finding).
+        assert abs(series["mpft"][i] - series["mrft"][i]) / series["mrft"][i] < 0.01
+        # Tens of GB/s, bounded below by NIC effective bandwidth.
+        assert series["mpft"][i] > 40.0
+    # Declines toward saturation as the node count grows.
+    assert series["mpft"][0] > series["mpft"][-1]

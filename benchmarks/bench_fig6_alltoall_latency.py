@@ -1,0 +1,42 @@
+"""Figure 6: all-to-all latency vs message size on 16 GPUs, MPFT vs MRFT.
+
+The paper shows near-identical latency for the two topologies across
+message sizes; small messages are dominated by network latency, large
+ones by bandwidth.
+"""
+
+from _report import print_table
+
+from repro.network import build_mpft_cluster, build_mrft_cluster, run_all_to_all
+
+MESSAGE_SIZES = (512, 8 << 10, 128 << 10, 2 << 20, 32 << 20)
+
+
+def _sweep():
+    mpft = build_mpft_cluster(2)
+    mrft = build_mrft_cluster(2)
+    out = {"mpft": [], "mrft": []}
+    for size in MESSAGE_SIZES:
+        for cluster in (mpft, mrft):
+            res = run_all_to_all(cluster, cluster.gpus(), size)
+            out[cluster.scheme].append(res.time * 1e6)
+    return out
+
+
+def bench_fig6(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [f"{size} B", round(series["mpft"][i], 1), round(series["mrft"][i], 1)]
+        for i, size in enumerate(MESSAGE_SIZES)
+    ]
+    print_table(
+        "Figure 6: 16-GPU all-to-all latency (us), MPFT vs MRFT",
+        ["message size", "MPFT", "MRFT"],
+        rows,
+    )
+    for i in range(len(MESSAGE_SIZES)):
+        assert abs(series["mpft"][i] - series["mrft"][i]) < 1e-6 + 0.01 * series["mrft"][i]
+    # Latency floor at small sizes; bandwidth scaling at large sizes.
+    assert series["mpft"][0] < 100  # dominated by the ~3.7us network latency
+    assert series["mpft"][-1] > 50 * series["mpft"][0]
+    assert series["mpft"] == sorted(series["mpft"])

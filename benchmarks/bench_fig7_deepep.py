@@ -1,0 +1,70 @@
+"""Figure 7: DeepEP dispatch/combine throughput on MPFT, 16-128 GPUs.
+
+Paper: each GPU processes 4096 tokens; the EP kernels (FP8 dispatch,
+BF16 combine, top-8 + 1 shared expert, NVLink forwarding with IB
+deduplication) nearly saturate the 400 Gb/s NIC — >=40 GB/s per GPU
+at scale.  Our simulator uses the 40 GB/s *effective* NIC bandwidth,
+so saturation shows as per-GPU bandwidth approaching 40.
+"""
+
+import numpy as np
+import pytest
+from _report import print_table
+
+from repro.comm import EPConfig, EPDeployment, run_ep_stage
+from repro.network import build_mpft_cluster
+
+NODE_COUNTS = (2, 4, 8, 16)
+TOKENS_PER_GPU = 4096
+
+
+def _sweep():
+    rng = np.random.default_rng(0)
+    rows = []
+    for nodes in NODE_COUNTS:
+        cluster = build_mpft_cluster(nodes)
+        deployment = EPDeployment(
+            cluster,
+            EPConfig(
+                num_routed_experts=256,
+                experts_per_token=8,
+                num_shared_experts=1,
+                hidden_size=7168,
+                max_nodes_per_token=4,
+            ),
+        )
+        decisions = deployment.route_tokens(TOKENS_PER_GPU, rng)
+        dispatch = run_ep_stage(deployment, decisions, "dispatch")
+        combine = run_ep_stage(deployment, decisions, "combine")
+        rows.append((nodes * 8, dispatch, combine))
+    return rows
+
+
+def bench_fig7(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = [
+        [
+            gpus,
+            round(d.per_gpu_bandwidth / 1e9, 2),
+            round(c.per_gpu_bandwidth / 1e9, 2),
+            round(d.time * 1e3, 3),
+            round(c.time * 1e3, 3),
+        ]
+        for gpus, d, c in rows
+    ]
+    print_table(
+        "Figure 7: DeepEP per-GPU IB bandwidth (GB/s) and stage time (ms)",
+        ["GPUs", "dispatch GB/s", "combine GB/s", "dispatch ms", "combine ms"],
+        table,
+    )
+    for gpus, dispatch, combine in rows:
+        assert dispatch.per_gpu_bandwidth <= 40e9 * 1.01
+        assert combine.per_gpu_bandwidth <= 40e9 * 1.01
+        if gpus >= 32:
+            # Paper: "high bandwidth exceeding 40GB/s" on 400G NICs;
+            # with the 40 GB/s effective rate that is saturation >95%.
+            assert dispatch.per_gpu_bandwidth > 0.95 * 40e9
+            assert combine.per_gpu_bandwidth > 0.95 * 40e9
+    # Combine moves 2x the bytes (BF16 vs FP8) -> ~2x the stage time.
+    _, d16, c16 = rows[-1]
+    assert c16.time / d16.time == pytest.approx(2.0, rel=0.1)

@@ -1,0 +1,76 @@
+"""Figure 8: RoCE AllGather/ReduceScatter bandwidth under ECMP, AR and
+static routing, for different TP group dimensions.
+
+The paper's finding: default ECMP hashing collides the regular,
+low-entropy LLM flows onto shared uplinks and collapses bandwidth;
+adaptive routing (packet spraying) restores it; a manually tuned static
+table avoids conflicts for the specific pattern but is inflexible.
+"""
+
+from _report import print_table
+
+from repro.network import (
+    RoutingPolicy,
+    collision_free_static_table,
+    run_concurrent_rings,
+    two_layer_fat_tree,
+)
+
+BUFFER_BYTES = 256 << 20
+
+
+def _tp_rings(hosts_per_leaf: int, tp_dim: int):
+    """Concurrent TP rings, each spanning one host slot across leaves."""
+    rings = []
+    for slot in range(hosts_per_leaf):
+        ring = [f"h{leaf * hosts_per_leaf + slot}" for leaf in range(tp_dim)]
+        if len(ring) >= 2:
+            rings.append(ring)
+    return rings
+
+
+def _sweep():
+    results = {}
+    for tp_dim in (4, 8):
+        topo = two_layer_fat_tree(
+            num_leaves=8, hosts_per_leaf=8, num_spines=8, link_bandwidth=50e9
+        )
+        rings = _tp_rings(8, tp_dim)
+        pairs = [(r[i], r[(i + 1) % len(r)]) for r in rings for i in range(len(r))]
+        table = collision_free_static_table(topo, pairs)
+        for policy in RoutingPolicy:
+            res = run_concurrent_rings(
+                topo,
+                rings,
+                BUFFER_BYTES,
+                policy,
+                static_table=table if policy is RoutingPolicy.STATIC else None,
+            )
+            results[(tp_dim, policy.value)] = res.busbw / 1e9
+    return results
+
+
+def bench_fig8(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            f"TP{tp}",
+            round(results[(tp, "ecmp")], 2),
+            round(results[(tp, "adaptive")], 2),
+            round(results[(tp, "static")], 2),
+        ]
+        for tp in (4, 8)
+    ]
+    print_table(
+        "Figure 8: ring AllGather/ReduceScatter busbw (GB/s per GPU)",
+        ["TP dim", "ECMP", "AR", "static (tuned)"],
+        rows,
+    )
+    for tp in (4, 8):
+        ecmp = results[(tp, "ecmp")]
+        ar = results[(tp, "adaptive")]
+        static = results[(tp, "static")]
+        # The paper's ordering: AR clearly beats default ECMP; a tuned
+        # static table matches AR for this traffic pattern.
+        assert ar > 1.3 * ecmp, (tp, ecmp, ar)
+        assert static > 0.95 * ar

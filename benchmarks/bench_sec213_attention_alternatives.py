@@ -1,0 +1,69 @@
+"""Section 2.1.3: resource-efficient attention alternatives.
+
+Quantifies the survey the paper closes its memory-efficiency section
+with: per-decode-token cache reads and FLOPs of full MLA attention vs
+windowed KV, quantized KV, NSA-style sparse attention and linear-time
+(SSM-style) alternatives, across context lengths.  Also the training
+cost-efficiency headline the co-design enables: the simulated cluster
+reproduces the published 2.664M GPU-hour / ~$5.3M pre-training budget.
+"""
+
+from _report import print_table
+
+from repro.model import DEEPSEEK_V3, compare_decode_costs, full_attention_cost, linear_attention_cost
+from repro.parallel import (
+    TrainingJobConfig,
+    simulate_training_step,
+    training_cost_usd,
+    training_gpu_hours,
+)
+
+
+def bench_sec213_decode_cost_vs_context(benchmark):
+    contexts = (4096, 32_768, 131_072, 1_048_576)
+
+    def run():
+        return {ctx: compare_decode_costs(DEEPSEEK_V3, ctx) for ctx in contexts}
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for ctx, costs in table.items():
+        for c in costs:
+            rows.append(
+                [ctx, c.name, round(c.cache_bytes_read / 2**20, 1), round(c.flops / 1e9, 2)]
+            )
+    print_table(
+        "Section 2.1.3: decode-step attention cost vs context (DeepSeek-V3)",
+        ["context", "strategy", "cache read (MiB)", "FLOPs (G)"],
+        rows,
+    )
+    # The quadratic wall: full attention at 1M tokens reads ~70 GB per
+    # step; linear-time stays flat — the paper's motivation.
+    full_1m = full_attention_cost(DEEPSEEK_V3, 1_048_576)
+    linear_1m = linear_attention_cost(DEEPSEEK_V3, 1_048_576)
+    assert full_1m.cache_bytes_read > 60e9
+    assert linear_1m.cache_bytes_read < full_1m.cache_bytes_read / 100
+
+
+def bench_training_cost_headline(benchmark):
+    """The cost-efficiency thesis, end to end: the simulated 2048-GPU
+    cluster reproduces the published V3 pre-training budget."""
+
+    def run():
+        report = simulate_training_step(TrainingJobConfig())
+        return (
+            training_gpu_hours(report, 14.8e12),
+            training_cost_usd(report, 14.8e12, gpu_hour_rate=2.0),
+        )
+
+    hours, cost = benchmark(run)
+    print_table(
+        "V3 pre-training budget (14.8T tokens on 2048 H800s)",
+        ["quantity", "published", "simulated"],
+        [
+            ["GPU-hours (M)", 2.664, round(hours / 1e6, 3)],
+            ["cost @ $2/GPU-h ($M)", 5.328, round(cost / 1e6, 2)],
+        ],
+    )
+    assert abs(hours - 2.664e6) / 2.664e6 < 0.05
+    assert abs(cost - 5.328e6) / 5.328e6 < 0.05

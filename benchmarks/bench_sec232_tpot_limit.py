@@ -1,0 +1,43 @@
+"""Section 2.3.2: theoretical EP inference speed limits.
+
+Paper: CX7 IB (50 GB/s) -> 120.96 us/stage, 14.76 ms TPOT, ~67 tok/s;
+GB200 NVL72 (900 GB/s) -> 6.72 us/stage, 0.82 ms TPOT, ~1200 tok/s.
+"""
+
+from _report import print_table
+
+from repro.inference import compare_interconnects
+
+PAPER = {
+    "H800 + CX7 400G IB": (120.96, 14.76, 67),
+    "GB200 NVL72": (6.72, 0.82, 1200),
+}
+
+
+def bench_sec232(benchmark):
+    rows = benchmark(compare_interconnects)
+    table = []
+    for row in rows:
+        stage, tpot, tps = PAPER[row.system]
+        table.append(
+            [
+                row.system,
+                f"{stage} / {row.comm_stage_us:.2f}",
+                f"{tpot} / {row.tpot_ms:.2f}",
+                f"{tps} / {row.tokens_per_second:.0f}",
+            ]
+        )
+    print_table(
+        "Section 2.3.2: EP TPOT limits (paper / measured)",
+        ["system", "comm stage (us)", "TPOT (ms)", "tokens/s"],
+        table,
+    )
+    by_name = {r.system: r for r in rows}
+    ib = by_name["H800 + CX7 400G IB"]
+    gb = by_name["GB200 NVL72"]
+    assert abs(ib.comm_stage_us - 120.96) < 0.01
+    assert abs(ib.tpot_ms - 14.76) < 0.01
+    assert 66 <= ib.tokens_per_second <= 69
+    assert abs(gb.comm_stage_us - 6.72) < 0.01
+    assert abs(gb.tpot_ms - 0.82) < 0.01
+    assert gb.tokens_per_second > 1200

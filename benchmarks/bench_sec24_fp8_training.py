@@ -1,0 +1,53 @@
+"""Section 2.4: the hierarchical precision-validation pipeline.
+
+Paper: fine-grained FP8 training was validated against BF16 on smaller
+models first; "the relative accuracy loss ... remains below 0.25%,
+attributable to high-precision accumulation and fine-grained
+quantization".
+
+We run the same paired experiment at laptop scale: identical init and
+data order, training the tiny MLA+MoE+MTP model under the BF16 policy
+and the fine-grained FP8 policy, and report the relative loss gap.
+Two model scales reproduce the 'hierarchical' aspect.
+"""
+
+from _report import print_table
+
+from repro.model import TINY_DENSE_GQA, TINY_MLA_MOE
+from repro.training import validate_precision
+
+
+def bench_sec24_fp8_vs_bf16(benchmark):
+    def run():
+        reports = {}
+        # Hierarchical: dense tiny model first, then the MLA+MoE model.
+        reports["tiny-dense"] = validate_precision(
+            TINY_DENSE_GQA, steps=120, batch_size=8, seq_len=24, seed=0
+        )
+        reports["tiny-mla-moe"] = validate_precision(
+            TINY_MLA_MOE, steps=120, batch_size=8, seq_len=24, seed=0
+        )
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, report in reports.items():
+        rows.append(
+            [
+                name,
+                round(report.baseline.final_loss, 4),
+                round(report.candidate.final_loss, 4),
+                f"{report.relative_loss_gap:+.3%}",
+            ]
+        )
+    print_table(
+        "Section 2.4: FP8 fine-grained vs BF16 training (paper: |gap| < 0.25%)",
+        ["model", "BF16 final loss", "FP8 final loss", "relative gap"],
+        rows,
+    )
+    for name, report in reports.items():
+        # Both runs must have actually learned something.
+        assert report.baseline.final_loss < report.baseline.losses[0]
+        # The paper's headline: relative loss gap under ~0.25%; at tiny
+        # scale with optimizer noise we allow up to 1%.
+        assert abs(report.relative_loss_gap) < 0.01, (name, report.relative_loss_gap)

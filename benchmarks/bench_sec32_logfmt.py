@@ -1,0 +1,118 @@
+"""Section 3.2: LogFMT communication compression.
+
+Paper claims reproduced here:
+ * LogFMT-8Bit beats E4M3 and E5M2 on activation quantization accuracy
+   at the same bit width;
+ * at 10 bits it approaches the BF16 combine stage;
+ * rounding must happen in linear space (log-space rounding inflates
+   magnitudes);
+ * fused encode/decode costs 50-100% extra — why it was not deployed.
+"""
+
+import numpy as np
+from _report import print_table
+
+from repro.precision import (
+    BF16,
+    E4M3,
+    E5M2,
+    FUSED_ENCODE_OVERHEAD_RANGE,
+    fake_quantize,
+    logfmt_fake_quantize,
+    logspace_rounded_fake_quantize,
+    relative_error,
+)
+
+
+def _activations(seed=0, shape=(64, 512)):
+    rng = np.random.default_rng(seed)
+    return (rng.normal(size=shape) * np.exp(rng.normal(0, 1, size=shape))).astype(
+        np.float32
+    )
+
+
+def bench_sec32_accuracy(benchmark):
+    x = _activations()
+
+    def run():
+        return {
+            "LogFMT-8": relative_error(x, logfmt_fake_quantize(x, 8)),
+            "E4M3 (1x128)": relative_error(x, fake_quantize(x, E4M3, 128)),
+            "E5M2 (1x128)": relative_error(x, fake_quantize(x, E5M2, 128)),
+            "LogFMT-10": relative_error(x, logfmt_fake_quantize(x, 10)),
+            "BF16": relative_error(x, BF16.quantize(x)),
+        }
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Section 3.2: activation quantization error (residual-branch-like data)",
+        ["format", "relative RMS error"],
+        [[name, f"{err:.4e}"] for name, err in errors.items()],
+    )
+    assert errors["LogFMT-8"] < errors["E4M3 (1x128)"]
+    assert errors["LogFMT-8"] < errors["E5M2 (1x128)"]
+    assert errors["LogFMT-10"] < 3 * errors["BF16"]
+
+
+def bench_sec32_linear_rounding(benchmark):
+    x = np.abs(_activations(seed=1)) + 1e-3
+
+    def run():
+        lin = logfmt_fake_quantize(x, 5)
+        logr = logspace_rounded_fake_quantize(x, 5)
+        return float(np.mean(lin)), float(np.mean(logr)), float(np.mean(x))
+
+    lin_mean, log_mean, true_mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Section 3.2: rounding space (LogFMT-5, positive activations)",
+        ["quantity", "mean magnitude"],
+        [
+            ["original", round(true_mean, 5)],
+            ["linear-space rounding (paper's choice)", round(lin_mean, 5)],
+            ["log-space rounding (inflates)", round(log_mean, 5)],
+        ],
+    )
+    assert log_mean > lin_mean  # convexity of exp inflates log-rounding
+
+
+def bench_sec32_combine_study(benchmark):
+    """§3.2's full candidate list for the combine wire — BF16, E5M6,
+    FP8 flavours, LogFMT, and FP8/BF16 mixing — on one error-vs-bits
+    footing."""
+    from repro.precision import combine_format_study
+
+    x = _activations(seed=7)
+    study = benchmark.pedantic(lambda: combine_format_study(x), rounds=1, iterations=1)
+    print_table(
+        "Section 3.2: combine-stage format candidates",
+        ["format", "relative error", "wire bits/element"],
+        [[c.name, f"{c.relative_error:.3e}", round(c.bits_per_element, 2)] for c in study],
+    )
+    by_name = {c.name: c for c in study}
+    assert by_name["BF16"].relative_error < by_name["E5M6 (1x128)"].relative_error
+    assert by_name["E5M6 (1x128)"].relative_error < by_name["E4M3 (1x128)"].relative_error
+    assert by_name["LogFMT-8"].relative_error < by_name["E4M3 (1x128)"].relative_error
+    mixed = [c for c in study if c.name.startswith("mixed")]
+    for c in mixed:
+        assert c.relative_error < by_name["E4M3 (1x128)"].relative_error
+
+
+def bench_sec32_overhead(benchmark):
+    """Why LogFMT was shelved: the fused encode/decode overhead."""
+
+    def run():
+        lo, hi = FUSED_ENCODE_OVERHEAD_RANGE
+        base_stage_us = 120.96
+        return base_stage_us * (1 + lo), base_stage_us * (1 + hi)
+
+    lo_t, hi_t = benchmark(run)
+    print_table(
+        "Section 3.2: projected EP stage time with fused LogFMT (us)",
+        ["scenario", "stage time"],
+        [
+            ["plain FP8/BF16 stage", 120.96],
+            ["LogFMT fused, +50% overhead", round(lo_t, 2)],
+            ["LogFMT fused, +100% overhead", round(hi_t, 2)],
+        ],
+    )
+    assert lo_t > 120.96

@@ -1,0 +1,111 @@
+"""Section 6: forward-looking hardware directions, quantified.
+
+ * §6.4 — Region Acquire/Release ordering vs sender fences for ordered
+   small-message streams (the memory-semantic communication proposal);
+ * §6.5 — in-network multicast (dispatch) and aggregation (combine)
+   shrink endpoint NIC traffic by the per-token node fan-out M, and
+   hardware LogFMT shrinks the combine wire format;
+ * §6.6 — memory-bandwidth-centric accelerators (DRAM-stacked /
+   SoW): decode TPS scales linearly with memory bandwidth.
+"""
+
+import numpy as np
+from _report import print_table
+
+from repro.comm import (
+    EPConfig,
+    EPDeployment,
+    OrderedStreamConfig,
+    combine_savings,
+    dispatch_savings,
+    ep_stage_time_with_innetwork,
+    expected_reduction_factor,
+    logfmt_wire_savings,
+    rar_speedup,
+    run_ep_stage,
+    stream_completion_time,
+)
+from repro.inference import decode_tps
+from repro.model import DEEPSEEK_V3
+from repro.network import build_mpft_cluster
+
+
+def bench_sec64_rar_ordering(benchmark):
+    config = OrderedStreamConfig(
+        num_messages=256, message_bytes=7168, rtt=3.7e-6, bandwidth=40e9
+    )
+
+    def run():
+        return {
+            scheme: stream_completion_time(config, scheme)
+            for scheme in ("fence", "flag_poll", "rar")
+        }
+
+    times = benchmark(run)
+    print_table(
+        "Section 6.4: 256 ordered 7KB messages over IB (cross-leaf RTT)",
+        ["ordering scheme", "completion (us)", "vs RAR"],
+        [
+            [scheme, round(t * 1e6, 1), f"{t / times['rar']:.2f}x"]
+            for scheme, t in times.items()
+        ],
+    )
+    assert times["rar"] < times["flag_poll"] < times["fence"]
+    assert rar_speedup(config) > 2.0  # fences dominate small-message streams
+
+
+def bench_sec65_innetwork(benchmark):
+    def run():
+        rng = np.random.default_rng(0)
+        cluster = build_mpft_cluster(8)
+        deployment = EPDeployment(cluster, EPConfig(256, 8, hidden_size=7168))
+        decisions = deployment.route_tokens(512, rng)
+        base = run_ep_stage(deployment, decisions, "dispatch")
+        return (
+            dispatch_savings(deployment, decisions),
+            combine_savings(deployment, decisions),
+            expected_reduction_factor(deployment, decisions),
+            base.time,
+        )
+
+    dispatch, combine, mean_m, base_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    projected = ep_stage_time_with_innetwork(base_time, dispatch.reduction)
+    print_table(
+        "Section 6.5: in-network multicast/aggregation for EP",
+        ["quantity", "value"],
+        [
+            ["mean per-token node fan-out M", round(mean_m, 2)],
+            ["dispatch NIC-traffic reduction", f"{dispatch.reduction:.2f}x"],
+            ["combine NIC-traffic reduction", f"{combine.reduction:.2f}x"],
+            ["dispatch stage time today (ms)", round(base_time * 1e3, 3)],
+            ["with switch multicast (ms)", round(projected * 1e3, 3)],
+            ["hardware LogFMT combine-wire saving", f"{logfmt_wire_savings():.2f}x"],
+        ],
+    )
+    # Node-limited routing caps M at 4, so multicast saves up to ~3.6x.
+    assert 2.5 < dispatch.reduction <= 4.0
+    assert combine.reduction == dispatch.reduction
+    assert projected < base_time
+
+
+def bench_sec66_memory_bandwidth_scaling(benchmark):
+    def run():
+        rows = []
+        for name, bw in (
+            ("HBM3 (H800-class)", 3.35e12),
+            ("HBM3e (B200-class)", 8e12),
+            ("DRAM-stacked (SeDRAM-class)", 20e12),
+        ):
+            est = decode_tps(DEEPSEEK_V3, bw, weight_dtype="fp8", context_tokens=8192)
+            rows.append((name, bw, est.tokens_per_second))
+        return rows
+
+    rows = benchmark(run)
+    print_table(
+        "Section 6.6: single-stream V3 decode vs memory bandwidth",
+        ["memory system", "bandwidth (TB/s)", "decode tok/s"],
+        [[name, round(bw / 1e12, 2), round(tps, 1)] for name, bw, tps in rows],
+    )
+    # Decode is bandwidth-bound: TPS scales ~linearly with bandwidth.
+    assert rows[1][2] / rows[0][2] > 2.0
+    assert rows[2][2] / rows[0][2] > 5.0

@@ -1,0 +1,39 @@
+"""Table 1: KV cache size per token (BF16) — MLA vs GQA models.
+
+Paper rows:
+    DeepSeek-V3 (MLA)     70.272 KB/token   1x
+    Qwen-2.5 72B (GQA)   327.680 KB/token   4.66x
+    LLaMA-3.1 405B (GQA) 516.096 KB/token   7.28x
+"""
+
+from _report import print_table
+
+from repro.model import DEEPSEEK_V3, LLAMA31_405B, QWEN25_72B, compare_kv_cache
+
+PAPER_KB = {"DeepSeek-V3": 70.272, "Qwen-2.5 72B": 327.680, "LLaMA-3.1 405B": 516.096}
+
+
+def bench_table1(benchmark):
+    reports = benchmark(
+        compare_kv_cache, [DEEPSEEK_V3, QWEN25_72B, LLAMA31_405B], DEEPSEEK_V3
+    )
+    rows = []
+    for report in reports:
+        rows.append(
+            [
+                f"{report.model_name} ({report.attention_kind})",
+                PAPER_KB[report.model_name],
+                round(report.kb_per_token, 3),
+                f"{report.multiplier:.2f}x",
+            ]
+        )
+    print_table(
+        "Table 1: KV cache per token",
+        ["model", "paper KB", "measured KB", "multiplier"],
+        rows,
+    )
+    by_name = {r.model_name: r for r in reports}
+    for name, kb in PAPER_KB.items():
+        assert abs(by_name[name].kb_per_token - kb) < 1e-6, name
+    assert by_name["Qwen-2.5 72B"].multiplier > 4.5
+    assert by_name["LLaMA-3.1 405B"].multiplier > 7.0

@@ -1,0 +1,56 @@
+"""Table 2: training cost per token (seq len 4096, causal attention).
+
+Paper rows (GFLOPS/token):
+    DeepSeek-V2 MoE   236B ->  155
+    DeepSeek-V3 MoE   671B ->  250
+    Qwen-72B Dense     72B ->  394
+    LLaMa-405B Dense  405B -> 2448
+"""
+
+from _report import print_table
+
+from repro.model import (
+    DEEPSEEK_V2,
+    DEEPSEEK_V3,
+    LLAMA31_405B,
+    QWEN25_72B,
+    compare_training_cost,
+)
+
+PAPER_GF = {
+    "DeepSeek-V2": 155,
+    "DeepSeek-V3": 250,
+    "Qwen-2.5 72B": 394,
+    "LLaMA-3.1 405B": 2448,
+}
+
+MODELS = [DEEPSEEK_V2, DEEPSEEK_V3, QWEN25_72B, LLAMA31_405B]
+
+
+def bench_table2(benchmark):
+    reports = benchmark(compare_training_cost, MODELS, 4096, True)
+    rows = [
+        [
+            r.model_name,
+            r.kind,
+            f"{r.total_params / 1e9:.0f}B",
+            PAPER_GF[r.model_name],
+            round(r.gflops_per_token, 1),
+        ]
+        for r in reports
+    ]
+    print_table(
+        "Table 2: training GFLOPS/token (seq 4096)",
+        ["model", "kind", "size", "paper", "measured"],
+        rows,
+    )
+    by_name = {r.model_name: r for r in reports}
+    # Exact (within 2%) for the models whose configs the paper's numbers
+    # derive from; Qwen is ~13% above the paper value (see EXPERIMENTS.md).
+    assert abs(by_name["DeepSeek-V2"].gflops_per_token - 155) / 155 < 0.02
+    assert abs(by_name["DeepSeek-V3"].gflops_per_token - 250) / 250 < 0.02
+    assert abs(by_name["LLaMA-3.1 405B"].gflops_per_token - 2448) / 2448 < 0.02
+    assert 380 < by_name["Qwen-2.5 72B"].gflops_per_token < 470
+    # Shape: the MoE models cost an order of magnitude less than the
+    # 405B dense model despite larger total size.
+    assert by_name["LLaMA-3.1 405B"].gflops_per_token > 9 * by_name["DeepSeek-V3"].gflops_per_token

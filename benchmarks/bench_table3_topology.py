@@ -1,0 +1,52 @@
+"""Table 3: network topology comparison (size and cost).
+
+Paper columns:
+    Metric          FT2    MPFT    FT3      SF      DF
+    Endpoints      2,048  16,384  65,536  32,928  261,632
+    Switches          96     768   5,120   1,568   16,352
+    Links          2,048  16,384 131,072  32,928  384,272
+    Cost [M$]          9      72     491     146    1,522
+    Cost/EP [k$]    4.39    4.39     7.5     4.4      5.8
+"""
+
+from _report import print_table
+
+from repro.network import table3_rows
+
+PAPER = {
+    "FT2": (2048, 96, 2048, 9, 4.39),
+    "MPFT": (16384, 768, 16384, 72, 4.39),
+    "FT3": (65536, 5120, 131072, 491, 7.5),
+    "SF": (32928, 1568, 32928, 146, 4.4),
+    "DF": (261632, 16352, 384272, 1522, 5.8),
+}
+
+
+def bench_table3(benchmark):
+    rows = benchmark(table3_rows)
+    table = []
+    for row in rows:
+        spec = row.spec
+        paper = PAPER[spec.name]
+        table.append(
+            [
+                spec.name,
+                spec.endpoints,
+                spec.switches,
+                spec.links,
+                f"{paper[3]} / {row.cost_musd:.1f}",
+                f"{paper[4]} / {row.cost_per_endpoint_kusd:.2f}",
+            ]
+        )
+    print_table(
+        "Table 3: topology comparison (cost: paper / measured)",
+        ["topology", "endpoints", "switches", "links", "cost M$", "cost/EP k$"],
+        table,
+    )
+    for row in rows:
+        ep, sw, links, cost_m, per_ep = PAPER[row.spec.name]
+        assert row.spec.endpoints == ep
+        assert row.spec.switches == sw
+        assert row.spec.links == links
+        assert abs(row.cost_musd - cost_m) / cost_m < 0.02
+        assert abs(row.cost_per_endpoint_kusd - per_ep) / per_ep < 0.03

@@ -1,0 +1,75 @@
+"""Table 4: DeepSeek-V3 training metrics, MPFT vs MRFT (2,048 H800s).
+
+Paper (MPFT column): 272.80 B tokens/day, 19.926 s/step,
+1F 1.13 / bubble 2.06 / 1B 1.99 / 1W 0.48 / 1F1B 13.95 / opt 0.29,
+TFLOPS 432 (non-causal) / 385 (causal), MFU 43.73% / 38.94%.
+The MRFT column is statistically identical — the parity claim.
+"""
+
+import numpy as np
+from _report import paper_vs_measured
+
+from repro.comm import StageTimes, layer_time
+from repro.network import build_mpft_cluster, build_mrft_cluster, run_all_to_all
+from repro.parallel import TrainingJobConfig, simulate_training_step
+
+
+def _training_step():
+    return simulate_training_step(TrainingJobConfig())
+
+
+def bench_table4_step_decomposition(benchmark):
+    report = benchmark.pedantic(_training_step, rounds=3, iterations=1)
+    mfu = report.mfu
+    paper_vs_measured(
+        "Table 4: training step (DualPipe on 2048 H800, GBS 15360x4096)",
+        [
+            ("tokens/day (B)", 272.80, round(report.tokens_per_day / 1e9, 2)),
+            ("time/step (s)", 19.926, round(report.step_time, 3)),
+            ("1F (s)", 1.13, round(report.warmup_forward, 2)),
+            ("bubble (s)", 2.06, round(report.bubble, 2)),
+            ("1B (s)", 1.99, round(report.warmup_backward, 2)),
+            ("1W (s)", 0.48, round(report.weight_grad, 2)),
+            ("1F1B (s)", 13.95, round(report.steady_phase, 2)),
+            ("opt (s)", 0.29, round(report.optimizer, 2)),
+            ("TFLOPS (non-causal)", 432, round(mfu.tflops(causal=False))),
+            ("TFLOPS (causal)", 385, round(mfu.tflops(causal=True))),
+            ("MFU (non-causal) %", 43.73, round(100 * mfu.mfu(causal=False), 2)),
+            ("MFU (causal) %", 38.94, round(100 * mfu.mfu(causal=True), 2)),
+        ],
+    )
+    assert abs(report.step_time - 19.926) / 19.926 < 0.05
+    assert abs(report.tokens_per_day - 272.8e9) / 272.8e9 < 0.05
+    assert abs(mfu.mfu(causal=True) - 0.3894) < 0.02
+    assert abs(mfu.mfu(causal=False) - 0.4373) < 0.02
+
+
+def bench_table4_mpft_mrft_parity(benchmark):
+    """Why both fabrics train identically: per-layer EP communication is
+    the same on MPFT and MRFT (PXN), and it hides under compute."""
+
+    def compare():
+        results = {}
+        for builder in (build_mpft_cluster, build_mrft_cluster):
+            cluster = builder(4)
+            res = run_all_to_all(cluster, cluster.gpus(), 1 << 20, mode="drain")
+            results[cluster.scheme] = res.time
+        return results
+
+    times = benchmark.pedantic(compare, rounds=1, iterations=1)
+    paper_vs_measured(
+        "Table 4 parity: EP all-to-all time, MPFT vs MRFT (32 GPUs, 1 MiB)",
+        [
+            ("MPFT a2a (ms)", "-", round(times["mpft"] * 1e3, 3)),
+            ("MRFT a2a (ms)", "-", round(times["mrft"] * 1e3, 3)),
+        ],
+    )
+    assert np.isclose(times["mpft"], times["mrft"], rtol=1e-9)
+    # And the comm hides under compute in the overlapped schedule.
+    stages = StageTimes(
+        attention_compute=400e-6,
+        moe_compute=300e-6,
+        dispatch_comm=times["mpft"] / 4,
+        combine_comm=times["mpft"] / 4,
+    )
+    assert layer_time(stages, dual_microbatch=True) == stages.compute

@@ -1,0 +1,67 @@
+"""Table 5: CPU-side end-to-end latency for a 64 B transfer.
+
+Paper rows (same leaf / cross leaf):
+    RoCE        3.6 us / 5.6 us
+    InfiniBand  2.8 us / 3.7 us
+    NVLink      3.33 us / -
+"""
+
+from _report import print_table
+
+from repro.network import build_mpft_cluster, path_latency, pxn_path, table5_rows
+
+PAPER = {
+    "RoCE": (3.6, 5.6),
+    "InfiniBand": (2.8, 3.7),
+    "NVLink": (3.33, None),
+}
+
+
+def bench_table5(benchmark):
+    rows = benchmark(table5_rows, 64)
+    table = []
+    for row in rows:
+        same, cross = PAPER[row.link_layer]
+        table.append(
+            [
+                row.link_layer,
+                f"{same} / {row.same_leaf_us:.2f}",
+                "-" if cross is None else f"{cross} / {row.cross_leaf_us:.2f}",
+            ]
+        )
+    print_table(
+        "Table 5: 64B end-to-end latency (us, paper / measured)",
+        ["link layer", "same leaf", "cross leaf"],
+        table,
+    )
+    by_layer = {r.link_layer: r for r in rows}
+    assert abs(by_layer["RoCE"].same_leaf_us - 3.6) < 0.05
+    assert abs(by_layer["RoCE"].cross_leaf_us - 5.6) < 0.05
+    assert abs(by_layer["InfiniBand"].same_leaf_us - 2.8) < 0.05
+    assert abs(by_layer["InfiniBand"].cross_leaf_us - 3.7) < 0.05
+    assert abs(by_layer["NVLink"].same_leaf_us - 3.33) < 0.05
+    # IB wins everywhere — the paper's §5.2.1 conclusion.
+    assert by_layer["InfiniBand"].same_leaf_us < by_layer["RoCE"].same_leaf_us
+
+
+def bench_table5_on_cluster_paths(benchmark):
+    """Cross-check: the same latencies emerge from actual cluster paths."""
+    cluster = build_mpft_cluster(16)
+
+    def measure():
+        return (
+            path_latency(cluster, pxn_path(cluster, "n0g0", "n1g0")),
+            path_latency(cluster, pxn_path(cluster, "n0g0", "n9g0")),
+        )
+
+    same, cross = benchmark(measure)
+    print_table(
+        "Table 5 cross-check: latencies from simulated MPFT paths",
+        ["path", "paper us", "measured us"],
+        [
+            ["same leaf (n0g0 -> n1g0)", 2.8, round(same * 1e6, 2)],
+            ["cross leaf (n0g0 -> n9g0)", 3.7, round(cross * 1e6, 2)],
+        ],
+    )
+    assert abs(same * 1e6 - 2.8) < 0.05
+    assert abs(cross * 1e6 - 3.7) < 0.05

@@ -1,0 +1,87 @@
+"""Design a training-cluster network the way Section 5 does.
+
+Given a target GPU count, compares candidate scale-out topologies on
+cost (Table 3 methodology), small-message latency (Table 5), and
+simulated all-to-all behaviour (Figures 5-6), then verifies the
+multi-plane design's fault isolation.
+
+Usage:
+    python examples/design_cluster_network.py [num_nodes]
+"""
+
+import sys
+
+from repro.network import (
+    CostModel,
+    DragonflyParams,
+    build_mpft_cluster,
+    build_mrft_cluster,
+    dragonfly_spec,
+    ft2_spec,
+    ft3_spec,
+    mpft_spec,
+    run_all_to_all,
+    slimfly_spec,
+    table5_rows,
+)
+from repro.reliability import assess_impact, fail_entire_plane, fail_link
+
+
+def main(num_nodes: int = 16) -> None:
+    cost_model = CostModel()
+    print("=" * 72)
+    print("1. Topology candidates at full scale (Table 3 methodology)")
+    print("=" * 72)
+    for spec in (
+        ft2_spec(64),
+        mpft_spec(64),
+        ft3_spec(64),
+        slimfly_spec(28),
+        dragonfly_spec(DragonflyParams.balanced(64, g=511)),
+    ):
+        print(
+            f"  {spec.name:<5} endpoints {spec.endpoints:>7,}  "
+            f"switches {spec.switches:>6,}  links {spec.links:>7,}  "
+            f"cost ${cost_model.total(spec) / 1e6:7.1f}M  "
+            f"(${cost_model.per_endpoint(spec) / 1e3:.2f}k/endpoint)"
+        )
+    print(
+        "\n  MPFT reaches 16,384 endpoints at FT2's cost/endpoint — the"
+        " two-layer price for a three-layer scale."
+    )
+
+    print()
+    print("=" * 72)
+    print("2. Small-message latency by link layer (Table 5)")
+    print("=" * 72)
+    for row in table5_rows():
+        cross = "-" if row.cross_leaf_us is None else f"{row.cross_leaf_us:.2f} us"
+        print(f"  {row.link_layer:<12} same leaf {row.same_leaf_us:.2f} us   cross leaf {cross}")
+
+    print()
+    print("=" * 72)
+    print(f"3. Simulated all-to-all on {num_nodes * 8} GPUs: MPFT vs MRFT")
+    print("=" * 72)
+    for builder in (build_mpft_cluster, build_mrft_cluster):
+        cluster = builder(num_nodes)
+        result = run_all_to_all(cluster, cluster.gpus(), 1 << 20, mode="drain")
+        print(
+            f"  {cluster.scheme.upper():<5} busbw {result.busbw / 1e9:6.2f} GB/s per GPU   "
+            f"completion {result.time * 1e3:6.2f} ms"
+        )
+    print("  -> parity, as in Figures 5-6: PXN makes the plane split invisible.")
+
+    print()
+    print("=" * 72)
+    print("4. Fault isolation of the multi-plane design (Section 5.1.1)")
+    print("=" * 72)
+    cluster = build_mpft_cluster(num_nodes)
+    fail_link(cluster.topology, "n0g0", "MPFT/p0/leaf0")
+    print(f"  one NIC link down      -> connectivity {assess_impact(cluster).connectivity:.0%}")
+    cluster = build_mpft_cluster(num_nodes)
+    fail_entire_plane(cluster, plane=0)
+    print(f"  entire plane down      -> connectivity {assess_impact(cluster).connectivity:.0%}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16)

@@ -1,0 +1,98 @@
+"""Plan a DeepSeek-V3 inference deployment (Sections 2.2-2.3, 4.3).
+
+Walks the serving-side co-design decisions:
+ * expert-parallel TPOT ceiling per interconnect (Section 2.3.2),
+ * node-limited routing's IB traffic savings (Section 4.3),
+ * simulated EP dispatch/combine on the cluster fabric (Figure 7),
+ * MTP speculative decoding's TPS multiplier (Section 2.3.3),
+ * prefill/decode disaggregation sizing (Section 2.3.1),
+ * local/on-prem deployment options (Section 2.2.2).
+
+Usage:
+    python examples/plan_inference_deployment.py
+"""
+
+import numpy as np
+
+from repro.comm import EPConfig, EPDeployment, ib_cost_factor, run_ep_stage
+from repro.inference import (
+    Workload,
+    compare_interconnects,
+    mtp_speedup,
+    offloaded_decode_tps,
+    plan_deployment,
+    soc_decode_tps,
+)
+from repro.model import DEEPSEEK_V2, DEEPSEEK_V3, node_limited_topk, topk_routing
+from repro.network import build_mpft_cluster
+
+
+def main() -> None:
+    print("=" * 72)
+    print("1. TPOT ceiling by interconnect (Section 2.3.2)")
+    print("=" * 72)
+    for row in compare_interconnects():
+        print(
+            f"  {row.system:<22} TPOT >= {row.tpot_ms:6.2f} ms  "
+            f"<= {row.tokens_per_second:6.0f} tok/s"
+        )
+
+    print()
+    print("=" * 72)
+    print("2. Node-limited routing (Section 4.3): IB cost per token")
+    print("=" * 72)
+    scores = np.random.default_rng(0).uniform(size=(4096, 256))
+    free = ib_cost_factor(topk_routing(scores, 8), experts_per_node=32)
+    limited = ib_cost_factor(
+        node_limited_topk(scores, 8, num_groups=8, max_groups=4), experts_per_node=32
+    )
+    print(f"  unrestricted top-8:     {free:.2f} t  (worst case 8t)")
+    print(f"  node-limited (M<=4):    {limited:.2f} t")
+
+    print()
+    print("=" * 72)
+    print("3. EP dispatch/combine on a 64-GPU MPFT slice (Figure 7)")
+    print("=" * 72)
+    cluster = build_mpft_cluster(8)
+    deployment = EPDeployment(cluster, EPConfig(256, 8, hidden_size=7168))
+    decisions = deployment.route_tokens(1024, np.random.default_rng(1))
+    for stage in ("dispatch", "combine"):
+        result = run_ep_stage(deployment, decisions, stage)
+        print(
+            f"  {stage:<9} {result.per_gpu_bandwidth / 1e9:5.1f} GB/s per GPU  "
+            f"stage time {result.time * 1e3:6.3f} ms"
+        )
+
+    print()
+    print("=" * 72)
+    print("4. MTP speculative decoding (Section 2.3.3)")
+    print("=" * 72)
+    for acceptance in (0.80, 0.85, 0.90):
+        print(f"  acceptance {acceptance:.0%} -> {mtp_speedup(acceptance):.2f}x generation TPS")
+
+    print()
+    print("=" * 72)
+    print("5. Prefill/decode disaggregation (Section 2.3.1)")
+    print("=" * 72)
+    workload = Workload(requests_per_second=20, prompt_tokens=4096, output_tokens=1024)
+    plan = plan_deployment(DEEPSEEK_V3, workload, decode_tpot=0.03)
+    print(f"  prefill pool: {plan.prefill_gpus:6.1f} GPUs")
+    print(f"  decode pool:  {plan.decode_gpus:6.1f} GPUs")
+    print(
+        f"  colocating instead would inflate decode TPOT "
+        f"{plan.tpot_inflation_colocated:.2f}x "
+        f"({plan.disaggregated_tpot * 1e3:.0f} ms -> {plan.colocated_tpot * 1e3:.0f} ms)"
+    )
+
+    print()
+    print("=" * 72)
+    print("6. Personal / on-prem deployment (Section 2.2.2)")
+    print("=" * 72)
+    soc = soc_decode_tps(DEEPSEEK_V2, weight_dtype="fp8")
+    kt = offloaded_decode_tps(DEEPSEEK_V3, gpu_bandwidth=1.0e12)
+    print(f"  DeepSeek-V2 on an AI SoC:            {soc.tokens_per_second:5.1f} tok/s")
+    print(f"  DeepSeek-V3 via expert offloading:   {kt.tokens_per_second:5.1f} tok/s")
+
+
+if __name__ == "__main__":
+    main()

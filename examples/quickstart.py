@@ -1,0 +1,73 @@
+"""Quickstart: the co-design numbers that motivate DeepSeek-V3.
+
+Runs the paper's three headline analyses on the published model
+configurations:
+
+1. KV-cache footprint — why MLA (Table 1),
+2. training cost per token — why MoE (Table 2),
+3. the EP inference speed limit — why interconnect bandwidth is the
+   ceiling (Section 2.3.2).
+
+Usage:
+    python examples/quickstart.py
+"""
+
+from repro.core.units import fmt_bytes
+from repro.inference import compare_interconnects
+from repro.model import (
+    DEEPSEEK_V2,
+    DEEPSEEK_V3,
+    LLAMA31_405B,
+    QWEN25_72B,
+    compare_kv_cache,
+    compare_training_cost,
+    count_params,
+)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("1. KV cache per token (Table 1) — MLA compresses the cache")
+    print("=" * 72)
+    for row in compare_kv_cache([DEEPSEEK_V3, QWEN25_72B, LLAMA31_405B]):
+        print(
+            f"  {row.model_name:<16} ({row.attention_kind})  "
+            f"{row.kb_per_token:8.3f} KB/token   {row.multiplier:4.2f}x"
+        )
+
+    print()
+    print("=" * 72)
+    print("2. Training cost per token (Table 2) — sparse activation wins")
+    print("=" * 72)
+    for row in compare_training_cost([DEEPSEEK_V2, DEEPSEEK_V3, QWEN25_72B, LLAMA31_405B]):
+        print(
+            f"  {row.model_name:<16} {row.kind:<6} "
+            f"total {row.total_params / 1e9:6.0f}B  active {row.active_params / 1e9:5.0f}B  "
+            f"{row.gflops_per_token:7.1f} GFLOPS/token"
+        )
+
+    params = count_params(DEEPSEEK_V3)
+    print(
+        f"\n  DeepSeek-V3 stores {params.total_main / 1e9:.0f}B parameters "
+        f"({fmt_bytes(params.total_main)} at FP8) but each token touches only "
+        f"{params.active / 1e9:.0f}B."
+    )
+
+    print()
+    print("=" * 72)
+    print("3. EP inference speed limit (Section 2.3.2) — bandwidth is destiny")
+    print("=" * 72)
+    for row in compare_interconnects():
+        print(
+            f"  {row.system:<22} {row.bandwidth / 1e9:5.0f} GB/s  "
+            f"stage {row.comm_stage_us:7.2f} us  TPOT {row.tpot_ms:6.2f} ms  "
+            f"{row.tokens_per_second:7.0f} tok/s"
+        )
+    print(
+        "\n  A ~18x faster scale-up fabric converts directly into ~18x decode"
+        " speed — the paper's argument for scale-up/scale-out convergence."
+    )
+
+
+if __name__ == "__main__":
+    main()

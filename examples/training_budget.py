@@ -1,0 +1,87 @@
+"""Plan a pre-training run: throughput, memory, reliability and dollars.
+
+Composes the training-side models end to end for the DeepSeek-V3
+configuration: the DualPipe step simulation (Table 4), the per-GPU
+memory plan (§4.2), checkpointing over the 3FS storage plane and
+failure-aware goodput (§6.1), and the resulting GPU-hour/dollar budget
+— reproducing the published 2.664M H800-hour pre-training figure.
+
+Usage:
+    python examples/training_budget.py [total_tokens_T]
+"""
+
+import sys
+
+from repro.model import DEEPSEEK_V3, count_params
+from repro.parallel import (
+    ShardingPlan,
+    TrainingJobConfig,
+    activation_imbalance,
+    simulate_training_step,
+    training_cost_usd,
+    training_gpu_hours,
+    training_memory_per_gpu,
+)
+from repro.reliability import (
+    checkpoint_state_bytes,
+    checkpoint_write_time,
+    cluster_mtbf,
+    goodput_fraction,
+    optimal_checkpoint_interval,
+)
+
+GIB = 1024**3
+
+
+def main(total_tokens_t: float = 14.8) -> None:
+    config = TrainingJobConfig()
+    total_tokens = total_tokens_t * 1e12
+
+    print("=" * 72)
+    print("1. Step simulation (Table 4 model)")
+    print("=" * 72)
+    report = simulate_training_step(config)
+    mfu = report.mfu
+    print(f"  time/step {report.step_time:.2f} s   tokens/day {report.tokens_per_day / 1e9:.1f} B")
+    print(f"  MFU {mfu.mfu(True):.1%} causal / {mfu.mfu(False):.1%} non-causal")
+
+    print()
+    print("=" * 72)
+    print("2. Per-GPU memory (PP16, EP64, FP8 weights)")
+    print("=" * 72)
+    plan = ShardingPlan()
+    mem = training_memory_per_gpu(DEEPSEEK_V3, plan)
+    print(f"  weights {mem.weights / GIB:5.1f}  grads {mem.gradients / GIB:5.1f}  "
+          f"optimizer {mem.master_and_optimizer / GIB:5.1f}  "
+          f"activations {mem.activations / GIB:5.1f}  -> total {mem.total / GIB:.1f} GiB of 80")
+    print(f"  activation balance: DualPipe {activation_imbalance('dualpipe', 16):.1f}x "
+          f"vs 1F1B {activation_imbalance('1f1b', 16):.1f}x (max/min across ranks)")
+
+    print()
+    print("=" * 72)
+    print("3. Reliability plan (§6.1 + 3FS storage plane)")
+    print("=" * 72)
+    nodes = config.num_gpus // 8
+    mtbf = cluster_mtbf(nodes)
+    ckpt_bytes = checkpoint_state_bytes(count_params(DEEPSEEK_V3).total)
+    ckpt_time = checkpoint_write_time(ckpt_bytes, nodes)
+    interval = optimal_checkpoint_interval(ckpt_time, mtbf)
+    goodput = goodput_fraction(ckpt_time, restart_cost=900.0, mtbf=mtbf, interval=interval)
+    print(f"  cluster MTBF {mtbf / 3600:.1f} h   checkpoint {ckpt_bytes / 1e12:.1f} TB "
+          f"in {ckpt_time:.1f} s   optimal interval {interval / 60:.0f} min")
+    print(f"  expected goodput {goodput:.1%}")
+
+    print()
+    print("=" * 72)
+    print(f"4. Budget for {total_tokens_t:.1f} T tokens")
+    print("=" * 72)
+    hours = training_gpu_hours(report, total_tokens) / goodput
+    cost = training_cost_usd(report, total_tokens) / goodput
+    raw_hours = training_gpu_hours(report, total_tokens)
+    print(f"  ideal:          {raw_hours / 1e6:.3f} M GPU-hours  (published: 2.664 M)")
+    print(f"  with failures:  {hours / 1e6:.3f} M GPU-hours")
+    print(f"  cost @ $2/GPU-h: ${cost / 1e6:.2f} M  (published pre-training: $5.33 M)")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 14.8)

@@ -1,0 +1,53 @@
+"""Run the Section 2.4 precision-validation pipeline end to end.
+
+Trains the tiny MLA+MoE+MTP model twice from identical initialization
+and data order — once under the BF16 policy, once under fine-grained
+FP8 (1x128 activation tiles, 128x128 weight blocks) — and reports the
+relative loss gap the paper bounds at 0.25%.  Also shows the
+GEMM-level evidence (Section 3.1): FP22 accumulation error grows with
+K while DeepGEMM-style FP32 promotion stays flat.
+
+Usage:
+    python examples/validate_fp8_training.py [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.model import TINY_MLA_MOE
+from repro.precision import fp8_matmul, relative_error
+from repro.training import validate_precision
+
+
+def main(steps: int = 150) -> None:
+    print("=" * 72)
+    print("1. GEMM-level accumulation study (Section 3.1)")
+    print("=" * 72)
+    rng = np.random.default_rng(0)
+    for k in (512, 4096):
+        a = rng.normal(size=(32, k)).astype(np.float32)
+        b = rng.normal(size=(k, 32)).astype(np.float32)
+        ideal = fp8_matmul(a, b, accumulation="ideal")
+        promoted = relative_error(ideal, fp8_matmul(a, b, accumulation="hopper_promoted"))
+        fp22 = relative_error(ideal, fp8_matmul(a, b, accumulation="hopper_fp22"))
+        print(f"  K={k:<5}  FP32-promoted {promoted:.2e}   raw FP22 {fp22:.2e}")
+    print("  -> promotion removes the error growth; §3.1.2's hardware ask.")
+
+    print()
+    print("=" * 72)
+    print(f"2. Paired training run, {steps} steps (Section 2.4)")
+    print("=" * 72)
+    report = validate_precision(
+        TINY_MLA_MOE, steps=steps, batch_size=8, seq_len=24, seed=0
+    )
+    print(f"  BF16 baseline final loss: {report.baseline.final_loss:.4f}")
+    print(f"  FP8 fine-grained final loss: {report.candidate.final_loss:.4f}")
+    print(f"  relative loss gap: {report.relative_loss_gap:+.3%}")
+    print("  paper bound: |gap| < 0.25% on the 16B/230B ablations")
+    verdict = "PASS" if abs(report.relative_loss_gap) < 0.0025 * 4 else "INVESTIGATE"
+    print(f"  verdict at tiny scale (4x slack for optimizer noise): {verdict}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)

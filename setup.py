@@ -1,0 +1,6 @@
+"""Setup shim enabling legacy editable installs on offline hosts without the
+``wheel`` package (PEP 660 editable wheels require it)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""repro: reproduction of the DeepSeek-V3 ISCA'25 co-design paper.
+
+Subpackages:
+
+* :mod:`repro.core` - units, hardware catalog, roofline machinery.
+* :mod:`repro.model` - MLA/GQA attention, DeepSeekMoE, MTP, analytics.
+* :mod:`repro.precision` - FP8/LogFMT formats, quantization, GEMM emulation.
+* :mod:`repro.autograd` - minimal reverse-mode autograd used for training.
+* :mod:`repro.training` - tiny trainable MLA+MoE model and FP8 validation.
+* :mod:`repro.network` - topologies, cost/latency models, flow simulator.
+* :mod:`repro.comm` - EP dispatch/combine, overlap, IBGDA, contention.
+* :mod:`repro.parallel` - DualPipe schedules, MFU, cluster throughput.
+* :mod:`repro.inference` - decode rooflines, TPOT limits, speculative decoding.
+* :mod:`repro.reliability` - failure injection, SDC detection, checkpointing.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,95 @@
+"""Composite autograd functions: softmax, losses, norms, RoPE, fake-quant."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..precision.formats import FloatFormat
+from ..precision.quantize import quantize_blocks, quantize_tiles
+from .tensor import Tensor, concat, where_constant
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x + Tensor(-x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp * (exp.sum(axis=axis, keepdims=True) ** -1.0)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    shifted = x + Tensor(-x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy of ``logits`` [N, V] against class ids [N]."""
+    targets = np.asarray(targets).reshape(-1)
+    if logits.ndim != 2 or logits.shape[0] != targets.shape[0]:
+        raise ValueError("logits must be [N, V] matching N targets")
+    logp = log_softmax(logits, axis=-1)
+    picked = logp[np.arange(targets.shape[0]), targets]
+    return -picked.mean()
+
+
+def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-6) -> Tensor:
+    """RMSNorm over the last axis with learned gain."""
+    ms = (x * x).mean(axis=-1, keepdims=True)
+    return x * ((ms + eps) ** -0.5) * weight
+
+
+def apply_rope(x: Tensor, positions: np.ndarray, base: float = 10000.0) -> Tensor:
+    """Rotary embedding on the last axis of ``x`` [..., t, dim].
+
+    Uses the rotate-pairs formulation with constant cos/sin tables, so
+    gradients flow through ordinary elementwise ops.
+    """
+    dim = x.shape[-1]
+    if dim % 2:
+        raise ValueError("rotary dim must be even")
+    inv_freq = 1.0 / (base ** (np.arange(0, dim, 2) / dim))
+    angles = np.outer(positions, inv_freq).astype(np.float32)
+    cos, sin = np.cos(angles), np.sin(angles)
+    x1 = x[..., 0::2]
+    x2 = x[..., 1::2]
+    r1 = x1 * Tensor(cos) - x2 * Tensor(sin)
+    r2 = x1 * Tensor(sin) + x2 * Tensor(cos)
+    # Interleave back: stack on a new trailing axis then flatten.
+    stacked = concat([r1.reshape(*r1.shape, 1), r2.reshape(*r2.shape, 1)], axis=-1)
+    return stacked.reshape(*x.shape)
+
+
+def causal_mask_scores(scores: Tensor, query_offset: int = 0) -> Tensor:
+    """Mask future positions of ``scores`` [..., tq, tk] to -1e9."""
+    tq, tk = scores.shape[-2], scores.shape[-1]
+    key_pos = np.arange(tk)
+    query_pos = query_offset + np.arange(tq)
+    mask = key_pos[None, :] > query_pos[:, None]
+    return where_constant(mask, -1e9, scores)
+
+
+def fake_quant_tiles(x: Tensor, fmt: FloatFormat, tile: int = 128) -> Tensor:
+    """Straight-through tile-wise fake quantization (activations).
+
+    Forward snaps values onto the FP8 lattice with 1x``tile`` scaling
+    (Section 3.1's activation quantization); backward passes gradients
+    through unchanged (the standard straight-through estimator).
+    """
+    q = quantize_tiles(x.data, fmt, tile).dequantize()
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad)
+
+    return Tensor._make(q, (x,), backward)
+
+
+def fake_quant_blocks(w: Tensor, fmt: FloatFormat, block: int = 128) -> Tensor:
+    """Straight-through block-wise fake quantization (weights)."""
+    q = quantize_blocks(w.data, fmt, block).dequantize()
+
+    def backward(grad):
+        if w.requires_grad:
+            w._accumulate(grad)
+
+    return Tensor._make(q, (w,), backward)

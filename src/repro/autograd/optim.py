@@ -1,0 +1,86 @@
+"""Optimizers for the autograd engine: SGD with momentum and AdamW."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, params: list[Tensor], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("no trainable parameters given")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update; implemented by subclasses."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, params: list[Tensor], lr: float, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """v = mu v + g; p -= lr v."""
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v += p.grad
+            p.data -= self.lr * v
+
+
+class AdamW(Optimizer):
+    """AdamW with decoupled weight decay."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.95),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """One AdamW update over all parameters with gradients."""
+        self._step += 1
+        bias1 = 1 - self.beta1**self._step
+        bias2 = 1 - self.beta2**self._step
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * np.square(g)
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay:
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * update

@@ -1,0 +1,335 @@
+"""Minimal reverse-mode autograd over numpy.
+
+Just enough machinery to train the tiny MLA+MoE transformer of
+:mod:`repro.training`: broadcast-aware elementwise ops, (batched)
+matmul, reductions, indexing, concatenation, and a straight-through
+fake-quantization op for FP8 training simulation.
+
+Design: each :class:`Tensor` records its parents and a backward
+closure; :meth:`Tensor.backward` runs a topological sweep.  Everything
+is float32 numpy underneath; no attempt is made at performance beyond
+vectorization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with gradient tracking."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad
+        self._parents: tuple[Tensor, ...] = ()
+        self._backward = None
+
+    # -- construction helpers --------------------------------------------
+
+    @classmethod
+    def param(cls, data) -> "Tensor":
+        """A trainable parameter."""
+        return cls(data, requires_grad=True)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality."""
+        return self.data.ndim
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad})"
+
+    def detach(self) -> "Tensor":
+        """A view of the data cut from the graph."""
+        return Tensor(self.data)
+
+    # -- graph machinery --------------------------------------------------
+
+    @staticmethod
+    def _make(data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        out = Tensor(data)
+        if any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(np.float32).copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor.
+
+        Args:
+            grad: Seed gradient; defaults to ones (scalar outputs only).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in seen:
+                    stack.append((p, False))
+        self._accumulate(np.asarray(grad, dtype=np.float32))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        """Clear this tensor's gradient."""
+        self.grad = None
+
+    # -- arithmetic --------------------------------------------------------
+
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data**exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                g = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                g = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(g, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    # -- shape ops ---------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshape, preserving gradient flow."""
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute axes."""
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, key, grad)
+                self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    # -- reductions ----------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis``."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis``."""
+        count = self.data.size if axis is None else np.prod(
+            [self.shape[a] for a in (axis if isinstance(axis, tuple) else (axis,))]
+        )
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    # -- nonlinearities --------------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def silu(self) -> "Tensor":
+        sig = 1.0 / (1.0 + np.exp(-self.data))
+        out_data = self.data * sig
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (sig * (1 + self.data * (1 - sig))))
+
+        return self._make(out_data, (self,), backward)
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        moved = np.moveaxis(grad, axis, 0)
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                t._accumulate(np.moveaxis(moved[lo:hi], 0, axis))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup ``table[indices]`` with scatter-add gradient."""
+    indices = np.asarray(indices)
+    data = table.data[indices]
+
+    def backward(grad):
+        if table.requires_grad:
+            full = np.zeros_like(table.data)
+            np.add.at(full, indices.reshape(-1), grad.reshape(-1, table.shape[-1]))
+            table._accumulate(full)
+
+    return Tensor._make(data, (table,), backward)
+
+
+def where_constant(mask: np.ndarray, value: float, tensor: Tensor) -> Tensor:
+    """``where(mask, value, tensor)`` with ``value`` a constant.
+
+    Used for additive attention masking; gradient flows only through
+    unmasked positions.
+    """
+    data = np.where(mask, np.float32(value), tensor.data)
+
+    def backward(grad):
+        if tensor.requires_grad:
+            tensor._accumulate(np.where(mask, 0.0, grad))
+
+    return Tensor._make(data, (tensor,), backward)

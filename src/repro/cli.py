@@ -1,0 +1,144 @@
+"""Command-line interface: regenerate the paper's headline analyses.
+
+Usage::
+
+    python -m repro <command> [options]
+
+Commands:
+
+* ``summary [model]`` — architecture summary (Figure 1 as text).
+* ``table1`` — KV cache comparison.
+* ``table2`` — training cost comparison.
+* ``table3`` — topology size/cost comparison.
+* ``table5`` — link-layer latency comparison.
+* ``tpot`` — §2.3.2 inference speed limits.
+* ``budget [--tokens T]`` — training GPU-hour/dollar budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .model import (
+    DEEPSEEK_V2,
+    DEEPSEEK_V3,
+    LLAMA31_405B,
+    MODEL_CATALOG,
+    QWEN25_72B,
+    compare_kv_cache,
+    compare_training_cost,
+)
+from .model.summary import architecture_summary
+
+COMPARISON_MODELS = [DEEPSEEK_V3, QWEN25_72B, LLAMA31_405B]
+
+
+def _cmd_summary(args: argparse.Namespace) -> None:
+    model = MODEL_CATALOG[args.model]
+    print(architecture_summary(model))
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    del args
+    for row in compare_kv_cache(COMPARISON_MODELS, DEEPSEEK_V3):
+        print(
+            f"{row.model_name:<16} ({row.attention_kind:>3})  "
+            f"{row.kb_per_token:8.3f} KB/token  {row.multiplier:5.2f}x"
+        )
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    del args
+    models = [DEEPSEEK_V2, DEEPSEEK_V3, QWEN25_72B, LLAMA31_405B]
+    for row in compare_training_cost(models):
+        print(
+            f"{row.model_name:<16} {row.kind:<6} {row.total_params / 1e9:6.0f}B  "
+            f"{row.gflops_per_token:8.1f} GFLOPS/token"
+        )
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    del args
+    from .network import table3_rows
+
+    for row in table3_rows():
+        s = row.spec
+        print(
+            f"{s.name:<5} endpoints {s.endpoints:>7,}  switches {s.switches:>6,}  "
+            f"links {s.links:>7,}  ${row.cost_musd:7.1f}M  "
+            f"${row.cost_per_endpoint_kusd:.2f}k/EP"
+        )
+
+
+def _cmd_table5(args: argparse.Namespace) -> None:
+    del args
+    from .network import table5_rows
+
+    for row in table5_rows():
+        cross = "-" if row.cross_leaf_us is None else f"{row.cross_leaf_us:.2f} us"
+        print(f"{row.link_layer:<12} same leaf {row.same_leaf_us:.2f} us  cross leaf {cross}")
+
+
+def _cmd_tpot(args: argparse.Namespace) -> None:
+    del args
+    from .inference import compare_interconnects
+
+    for row in compare_interconnects():
+        print(
+            f"{row.system:<22} stage {row.comm_stage_us:7.2f} us  "
+            f"TPOT {row.tpot_ms:6.2f} ms  {row.tokens_per_second:7.0f} tok/s"
+        )
+
+
+def _cmd_budget(args: argparse.Namespace) -> None:
+    from .parallel import (
+        TrainingJobConfig,
+        simulate_training_step,
+        training_cost_usd,
+        training_gpu_hours,
+    )
+
+    report = simulate_training_step(TrainingJobConfig())
+    tokens = args.tokens * 1e12
+    print(f"step {report.step_time:.2f} s, {report.tokens_per_day / 1e9:.1f} B tokens/day")
+    print(f"{args.tokens:.1f}T tokens: {training_gpu_hours(report, tokens) / 1e6:.3f} M GPU-hours")
+    print(f"cost @ $2/GPU-hour: ${training_cost_usd(report, tokens) / 1e6:.2f} M")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DeepSeek-V3 ISCA'25 reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="architecture summary")
+    p.add_argument("model", nargs="?", default="deepseek-v3", choices=sorted(MODEL_CATALOG))
+    p.set_defaults(func=_cmd_summary)
+
+    for name, func, help_text in (
+        ("table1", _cmd_table1, "KV cache per token (Table 1)"),
+        ("table2", _cmd_table2, "training GFLOPS/token (Table 2)"),
+        ("table3", _cmd_table3, "topology comparison (Table 3)"),
+        ("table5", _cmd_table5, "link latency (Table 5)"),
+        ("tpot", _cmd_tpot, "EP inference speed limits (Section 2.3.2)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("budget", help="training GPU-hours and cost")
+    p.add_argument("--tokens", type=float, default=14.8, help="training tokens, in trillions")
+    p.set_defaults(func=_cmd_budget)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

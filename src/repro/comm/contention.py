@@ -1,0 +1,80 @@
+"""PCIe/NVLink bandwidth contention (Section 4.5).
+
+During disaggregated inference, KV-cache pages stream from CPU memory
+to the GPU over PCIe at tens of GB/s while the same GPU's NIC — which
+also hangs off the PCIe/IO fabric — carries EP all-to-all traffic.
+Without traffic prioritization the two share bandwidth, stretching the
+latency-critical EP transfers; §4.5.2 asks for dynamic traffic
+priority (or NIC integration into the IO die) to fix this.
+
+The model shares a PCIe pipe between a *bulk* stream (KV prefetch) and
+a *latency-sensitive* stream (EP), under three arbitration schemes:
+
+* ``"fair"`` — equal split while both are active (today's hardware),
+* ``"priority"`` — the EP stream preempts (the suggested fix),
+* ``"bulk_first"`` — the pathological ordering (bulk monopolizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ARBITRATION_SCHEMES = ("fair", "priority", "bulk_first")
+
+
+@dataclass(frozen=True)
+class ContentionResult:
+    """Completion times of the two streams sharing the pipe."""
+
+    ep_time: float
+    kv_time: float
+
+
+def shared_pipe_times(
+    ep_bytes: float,
+    kv_bytes: float,
+    pipe_bandwidth: float,
+    scheme: str = "fair",
+) -> ContentionResult:
+    """Completion times of EP and KV streams sharing one pipe.
+
+    Args:
+        ep_bytes: Latency-sensitive EP transfer size.
+        kv_bytes: Bulk KV-cache transfer size.
+        pipe_bandwidth: Shared pipe bandwidth (bytes/s).
+        scheme: Arbitration (see module docstring).
+
+    Returns:
+        Per-stream completion times.
+    """
+    if min(ep_bytes, kv_bytes) < 0 or pipe_bandwidth <= 0:
+        raise ValueError("sizes must be non-negative and bandwidth positive")
+    if scheme not in ARBITRATION_SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    bw = pipe_bandwidth
+    if scheme == "priority":
+        ep_time = ep_bytes / bw
+        kv_time = ep_time + kv_bytes / bw if kv_bytes else 0.0
+        return ContentionResult(ep_time=ep_time, kv_time=kv_time)
+    if scheme == "bulk_first":
+        kv_time = kv_bytes / bw
+        ep_time = kv_time + ep_bytes / bw if ep_bytes else 0.0
+        return ContentionResult(ep_time=ep_time, kv_time=kv_time)
+    # Fair sharing: both progress at bw/2 until one drains.
+    short, long_ = sorted((ep_bytes, kv_bytes))
+    t_first = short / (bw / 2)
+    t_second = t_first + (long_ - short) / bw
+    if ep_bytes <= kv_bytes:
+        return ContentionResult(ep_time=t_first, kv_time=t_second)
+    return ContentionResult(ep_time=t_second, kv_time=t_first)
+
+
+def ep_slowdown(
+    ep_bytes: float, kv_bytes: float, pipe_bandwidth: float, scheme: str = "fair"
+) -> float:
+    """EP completion time inflation caused by the concurrent KV stream."""
+    alone = ep_bytes / pipe_bandwidth if ep_bytes else 0.0
+    contended = shared_pipe_times(ep_bytes, kv_bytes, pipe_bandwidth, scheme).ep_time
+    if alone == 0:
+        return 1.0
+    return contended / alone

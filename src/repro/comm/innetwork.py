@@ -1,0 +1,125 @@
+"""In-network computation for EP all-to-all (Section 6.5).
+
+The paper observes that EP **dispatch** is a small-scale multicast and
+**combine** a small-scale reduction, so switches that replicate packets
+(dispatch) or aggregate them (combine) would shrink the traffic the
+endpoints must push.
+
+With node-limited routing a token today crosses IB once per
+destination node (M copies leave the source NIC); with switch
+multicast the source sends *one* copy and the fabric replicates toward
+the M nodes — source NIC traffic drops by M.  Symmetrically, combine
+responses aggregate in the fabric before reaching the token's home NIC.
+This module quantifies those savings on top of the EP traffic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.routing import RoutingDecision
+from .ep import COMBINE_BYTES_PER_ELEMENT, DISPATCH_BYTES_PER_ELEMENT, EPDeployment
+
+
+@dataclass(frozen=True)
+class InNetworkSavings:
+    """Endpoint NIC traffic with and without in-network support."""
+
+    stage: str
+    baseline_bytes: float
+    in_network_bytes: float
+
+    @property
+    def reduction(self) -> float:
+        """Traffic reduction factor (>= 1)."""
+        if self.in_network_bytes == 0:
+            return float("inf")
+        return self.baseline_bytes / self.in_network_bytes
+
+
+def _per_token_node_counts(
+    deployment: EPDeployment, decisions: dict[str, RoutingDecision]
+) -> tuple[float, float]:
+    """(sum of remote-M over tokens, count of tokens with remote M>0)."""
+    total_m = 0.0
+    remote_tokens = 0.0
+    for src, decision in decisions.items():
+        src_node = deployment.cluster.node_of[src]
+        nodes = decision.expert_ids // deployment.experts_per_node
+        for row in nodes:
+            remote = set(int(n) for n in row) - {src_node}
+            total_m += len(remote)
+            if remote:
+                remote_tokens += 1
+    return total_m, remote_tokens
+
+
+def dispatch_savings(
+    deployment: EPDeployment, decisions: dict[str, RoutingDecision]
+) -> InNetworkSavings:
+    """Source-NIC dispatch traffic: M copies today vs 1 with multicast."""
+    token_bytes = deployment.config.hidden_size * DISPATCH_BYTES_PER_ELEMENT
+    total_m, remote_tokens = _per_token_node_counts(deployment, decisions)
+    return InNetworkSavings(
+        stage="dispatch",
+        baseline_bytes=total_m * token_bytes,
+        in_network_bytes=remote_tokens * token_bytes,
+    )
+
+
+def combine_savings(
+    deployment: EPDeployment, decisions: dict[str, RoutingDecision]
+) -> InNetworkSavings:
+    """Home-NIC combine traffic: M partial sums today vs 1 aggregated."""
+    token_bytes = deployment.config.hidden_size * COMBINE_BYTES_PER_ELEMENT
+    total_m, remote_tokens = _per_token_node_counts(deployment, decisions)
+    return InNetworkSavings(
+        stage="combine",
+        baseline_bytes=total_m * token_bytes,
+        in_network_bytes=remote_tokens * token_bytes,
+    )
+
+
+def expected_reduction_factor(
+    deployment: EPDeployment, decisions: dict[str, RoutingDecision]
+) -> float:
+    """Mean per-token M among remote tokens — the multicast win."""
+    total_m, remote_tokens = _per_token_node_counts(deployment, decisions)
+    if remote_tokens == 0:
+        return 1.0
+    return total_m / remote_tokens
+
+
+def logfmt_wire_savings(payload_bits: float = 8.5, baseline_bits: float = 16.0) -> float:
+    """Bandwidth saving of hardware-native LogFMT on the combine wire.
+
+    §6.5: LogFMT in network hardware would let the BF16 combine stage
+    ship 8-10 bit payloads.  Default compares LogFMT-8 (8 bits + tile
+    metadata) against BF16.
+    """
+    if payload_bits <= 0 or baseline_bits <= 0:
+        raise ValueError("bit widths must be positive")
+    return baseline_bits / payload_bits
+
+
+def ep_stage_time_with_innetwork(
+    baseline_time: float, reduction_factor: float
+) -> float:
+    """Stage time when endpoint NIC traffic shrinks by ``reduction``.
+
+    The EP stages are NIC-bound (Figure 7), so the stage time scales
+    with the per-NIC byte volume.
+    """
+    if reduction_factor < 1:
+        raise ValueError("reduction factor must be >= 1")
+    return baseline_time / reduction_factor
+
+
+def simulated_mean_m(
+    deployment: EPDeployment, tokens_per_gpu: int, seed: int = 0
+) -> float:
+    """Convenience: expected M for this deployment's routing config."""
+    decisions = deployment.route_tokens(tokens_per_gpu, np.random.default_rng(seed))
+    return expected_reduction_factor(deployment, decisions)

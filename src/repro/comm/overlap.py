@@ -1,0 +1,110 @@
+"""Dual micro-batch computation/communication overlap (Section 2.3.1)
+and the SM-contention cost of software-driven communication (Section 4.4).
+
+DeepSeek-V3 decouples MLA and MoE into stages so that while micro-batch
+A computes, micro-batch B runs its dispatch/combine all-to-all, and
+vice versa.  With perfect overlap a layer costs
+``max(compute, communication)`` per micro-batch instead of their sum.
+
+When communication is driven by GPU SMs (NVLink forwarding, reduce,
+type-cast — the §4.4.1 task list), those SMs are unavailable to
+compute kernels: the paper reports up to 20 of the H800's 132 SMs
+consumed during training.  ``sm_compute_penalty`` models the resulting
+compute slowdown, and :func:`layer_time` combines both effects, which
+is what the RDMA-offload ablation bench exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: SMs the paper reports allocated to communication during training.
+H800_COMM_SMS_TRAINING = 20
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-micro-batch stage durations of one transformer layer."""
+
+    attention_compute: float
+    moe_compute: float
+    dispatch_comm: float
+    combine_comm: float
+
+    @property
+    def compute(self) -> float:
+        """Total compute time."""
+        return self.attention_compute + self.moe_compute
+
+    @property
+    def communication(self) -> float:
+        """Total all-to-all time."""
+        return self.dispatch_comm + self.combine_comm
+
+    def scaled_compute(self, factor: float) -> "StageTimes":
+        """Stage times with compute scaled by ``factor``."""
+        return StageTimes(
+            attention_compute=self.attention_compute * factor,
+            moe_compute=self.moe_compute * factor,
+            dispatch_comm=self.dispatch_comm,
+            combine_comm=self.combine_comm,
+        )
+
+
+def sm_compute_penalty(comm_sms: int, total_sms: int) -> float:
+    """Compute-time inflation when ``comm_sms`` SMs do communication.
+
+    Compute kernels see ``total - comm`` SMs, so their duration scales
+    by ``total / (total - comm)``.
+    """
+    if not 0 <= comm_sms < total_sms:
+        raise ValueError(f"need 0 <= comm_sms < total_sms, got {comm_sms}/{total_sms}")
+    return total_sms / (total_sms - comm_sms)
+
+
+def layer_time(
+    stages: StageTimes,
+    dual_microbatch: bool = True,
+    comm_sms: int = 0,
+    total_sms: int = 132,
+) -> float:
+    """Time to push one micro-batch through one layer.
+
+    Args:
+        stages: Stage durations at full SM count.
+        dual_microbatch: Overlap communication of one micro-batch with
+            computation of the other (Section 2.3.1).  Without it,
+            compute and communication serialize.
+        comm_sms: SMs reserved for communication kernels (0 models
+            full NIC-RDMA offload, e.g. IBGDA-driven inference).
+        total_sms: SMs on the GPU.
+
+    Returns:
+        Steady-state per-micro-batch layer time.
+    """
+    effective = stages.scaled_compute(sm_compute_penalty(comm_sms, total_sms))
+    if dual_microbatch:
+        return max(effective.compute, effective.communication)
+    return effective.compute + effective.communication
+
+
+def overlap_efficiency(stages: StageTimes, comm_sms: int = 0, total_sms: int = 132) -> float:
+    """Fraction of the serialized time that dual micro-batching saves."""
+    serial = layer_time(stages, dual_microbatch=False, comm_sms=comm_sms, total_sms=total_sms)
+    overlapped = layer_time(stages, dual_microbatch=True, comm_sms=comm_sms, total_sms=total_sms)
+    return 1.0 - overlapped / serial
+
+
+def gpu_idle_fraction(stages: StageTimes, dual_microbatch: bool = True) -> float:
+    """Fraction of the layer time the GPU's compute units sit idle.
+
+    With dual micro-batch overlap and comm <= compute, the GPU is
+    busy the whole time (the §2.3.1 goal); when comm dominates, idle
+    time reappears.
+    """
+    total = layer_time(stages, dual_microbatch)
+    if total == 0:
+        return 0.0
+    if dual_microbatch:
+        return max(0.0, (total - stages.compute) / total)
+    return stages.communication / total

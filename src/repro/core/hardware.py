@@ -1,0 +1,281 @@
+"""Hardware catalog: the devices and links the paper reasons about.
+
+All constants are taken from the paper itself (Sections 2.3.2, 4.1, 4.3,
+5.2 and Table 5) or from public vendor datasheets where the paper relies
+on them implicitly (e.g. H800 peak FLOPS for the MFU computation in
+Table 4).  Everything downstream — the TPOT limit model, the EP
+simulator, the DualPipe throughput model — pulls its numbers from here
+so that a single calibration point governs every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .units import gbps_to_bytes_per_s
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point interconnect technology.
+
+    Attributes:
+        name: Human-readable identifier.
+        bandwidth: Peak unidirectional bandwidth in bytes/s.
+        effective_bandwidth: Achievable unidirectional bandwidth in
+            bytes/s after protocol overhead and small-message effects
+            (the paper uses 160 GB/s for NVLink and 40 GB/s for a
+            400 Gb/s IB NIC).
+        latency: One-way base latency contribution in seconds for a small
+            message (endpoint-to-endpoint for NVLink; per-NIC-pair for
+            network links, excluding switch hops).
+    """
+
+    name: str
+    bandwidth: float
+    effective_bandwidth: float
+    latency: float
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of peak bandwidth that is achievable."""
+        return self.effective_bandwidth / self.bandwidth
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """A network switch model.
+
+    Attributes:
+        name: Human-readable identifier.
+        ports: Port count (radix).
+        port_bandwidth: Per-port unidirectional bandwidth, bytes/s.
+        latency: Per-hop forwarding latency in seconds.
+    """
+
+    name: str
+    ports: int
+    port_bandwidth: float
+    latency: float
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """An accelerator model.
+
+    Peak compute rates are *dense* FLOP/s.  ``fp8_flops`` is the dense
+    FP8 tensor-core rate; BF16 is used for MFU in the paper's Table 4.
+    """
+
+    name: str
+    bf16_flops: float
+    fp8_flops: float
+    hbm_bytes: float
+    hbm_bandwidth: float
+    num_sms: int
+    scale_up: LinkSpec
+    pcie_bandwidth: float = 64e9  # PCIe 5.0 x16 per direction
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A multi-GPU server node.
+
+    Attributes:
+        name: Human-readable identifier.
+        gpu: The GPU model populated in the node.
+        gpus_per_node: Number of GPUs.
+        nics_per_node: Number of scale-out NICs (the H800 node pairs one
+            CX7 NIC with each GPU).
+        nic: Scale-out NIC link spec.
+    """
+
+    name: str
+    gpu: GpuSpec
+    gpus_per_node: int
+    nics_per_node: int
+    nic: LinkSpec
+
+    @property
+    def nic_per_gpu(self) -> float:
+        """Scale-out NICs available per GPU."""
+        return self.nics_per_node / self.gpus_per_node
+
+    @property
+    def scale_up_to_scale_out_ratio(self) -> float:
+        """Effective intra-node vs inter-node bandwidth disparity.
+
+        The paper quotes ~4:1 for the H800 (160 GB/s NVLink vs 40 GB/s
+        per IB NIC, Section 4.3).
+        """
+        return (
+            self.gpu.scale_up.effective_bandwidth / self.nic.effective_bandwidth
+        )
+
+
+# --- Link technologies (Table 5 calibration) --------------------------------
+#
+# Table 5 reports CPU-side end-to-end latency for a 64 B transfer:
+#   IB:     same leaf 2.8 us, cross leaf 3.7 us
+#   RoCE:   same leaf 3.6 us, cross leaf 5.6 us
+#   NVLink: 3.33 us
+# With latency = 2 * nic_side + hops * switch_hop this fits exactly:
+#   IB:   nic_side = 1.175 us, switch_hop = 0.45 us
+#   RoCE: nic_side = 1.3 us,   switch_hop = 1.0 us
+
+IB_NIC_SIDE_LATENCY = 1.175e-6
+IB_SWITCH_HOP_LATENCY = 0.45e-6
+ROCE_NIC_SIDE_LATENCY = 1.3e-6
+ROCE_SWITCH_HOP_LATENCY = 1.0e-6
+NVLINK_E2E_LATENCY = 3.33e-6
+
+NVLINK_H800 = LinkSpec(
+    name="NVLink (H800, 400GB/s bidir)",
+    bandwidth=200e9,
+    effective_bandwidth=160e9,
+    latency=NVLINK_E2E_LATENCY,
+)
+
+NVLINK_H100 = LinkSpec(
+    name="NVLink (H100, 900GB/s bidir)",
+    bandwidth=450e9,
+    effective_bandwidth=360e9,
+    latency=NVLINK_E2E_LATENCY,
+)
+
+NVLINK_GB200 = LinkSpec(
+    name="NVLink (GB200 NVL72, 900GB/s unidir)",
+    bandwidth=900e9,
+    effective_bandwidth=900e9,
+    latency=NVLINK_E2E_LATENCY,
+)
+
+IB_CX7_400G = LinkSpec(
+    name="InfiniBand CX7 400Gbps",
+    bandwidth=gbps_to_bytes_per_s(400),  # 50 GB/s
+    effective_bandwidth=40e9,
+    latency=2 * IB_NIC_SIDE_LATENCY,
+)
+
+ROCE_400G = LinkSpec(
+    name="RoCE 400Gbps",
+    bandwidth=gbps_to_bytes_per_s(400),
+    effective_bandwidth=40e9,
+    latency=2 * ROCE_NIC_SIDE_LATENCY,
+)
+
+PCIE_GEN5_X16 = LinkSpec(
+    name="PCIe 5.0 x16",
+    bandwidth=64e9,
+    effective_bandwidth=55e9,
+    latency=1.0e-6,
+)
+
+IB_SWITCH_400G_64P = SwitchSpec(
+    name="IB NDR 400G 64-port",
+    ports=64,
+    port_bandwidth=gbps_to_bytes_per_s(400),
+    latency=IB_SWITCH_HOP_LATENCY,
+)
+
+ROCE_SWITCH_400G_128P = SwitchSpec(
+    name="Ethernet 400G 128-port",
+    ports=128,
+    port_bandwidth=gbps_to_bytes_per_s(400),
+    latency=ROCE_SWITCH_HOP_LATENCY,
+)
+
+
+# --- GPUs --------------------------------------------------------------------
+
+H800 = GpuSpec(
+    name="NVIDIA H800 SXM",
+    bf16_flops=989e12,
+    fp8_flops=1979e12,
+    hbm_bytes=80 * 1024**3,
+    hbm_bandwidth=3.35e12,
+    num_sms=132,
+    scale_up=NVLINK_H800,
+)
+
+H100 = GpuSpec(
+    name="NVIDIA H100 SXM",
+    bf16_flops=989e12,
+    fp8_flops=1979e12,
+    hbm_bytes=80 * 1024**3,
+    hbm_bandwidth=3.35e12,
+    num_sms=132,
+    scale_up=NVLINK_H100,
+)
+
+GB200 = GpuSpec(
+    name="NVIDIA GB200 (Blackwell, NVL72 domain)",
+    bf16_flops=2500e12,
+    fp8_flops=5000e12,
+    hbm_bytes=192 * 1024**3,
+    hbm_bandwidth=8e12,
+    num_sms=148,
+    scale_up=NVLINK_GB200,
+)
+
+# A consumer/AI-SoC device of the class the paper cites for personal MoE
+# deployment (Apple M4-class / Ryzen AI Max: ~0.25-0.5 TB/s unified memory).
+AI_SOC = GpuSpec(
+    name="Consumer AI SoC (unified memory)",
+    bf16_flops=60e12,
+    fp8_flops=120e12,
+    hbm_bytes=128 * 1024**3,
+    hbm_bandwidth=0.4e12,
+    num_sms=40,
+    scale_up=LinkSpec("on-package", 200e9, 180e9, 0.5e-6),
+)
+
+# A single consumer GPU + host DRAM server of the class the KTransformers
+# deployment uses (~$10k): GPU holds hot weights, experts stream from DDR.
+CONSUMER_GPU_SERVER_DDR_BANDWIDTH = 0.56e12  # 12-channel DDR5 server
+
+
+# --- Nodes -------------------------------------------------------------------
+
+H800_NODE = NodeSpec(
+    name="H800 node (8 GPU, 8x CX7 400G IB)",
+    gpu=H800,
+    gpus_per_node=8,
+    nics_per_node=8,
+    nic=IB_CX7_400G,
+)
+
+H800_ROCE_NODE = NodeSpec(
+    name="H800 node (8 GPU, 8x 400G RoCE)",
+    gpu=H800,
+    gpus_per_node=8,
+    nics_per_node=8,
+    nic=ROCE_400G,
+)
+
+GB200_NVL72_NODE = NodeSpec(
+    name="GB200 NVL72 rack-scale domain",
+    gpu=GB200,
+    gpus_per_node=72,
+    nics_per_node=72,
+    nic=IB_CX7_400G,
+)
+
+
+def with_nic(node: NodeSpec, nic: LinkSpec, name: str | None = None) -> NodeSpec:
+    """Return a copy of ``node`` using a different scale-out NIC."""
+    return replace(node, nic=nic, name=name or f"{node.name} [{nic.name}]")
+
+
+GPU_CATALOG: dict[str, GpuSpec] = {
+    "H800": H800,
+    "H100": H100,
+    "GB200": GB200,
+    "AI_SOC": AI_SOC,
+}
+
+NODE_CATALOG: dict[str, NodeSpec] = {
+    "H800": H800_NODE,
+    "H800_ROCE": H800_ROCE_NODE,
+    "GB200_NVL72": GB200_NVL72_NODE,
+}

@@ -1,0 +1,99 @@
+"""Roofline-style execution-time estimates.
+
+Section 2.1.2 of the paper explains why decode is memory bound: the
+attention computation degrades from GEMM to GEMV, whose arithmetic
+intensity is far below the machine balance of modern accelerators.
+This module provides the small amount of shared machinery used by the
+decode model, the MFU calculators and the overlap scheduler: given an
+operation's FLOP count and memory traffic, estimate its execution time
+on a given GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .hardware import GpuSpec
+
+
+@dataclass(frozen=True)
+class OpProfile:
+    """Static profile of a kernel: work and traffic.
+
+    Attributes:
+        name: Identifier for reporting.
+        flops: Floating point operations performed.
+        bytes_moved: HBM bytes read + written.
+    """
+
+    name: str
+    flops: float
+    bytes_moved: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of memory traffic."""
+        if self.bytes_moved == 0:
+            return float("inf")
+        return self.flops / self.bytes_moved
+
+
+@dataclass(frozen=True)
+class RooflineEstimate:
+    """Execution-time estimate for one op on one GPU."""
+
+    op: OpProfile
+    compute_time: float
+    memory_time: float
+
+    @property
+    def time(self) -> float:
+        """Roofline execution time: max of compute and memory time."""
+        return max(self.compute_time, self.memory_time)
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """True when memory traffic, not FLOPs, limits execution."""
+        return self.memory_time >= self.compute_time
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of peak compute achieved (MFU of this op)."""
+        if self.time == 0:
+            return 0.0
+        return self.compute_time / self.time
+
+
+def machine_balance(gpu: GpuSpec, precision: str = "bf16") -> float:
+    """FLOP/byte ratio at which the GPU transitions to compute bound."""
+    flops = gpu.fp8_flops if precision == "fp8" else gpu.bf16_flops
+    return flops / gpu.hbm_bandwidth
+
+
+def estimate(
+    op: OpProfile,
+    gpu: GpuSpec,
+    precision: str = "bf16",
+    compute_efficiency: float = 1.0,
+    memory_efficiency: float = 1.0,
+) -> RooflineEstimate:
+    """Estimate execution time of ``op`` on ``gpu``.
+
+    Args:
+        op: The kernel profile.
+        gpu: Target accelerator.
+        precision: "bf16" or "fp8" — selects the peak compute rate.
+        compute_efficiency: De-rating of peak FLOPS (kernel quality).
+        memory_efficiency: De-rating of peak HBM bandwidth.
+
+    Returns:
+        A :class:`RooflineEstimate` with compute and memory components.
+    """
+    if not 0 < compute_efficiency <= 1:
+        raise ValueError(f"compute_efficiency must be in (0, 1], got {compute_efficiency}")
+    if not 0 < memory_efficiency <= 1:
+        raise ValueError(f"memory_efficiency must be in (0, 1], got {memory_efficiency}")
+    peak = gpu.fp8_flops if precision == "fp8" else gpu.bf16_flops
+    compute_time = op.flops / (peak * compute_efficiency)
+    memory_time = op.bytes_moved / (gpu.hbm_bandwidth * memory_efficiency)
+    return RooflineEstimate(op=op, compute_time=compute_time, memory_time=memory_time)

@@ -1,0 +1,115 @@
+"""Prefill/decode disaggregation (Section 2.3.1).
+
+Prefill is compute-bound and loves large batches; decode is
+latency-critical and bandwidth/communication-bound.  Serving both from
+one GPU pool makes decode requests wait behind prefill bursts, so
+production DeepSeek-V3 assigns them to different expert-parallelism
+groups ("prefill and decode disaggregation").
+
+The model here quantifies that choice: given a request mix, it sizes
+the two pools and compares the decode TPOT of a disaggregated
+deployment against a colocated pool where prefill work steals a duty
+fraction of every decode GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.hardware import GpuSpec, H800
+from ..model.config import ModelConfig
+from ..model.flops import forward_flops_per_token
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Aggregate serving workload.
+
+    Attributes:
+        requests_per_second: Arrival rate.
+        prompt_tokens: Mean prompt length.
+        output_tokens: Mean generated length.
+    """
+
+    requests_per_second: float
+    prompt_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if min(self.requests_per_second, self.prompt_tokens, self.output_tokens) <= 0:
+            raise ValueError("workload parameters must be positive")
+
+
+def prefill_flops_per_request(model: ModelConfig, workload: Workload) -> float:
+    """Forward FLOPs to prefill one request's prompt."""
+    per_token = forward_flops_per_token(model, workload.prompt_tokens, causal=True)
+    return per_token * workload.prompt_tokens
+
+
+def prefill_gpus_needed(
+    model: ModelConfig,
+    workload: Workload,
+    gpu: GpuSpec = H800,
+    efficiency: float = 0.5,
+) -> float:
+    """GPUs required to sustain the prefill arrival rate."""
+    if not 0 < efficiency <= 1:
+        raise ValueError("efficiency must be in (0, 1]")
+    demand = prefill_flops_per_request(model, workload) * workload.requests_per_second
+    return demand / (gpu.bf16_flops * efficiency)
+
+
+def decode_gpus_needed(
+    workload: Workload,
+    decode_tpot: float,
+    concurrent_per_gpu: float,
+) -> float:
+    """GPUs required so decode keeps up with generation demand.
+
+    Each in-flight request produces a token every ``decode_tpot``; a
+    GPU sustains ``concurrent_per_gpu`` concurrent decode streams.
+    """
+    if decode_tpot <= 0 or concurrent_per_gpu <= 0:
+        raise ValueError("decode_tpot and concurrency must be positive")
+    inflight = workload.requests_per_second * workload.output_tokens * decode_tpot
+    return inflight / concurrent_per_gpu
+
+
+@dataclass(frozen=True)
+class DisaggregationPlan:
+    """Sizing and latency comparison of the two deployments."""
+
+    prefill_gpus: float
+    decode_gpus: float
+    disaggregated_tpot: float
+    colocated_tpot: float
+
+    @property
+    def tpot_inflation_colocated(self) -> float:
+        """Decode latency penalty of colocating prefill."""
+        return self.colocated_tpot / self.disaggregated_tpot
+
+
+def plan_deployment(
+    model: ModelConfig,
+    workload: Workload,
+    decode_tpot: float,
+    concurrent_per_gpu: float = 32,
+    gpu: GpuSpec = H800,
+    prefill_efficiency: float = 0.5,
+) -> DisaggregationPlan:
+    """Size the pools and quantify colocation interference.
+
+    In the colocated pool, prefill consumes a duty fraction
+    ``d = prefill_gpus / (prefill_gpus + decode_gpus)`` of every GPU,
+    stretching decode TPOT by ``1 / (1 - d)``.
+    """
+    p = prefill_gpus_needed(model, workload, gpu, prefill_efficiency)
+    d = decode_gpus_needed(workload, decode_tpot, concurrent_per_gpu)
+    duty = p / (p + d)
+    return DisaggregationPlan(
+        prefill_gpus=p,
+        decode_gpus=d,
+        disaggregated_tpot=decode_tpot,
+        colocated_tpot=decode_tpot / (1.0 - duty),
+    )

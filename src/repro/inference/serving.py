@@ -1,0 +1,178 @@
+"""Decode serving model: throughput vs TPOT under dual micro-batch
+overlap (Sections 2.3.1-2.3.2).
+
+The §2.3.2 TPOT limit assumes communication dominates ("an idealized
+scenario"); the same section notes that in practice "request contexts
+are often much longer, and MLA computations typically dominate".  This
+model makes both regimes first-class: per layer, attention and MoE
+compute come from GPU rooflines (weights + KV-cache traffic vs FLOPs)
+and EP dispatch/combine from the interconnect, combined by the dual
+micro-batch rule ``max(compute, comm)``.  Sweeping the per-device
+batch produces the throughput-latency frontier an inference operator
+actually navigates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..comm.overlap import StageTimes, layer_time
+from ..core.hardware import GpuSpec, H800
+from ..core.roofline import OpProfile, estimate
+from ..model.config import DEEPSEEK_V3, ModelConfig
+from ..model.kvcache import DTYPE_BYTES, kv_elements_per_token_per_layer
+from ..model.params import attention_params, count_params
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """A decode-serving scenario.
+
+    Attributes:
+        model: Model served (must be MoE for EP communication).
+        gpu: Accelerator.
+        nic_bandwidth: Effective per-GPU scale-out bandwidth.
+        context_tokens: Context length of each request.
+        ep_degree: GPUs the routed experts are sharded over — §2.3.2's
+            scenario is one routed expert per device (256).
+        weight_dtype: Resident weight precision.
+        compute_efficiency: Achieved fraction of peak FLOPs.
+        memory_efficiency: Achieved fraction of HBM bandwidth.
+    """
+
+    model: ModelConfig = DEEPSEEK_V3
+    gpu: GpuSpec = H800
+    nic_bandwidth: float = 40e9
+    context_tokens: int = 4096
+    ep_degree: int = 256
+    weight_dtype: str = "fp8"
+    compute_efficiency: float = 0.6
+    memory_efficiency: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.model.moe is None:
+            raise ValueError("the EP serving model requires a MoE model")
+        if self.nic_bandwidth <= 0 or self.context_tokens < 0:
+            raise ValueError("invalid bandwidth or context length")
+        if not 1 <= self.ep_degree <= self.model.moe.num_routed_experts:
+            raise ValueError("ep_degree must be in [1, num_routed_experts]")
+
+
+def _attention_profile(config: ServingConfig, batch: int) -> OpProfile:
+    model = config.model
+    attn = model.attention
+    ctx = config.context_tokens
+    w_bytes = DTYPE_BYTES[config.weight_dtype]
+    # Score + value matmuls against the cache, per token.
+    flops = batch * 2.0 * attn.num_heads * (attn.full_qk_head_dim + attn.v_head_dim) * ctx
+    # Projections (GEMV against the layer's attention weights).
+    layer_params = attention_params(attn, model.hidden_size)
+    flops += batch * 2.0 * layer_params
+    # Traffic: each request reads its own cache; weights read once.
+    cache_bytes = batch * ctx * kv_elements_per_token_per_layer(attn) * 2.0
+    bytes_moved = cache_bytes + layer_params * w_bytes
+    return OpProfile("attention", flops, bytes_moved)
+
+
+def _moe_profile(config: ServingConfig, batch: int) -> OpProfile:
+    model = config.model
+    moe = model.moe
+    w_bytes = DTYPE_BYTES[config.weight_dtype]
+    expert_params = 3 * model.hidden_size * moe.intermediate_size
+    # Work conservation: across the EP group every token costs its
+    # active experts; the per-GPU share equals batch x active experts.
+    flops = batch * 2.0 * moe.active_experts_per_token * expert_params
+    # Weight traffic: only this GPU's resident experts are read —
+    # routed experts shard over ep_degree, shared experts replicate.
+    local_experts = moe.num_routed_experts / config.ep_degree + moe.num_shared_experts
+    touched = min(batch * moe.active_experts_per_token, local_experts)
+    bytes_moved = touched * expert_params * w_bytes
+    return OpProfile("moe", flops, bytes_moved)
+
+
+def decode_stage_times(config: ServingConfig, batch: int) -> StageTimes:
+    """Per-layer stage durations at ``batch`` tokens per device."""
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    attn = estimate(
+        _attention_profile(config, batch),
+        config.gpu,
+        precision=config.weight_dtype if config.weight_dtype == "fp8" else "bf16",
+        compute_efficiency=config.compute_efficiency,
+        memory_efficiency=config.memory_efficiency,
+    )
+    moe = estimate(
+        _moe_profile(config, batch),
+        config.gpu,
+        precision=config.weight_dtype if config.weight_dtype == "fp8" else "bf16",
+        compute_efficiency=config.compute_efficiency,
+        memory_efficiency=config.memory_efficiency,
+    )
+    m = config.model.moe
+    destinations = m.experts_per_token + m.num_shared_experts
+    dispatch = batch * destinations * config.model.hidden_size * 1.0 / config.nic_bandwidth
+    combine = batch * destinations * config.model.hidden_size * 2.0 / config.nic_bandwidth
+    return StageTimes(
+        attention_compute=attn.time,
+        moe_compute=moe.time,
+        dispatch_comm=dispatch,
+        combine_comm=combine,
+    )
+
+
+@dataclass(frozen=True)
+class ServingPoint:
+    """One point on the throughput-latency frontier."""
+
+    batch: int
+    tpot: float
+    throughput_per_gpu: float
+    bound: str  # "communication" or "compute"
+    stages: StageTimes
+
+
+def serving_point(config: ServingConfig, batch: int) -> ServingPoint:
+    """Evaluate TPOT and per-GPU throughput at one batch size.
+
+    Two interleaved micro-batches (each of ``batch`` tokens) share the
+    GPU and the NIC, so one micro-batch advances a layer every
+    ``2 x max(compute, comm)`` — the paper's "Total Time Per Layer =
+    2 x 120.96 us" accounting — while the device as a whole retires
+    ``batch`` tokens per ``layers x max(compute, comm)``.
+    """
+    stages = decode_stage_times(config, batch)
+    slot = layer_time(stages, dual_microbatch=True)  # max(compute, comm)
+    tpot = config.model.num_layers * 2.0 * slot
+    bound = "communication" if stages.communication >= stages.compute else "compute"
+    return ServingPoint(
+        batch=batch,
+        tpot=tpot,
+        throughput_per_gpu=2.0 * batch / tpot,
+        bound=bound,
+        stages=stages,
+    )
+
+
+def throughput_latency_frontier(
+    config: ServingConfig, batch_sizes: list[int]
+) -> list[ServingPoint]:
+    """Sweep batch sizes to map the serving frontier."""
+    if not batch_sizes:
+        raise ValueError("need at least one batch size")
+    return [serving_point(config, b) for b in batch_sizes]
+
+
+def compute_comm_crossover_context(
+    config: ServingConfig, batch: int, contexts: list[int]
+) -> int | None:
+    """Smallest context at which compute overtakes communication.
+
+    Reproduces §2.3.2's caveat: with longer contexts MLA computation
+    dominates and the communication-only TPOT limit becomes loose.
+    Returns None when communication dominates at every given context.
+    """
+    for ctx in sorted(contexts):
+        point = serving_point(replace(config, context_tokens=ctx), batch)
+        if point.bound == "compute":
+            return ctx
+    return None

@@ -1,0 +1,136 @@
+"""EP inference speed limits (Section 2.3.2).
+
+The paper's closed-form model: with one expert per device and ~32
+tokens per device per step, each EP layer performs a dispatch (FP8)
+and a combine (BF16); under dual micro-batch overlap the communication
+is the critical path, so
+
+    comm_per_stage = (1 B + 2 B) x tokens x (topk + shared) x hidden / bandwidth
+    time_per_layer = 2 x comm_per_stage        (dispatch + combine)
+    TPOT           = layers x time_per_layer
+
+With CX7 IB at 50 GB/s this gives 120.96 us per stage, 14.76 ms TPOT
+(~67 tok/s); a GB200 NVL72-scale 900 GB/s fabric gives 6.72 us and
+~0.82 ms (~1200 tok/s) — the paper's exact numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.hardware import GB200_NVL72_NODE, H800_NODE, NodeSpec
+
+
+@dataclass(frozen=True)
+class EPInferenceConfig:
+    """The §2.3.2 scenario.
+
+    Attributes:
+        tokens_per_device: Tokens each device handles per step (32
+            balances compute-to-memory ratio vs latency).
+        routed_experts_per_token: Top-k routed experts (8 for V3).
+        shared_experts_per_token: Shared experts (1 for V3).
+        hidden_size: Token hidden size; the paper rounds V3's 7168 to
+            "approximately 7K" and computes with 7000.
+        dispatch_bytes: Bytes/element on dispatch (FP8 = 1).
+        combine_bytes: Bytes/element on combine (BF16 = 2).
+        num_layers: Model depth (61 for V3).
+    """
+
+    tokens_per_device: int = 32
+    routed_experts_per_token: int = 8
+    shared_experts_per_token: int = 1
+    hidden_size: int = 7000
+    dispatch_bytes: float = 1.0
+    combine_bytes: float = 2.0
+    num_layers: int = 61
+
+    @property
+    def destinations_per_token(self) -> int:
+        """Expert copies each token is sent to (the paper's factor 9)."""
+        return self.routed_experts_per_token + self.shared_experts_per_token
+
+
+DEEPSEEK_V3_INFERENCE = EPInferenceConfig()
+
+
+def comm_time_per_stage(config: EPInferenceConfig, bandwidth: float) -> float:
+    """One EP all-to-all stage (dispatch + combine payload) time.
+
+    This is the paper's ``(1B + 2B) x 32 x 9 x 7K / bandwidth``.
+    """
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    payload = (
+        (config.dispatch_bytes + config.combine_bytes)
+        * config.tokens_per_device
+        * config.destinations_per_token
+        * config.hidden_size
+    )
+    return payload / bandwidth
+
+
+def time_per_layer(config: EPInferenceConfig, bandwidth: float) -> float:
+    """Per-layer time under dual micro-batch overlap: 2 comm stages."""
+    return 2.0 * comm_time_per_stage(config, bandwidth)
+
+
+def tpot_limit(config: EPInferenceConfig, bandwidth: float) -> float:
+    """Theoretical best-case time per output token (seconds)."""
+    return config.num_layers * time_per_layer(config, bandwidth)
+
+
+def tokens_per_second(config: EPInferenceConfig, bandwidth: float) -> float:
+    """Theoretical decode speed upper limit."""
+    return 1.0 / tpot_limit(config, bandwidth)
+
+
+@dataclass(frozen=True)
+class TpotRow:
+    """One interconnect's inference speed limit."""
+
+    system: str
+    bandwidth: float
+    comm_stage_us: float
+    tpot_ms: float
+    tokens_per_second: float
+
+
+def compare_interconnects(
+    config: EPInferenceConfig = DEEPSEEK_V3_INFERENCE,
+    systems: list[tuple[str, float]] | None = None,
+) -> list[TpotRow]:
+    """The §2.3.2 comparison: H800+CX7 IB vs GB200 NVL72 (by default).
+
+    The paper computes the IB case against the NIC's 50 GB/s line rate
+    (latency effects are called out separately).
+    """
+    if systems is None:
+        systems = [
+            ("H800 + CX7 400G IB", H800_NODE.nic.bandwidth),
+            ("GB200 NVL72", GB200_NVL72_NODE.gpu.scale_up.effective_bandwidth),
+        ]
+    rows = []
+    for name, bandwidth in systems:
+        rows.append(
+            TpotRow(
+                system=name,
+                bandwidth=bandwidth,
+                comm_stage_us=comm_time_per_stage(config, bandwidth) * 1e6,
+                tpot_ms=tpot_limit(config, bandwidth) * 1e3,
+                tokens_per_second=tokens_per_second(config, bandwidth),
+            )
+        )
+    return rows
+
+
+def node_spec_row(name: str, node: NodeSpec, config: EPInferenceConfig) -> TpotRow:
+    """Build a row for an arbitrary node's scale-out NIC."""
+    bw = node.nic.bandwidth
+    return TpotRow(
+        system=name,
+        bandwidth=bw,
+        comm_stage_us=comm_time_per_stage(config, bw) * 1e6,
+        tpot_ms=tpot_limit(config, bw) * 1e3,
+        tokens_per_second=tokens_per_second(config, bw),
+    )

@@ -1,0 +1,149 @@
+"""Attention-alternative cost models (Section 2.1.3).
+
+Beyond MLA, the paper surveys the approaches the community uses
+against the KV-cache / quadratic-attention wall: shared-KV (GQA/MQA),
+windowed KV, KV quantization, linear-time alternatives (Mamba-2,
+Lightning Attention) and trainable sparse attention (NSA).  This
+module provides per-token *decode-step* cost models — cache bytes read
+and FLOPs — as functions of context length, so the §2.1.3 trade-offs
+can be plotted and tested.
+
+These are analytical complements to the runnable kernels in
+:mod:`repro.model.attention`; NSA/linear variants are modeled at the
+cost level only (their quality trade-offs are outside this scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ModelConfig
+from .kvcache import DTYPE_BYTES, kv_elements_per_token_per_layer
+
+
+@dataclass(frozen=True)
+class DecodeAttentionCost:
+    """Per-token decode cost of one attention strategy."""
+
+    name: str
+    cache_bytes_read: float
+    flops: float
+    cache_bytes_stored_per_token: float
+
+
+def _per_head_dims(model: ModelConfig) -> tuple[int, int, int]:
+    attn = model.attention
+    return attn.num_heads, attn.full_qk_head_dim, attn.v_head_dim
+
+
+def full_attention_cost(
+    model: ModelConfig, context: int, kv_dtype: str = "bf16"
+) -> DecodeAttentionCost:
+    """Exact attention over the whole cache (MLA/GQA/MQA per config)."""
+    heads, qk, v = _per_head_dims(model)
+    elements = kv_elements_per_token_per_layer(model.attention)
+    bytes_per_pos = elements * DTYPE_BYTES[kv_dtype]
+    return DecodeAttentionCost(
+        name=f"full ({model.attention.kind.value})",
+        cache_bytes_read=model.num_layers * context * bytes_per_pos,
+        flops=model.num_layers * 2.0 * heads * (qk + v) * context,
+        cache_bytes_stored_per_token=model.num_layers * bytes_per_pos,
+    )
+
+
+def windowed_attention_cost(
+    model: ModelConfig, context: int, window: int, kv_dtype: str = "bf16"
+) -> DecodeAttentionCost:
+    """Sliding-window attention: only the last ``window`` positions."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    effective = min(window, context)
+    base = full_attention_cost(model, effective, kv_dtype)
+    return DecodeAttentionCost(
+        name=f"windowed (w={window})",
+        cache_bytes_read=base.cache_bytes_read,
+        flops=base.flops,
+        cache_bytes_stored_per_token=base.cache_bytes_stored_per_token,
+    )
+
+
+def quantized_cache_cost(
+    model: ModelConfig, context: int, kv_dtype: str = "fp8"
+) -> DecodeAttentionCost:
+    """Full attention over a low-bit KV cache (KVQuant/KIVI-style)."""
+    base = full_attention_cost(model, context, kv_dtype)
+    return DecodeAttentionCost(
+        name=f"quantized cache ({kv_dtype})",
+        cache_bytes_read=base.cache_bytes_read,
+        flops=base.flops,
+        cache_bytes_stored_per_token=base.cache_bytes_stored_per_token,
+    )
+
+
+def sparse_attention_cost(
+    model: ModelConfig,
+    context: int,
+    selected_tokens: int = 2048,
+    window: int = 512,
+    compression_block: int = 32,
+    kv_dtype: str = "bf16",
+) -> DecodeAttentionCost:
+    """NSA-style trainable sparse attention (three-branch).
+
+    Branches per the Native Sparse Attention design: a *compressed*
+    branch attends to block summaries (context/compression_block
+    positions), a *selection* branch attends to the top
+    ``selected_tokens`` raw positions, and a *window* branch to the
+    last ``window`` positions.  The full cache is still stored.
+    """
+    if min(selected_tokens, window, compression_block) <= 0:
+        raise ValueError("sparse parameters must be positive")
+    heads, qk, v = _per_head_dims(model)
+    elements = kv_elements_per_token_per_layer(model.attention)
+    bytes_per_pos = elements * DTYPE_BYTES[kv_dtype]
+    attended = (
+        context / compression_block
+        + min(selected_tokens, context)
+        + min(window, context)
+    )
+    attended = min(attended, context)
+    return DecodeAttentionCost(
+        name="sparse (NSA-style)",
+        cache_bytes_read=model.num_layers * attended * bytes_per_pos,
+        flops=model.num_layers * 2.0 * heads * (qk + v) * attended,
+        cache_bytes_stored_per_token=model.num_layers * bytes_per_pos,
+    )
+
+
+def linear_attention_cost(
+    model: ModelConfig, context: int, state_dtype: str = "bf16"
+) -> DecodeAttentionCost:
+    """Linear-time alternative (Mamba-2 / Lightning-style).
+
+    Constant-size recurrent state per layer (modeled as heads x qk x v
+    matrices); decode cost is independent of context length — the
+    §2.1.3 appeal for extreme contexts.
+    """
+    del context  # the whole point: no dependence
+    heads, qk, v = _per_head_dims(model)
+    state_elements = heads * qk * v
+    state_bytes = state_elements * DTYPE_BYTES[state_dtype]
+    return DecodeAttentionCost(
+        name="linear-time (SSM-style)",
+        cache_bytes_read=model.num_layers * state_bytes,
+        flops=model.num_layers * 2.0 * state_elements,
+        cache_bytes_stored_per_token=0.0,
+    )
+
+
+def compare_decode_costs(
+    model: ModelConfig, context: int, kv_dtype: str = "bf16"
+) -> list[DecodeAttentionCost]:
+    """All §2.1.3 strategies at one context length."""
+    return [
+        full_attention_cost(model, context, kv_dtype),
+        windowed_attention_cost(model, context, window=4096, kv_dtype=kv_dtype),
+        quantized_cache_cost(model, context, "fp8"),
+        sparse_attention_cost(model, context, kv_dtype=kv_dtype),
+        linear_attention_cost(model, context),
+    ]

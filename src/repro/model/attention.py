@@ -1,0 +1,291 @@
+"""Runnable numpy attention kernels: MHA, GQA, MQA and MLA.
+
+These are reference implementations of the attention variants compared
+in Section 2.1.2.  They are used three ways:
+
+1. To *prove* the MLA caching claim: the latent-cached ("absorbed")
+   execution path is numerically identical to naively decompressing
+   per-head keys/values, while caching only
+   ``kv_lora_rank + qk_rope_head_dim`` elements per token.
+2. As building blocks of the tiny trainable transformer in
+   :mod:`repro.training`.
+3. To ground the analytical KV-cache and FLOPs models against real
+   array shapes.
+
+Everything is float32 numpy; quantization effects are studied
+separately in :mod:`repro.precision`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import AttentionConfig, AttentionKind
+from .kvcache import LayerKVCache
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def rope_frequencies(dim: int, positions: np.ndarray, base: float = 10000.0) -> tuple[np.ndarray, np.ndarray]:
+    """Rotary embedding cos/sin tables for ``positions`` ([t, dim/2])."""
+    if dim % 2 != 0:
+        raise ValueError(f"rotary dim must be even, got {dim}")
+    inv_freq = 1.0 / (base ** (np.arange(0, dim, 2) / dim))
+    angles = np.outer(positions, inv_freq)
+    return np.cos(angles), np.sin(angles)
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray, base: float = 10000.0) -> np.ndarray:
+    """Apply rotary position embedding along the last axis.
+
+    Args:
+        x: Array [..., t, dim] with even ``dim``.
+        positions: Integer positions, shape [t].
+        base: RoPE frequency base.
+
+    Returns:
+        Rotated array, same shape as ``x``.
+    """
+    dim = x.shape[-1]
+    cos, sin = rope_frequencies(dim, positions, base)
+    x1, x2 = x[..., 0::2], x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return out
+
+
+def causal_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    query_offset: int,
+    scale: float,
+) -> np.ndarray:
+    """Scaled dot-product attention with causal masking.
+
+    Args:
+        q: Queries [batch, heads, tq, dqk].
+        k: Keys [batch, heads, tk, dqk].
+        v: Values [batch, heads, tk, dv].
+        query_offset: Absolute position of the first query; query ``i``
+            may attend to key positions ``<= query_offset + i``.
+        scale: Score scaling (typically ``1/sqrt(dqk)``).
+
+    Returns:
+        Attention output [batch, heads, tq, dv].
+    """
+    scores = np.einsum("bhqd,bhkd->bhqk", q, k) * scale
+    tq, tk = q.shape[2], k.shape[2]
+    key_pos = np.arange(tk)
+    query_pos = query_offset + np.arange(tq)
+    mask = key_pos[None, :] > query_pos[:, None]
+    scores = np.where(mask[None, None], -np.inf, scores)
+    return np.einsum("bhqk,bhkv->bhqv", softmax(scores), v)
+
+
+class _AttentionBase:
+    """Shared plumbing: config, rng-initialized weights, cache creation."""
+
+    def __init__(self, config: AttentionConfig, hidden_size: int, rng: np.random.Generator) -> None:
+        self.config = config
+        self.hidden_size = hidden_size
+        self._rng = rng
+
+    def _init(self, *shape: int) -> np.ndarray:
+        scale = 1.0 / np.sqrt(shape[0])
+        return self._rng.normal(0.0, scale, size=shape).astype(np.float32)
+
+    def make_cache(self, batch_size: int) -> LayerKVCache:
+        """Create an empty incremental cache for this block."""
+        return LayerKVCache(self.config, batch_size)
+
+
+class MultiHeadAttention(_AttentionBase):
+    """MHA / GQA / MQA attention with per-head KV caching.
+
+    GQA and MQA differ from MHA only in ``num_kv_heads``; keys/values
+    are broadcast across the query heads of each group.
+    """
+
+    def __init__(self, config: AttentionConfig, hidden_size: int, rng: np.random.Generator) -> None:
+        if config.kind is AttentionKind.MLA:
+            raise ValueError("use MultiHeadLatentAttention for MLA")
+        super().__init__(config, hidden_size, rng)
+        heads, kv_heads = config.num_heads, config.num_kv_heads
+        self.w_q = self._init(hidden_size, heads * config.qk_head_dim)
+        self.w_k = self._init(hidden_size, kv_heads * config.qk_head_dim)
+        self.w_v = self._init(hidden_size, kv_heads * config.v_head_dim)
+        self.w_o = self._init(heads * config.v_head_dim, hidden_size)
+
+    def __call__(self, x: np.ndarray, cache: LayerKVCache) -> np.ndarray:
+        """Process ``x`` [batch, t, hidden] causally, appending to cache."""
+        cfg = self.config
+        batch, t, _ = x.shape
+        offset = len(cache)
+        positions = offset + np.arange(t)
+
+        q = (x @ self.w_q).reshape(batch, t, cfg.num_heads, cfg.qk_head_dim)
+        k = (x @ self.w_k).reshape(batch, t, cfg.num_kv_heads, cfg.qk_head_dim)
+        v = (x @ self.w_v).reshape(batch, t, cfg.num_kv_heads, cfg.v_head_dim)
+        q = apply_rope(q.transpose(0, 2, 1, 3), positions)
+        k = apply_rope(k.transpose(0, 2, 1, 3), positions)
+        v = v.transpose(0, 2, 1, 3)
+
+        cache.append_kv(k, v)
+        group = cfg.num_heads // cfg.num_kv_heads
+        k_all = np.repeat(cache.keys, group, axis=1)
+        v_all = np.repeat(cache.values, group, axis=1)
+
+        scale = 1.0 / np.sqrt(cfg.qk_head_dim)
+        out = causal_attention(q, k_all, v_all, offset, scale)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, t, -1)
+        return out @ self.w_o
+
+
+class MultiHeadLatentAttention(_AttentionBase):
+    """Multi-head Latent Attention (DeepSeek-V2/V3, Section 2.1.2).
+
+    Keys and values are compressed through a joint latent
+    ``c_kv = x @ w_dkv`` of rank ``kv_lora_rank``; a small decoupled
+    rotary key carries position information and is shared by all heads.
+    Two execution paths are provided:
+
+    * ``absorbed=True`` (default, the deployment path): only the latent
+      and rope key are cached; query up-projections are absorbed so
+      attention runs directly in latent space.
+    * ``absorbed=False`` (the reference path): per-head keys/values are
+      reconstructed and ordinary attention is run.
+
+    Both paths produce identical outputs (verified by tests), which is
+    exactly why caching the latent is sufficient.
+    """
+
+    def __init__(self, config: AttentionConfig, hidden_size: int, rng: np.random.Generator) -> None:
+        if config.kind is not AttentionKind.MLA:
+            raise ValueError("MultiHeadLatentAttention requires an MLA config")
+        super().__init__(config, hidden_size, rng)
+        heads = config.num_heads
+        nope, rope = config.qk_head_dim, config.qk_rope_head_dim
+        q_rank, kv_rank = config.q_lora_rank, config.kv_lora_rank
+
+        if q_rank > 0:
+            self.w_dq = self._init(hidden_size, q_rank)
+            self.w_uq = self._init(q_rank, heads * (nope + rope))
+        else:
+            self.w_dq = None
+            self.w_uq = self._init(hidden_size, heads * (nope + rope))
+        self.w_dkv = self._init(hidden_size, kv_rank)
+        self.w_kr = self._init(hidden_size, rope)
+        self.w_uk = self._init(kv_rank, heads * nope)
+        self.w_uv = self._init(kv_rank, heads * config.v_head_dim)
+        self.w_o = self._init(heads * config.v_head_dim, hidden_size)
+
+    def _project_queries(self, x: np.ndarray, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (q_nope, q_rope): [batch, heads, t, nope/rope]."""
+        cfg = self.config
+        batch, t, _ = x.shape
+        hidden_q = x if self.w_dq is None else x @ self.w_dq
+        q = (hidden_q @ self.w_uq).reshape(
+            batch, t, cfg.num_heads, cfg.qk_head_dim + cfg.qk_rope_head_dim
+        ).transpose(0, 2, 1, 3)
+        q_nope = q[..., : cfg.qk_head_dim]
+        q_rope = apply_rope(q[..., cfg.qk_head_dim :], positions)
+        return q_nope, q_rope
+
+    def __call__(self, x: np.ndarray, cache: LayerKVCache, absorbed: bool = True) -> np.ndarray:
+        """Process ``x`` [batch, t, hidden] causally, appending to cache."""
+        cfg = self.config
+        batch, t, _ = x.shape
+        offset = len(cache)
+        positions = offset + np.arange(t)
+
+        latent = x @ self.w_dkv
+        rope_key = apply_rope(x @ self.w_kr, positions)
+        cache.append_latent(latent, rope_key)
+        q_nope, q_rope = self._project_queries(x, positions)
+
+        if absorbed:
+            out = self._attend_absorbed(q_nope, q_rope, cache, offset)
+        else:
+            out = self._attend_naive(q_nope, q_rope, cache, offset)
+        return out.transpose(0, 2, 1, 3).reshape(batch, t, -1) @ self.w_o
+
+    def _scale(self) -> float:
+        cfg = self.config
+        return 1.0 / np.sqrt(cfg.qk_head_dim + cfg.qk_rope_head_dim)
+
+    def _attend_naive(
+        self,
+        q_nope: np.ndarray,
+        q_rope: np.ndarray,
+        cache: LayerKVCache,
+        offset: int,
+    ) -> np.ndarray:
+        """Reference path: reconstruct per-head K/V from the latent."""
+        cfg = self.config
+        batch = q_nope.shape[0]
+        tk = len(cache)
+        k_nope = (cache.latent @ self.w_uk).reshape(
+            batch, tk, cfg.num_heads, cfg.qk_head_dim
+        ).transpose(0, 2, 1, 3)
+        v = (cache.latent @ self.w_uv).reshape(
+            batch, tk, cfg.num_heads, cfg.v_head_dim
+        ).transpose(0, 2, 1, 3)
+        # The rope key is a single shared head, broadcast to all heads.
+        k_rope = np.broadcast_to(
+            cache.rope_key[:, None],
+            (batch, cfg.num_heads, tk, cfg.qk_rope_head_dim),
+        )
+        q = np.concatenate([q_nope, q_rope], axis=-1)
+        k = np.concatenate([k_nope, k_rope], axis=-1)
+        return causal_attention(q, k, v, offset, self._scale())
+
+    def _attend_absorbed(
+        self,
+        q_nope: np.ndarray,
+        q_rope: np.ndarray,
+        cache: LayerKVCache,
+        offset: int,
+    ) -> np.ndarray:
+        """Deployment path: attention directly against the cached latent.
+
+        ``w_uk`` is absorbed into the query and ``w_uv`` into the
+        output, so the score and value matmuls touch only the
+        ``kv_lora_rank``-dim latent — the memory-bound GEMV reads only
+        the small cache (the whole point of MLA).
+        """
+        cfg = self.config
+        heads = cfg.num_heads
+        w_uk = self.w_uk.reshape(cfg.kv_lora_rank, heads, cfg.qk_head_dim)
+        # q_abs[b,h,t,r] = sum_d q_nope[b,h,t,d] * w_uk[r,h,d]
+        q_abs = np.einsum("bhtd,rhd->bhtr", q_nope, w_uk)
+
+        scores = np.einsum("bhtr,bkr->bhtk", q_abs, cache.latent)
+        scores = scores + np.einsum("bhtd,bkd->bhtk", q_rope, cache.rope_key)
+        scores = scores * self._scale()
+
+        tq, tk = q_nope.shape[2], len(cache)
+        key_pos = np.arange(tk)
+        query_pos = offset + np.arange(tq)
+        mask = key_pos[None, :] > query_pos[:, None]
+        scores = np.where(mask[None, None], -np.inf, scores)
+        weights = softmax(scores)
+
+        latent_out = np.einsum("bhtk,bkr->bhtr", weights, cache.latent)
+        w_uv = self.w_uv.reshape(cfg.kv_lora_rank, heads, cfg.v_head_dim)
+        return np.einsum("bhtr,rhv->bhtv", latent_out, w_uv)
+
+
+def build_attention(
+    config: AttentionConfig, hidden_size: int, rng: np.random.Generator
+) -> _AttentionBase:
+    """Construct the right attention block for ``config.kind``."""
+    if config.kind is AttentionKind.MLA:
+        return MultiHeadLatentAttention(config, hidden_size, rng)
+    return MultiHeadAttention(config, hidden_size, rng)

@@ -1,0 +1,349 @@
+"""Model architecture configurations.
+
+This module defines the configuration dataclasses for every model the
+paper compares (Tables 1 and 2): DeepSeek-V2, DeepSeek-V3, Qwen-2.5 72B
+and LLaMA-3.1 405B, plus scaled-down variants used by tests and the
+tiny training pipeline.  The configurations carry exactly the
+architectural parameters needed by the analytical models (KV cache
+size, parameter counts, FLOPs) and by the runnable numpy kernels.
+
+Values are taken from the public model releases referenced by the
+paper (DeepSeek-V2/V3 technical reports, Qwen2.5 and Llama-3.1 model
+cards).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class AttentionKind(enum.Enum):
+    """The KV-cache strategies compared in Section 2.1.2."""
+
+    MHA = "mha"
+    MQA = "mqa"
+    GQA = "gqa"
+    MLA = "mla"
+
+
+@dataclass(frozen=True)
+class AttentionConfig:
+    """Attention block configuration.
+
+    For MHA/GQA/MQA, ``qk_head_dim`` is the ordinary head dimension and
+    the MLA-only fields are ignored.  For MLA, following DeepSeek-V2/V3
+    naming: queries/keys have a non-positional part of ``qk_head_dim``
+    (the "nope" dim) plus a decoupled RoPE part of ``qk_rope_head_dim``;
+    keys and values are jointly compressed into a ``kv_lora_rank``-dim
+    latent, and queries through a ``q_lora_rank``-dim latent.
+
+    Attributes:
+        kind: Attention variant.
+        num_heads: Number of query heads.
+        qk_head_dim: Per-head query/key dim (non-RoPE part for MLA).
+        v_head_dim: Per-head value dim.
+        num_kv_heads: KV head count (1 for MQA, ``num_heads`` for MHA).
+        kv_lora_rank: MLA joint KV compression rank (0 otherwise).
+        q_lora_rank: MLA query compression rank (0 = no Q compression).
+        qk_rope_head_dim: MLA decoupled rotary key dim (0 otherwise).
+    """
+
+    kind: AttentionKind
+    num_heads: int
+    qk_head_dim: int
+    v_head_dim: int
+    num_kv_heads: int = 0
+    kv_lora_rank: int = 0
+    q_lora_rank: int = 0
+    qk_rope_head_dim: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_heads <= 0:
+            raise ValueError(f"num_heads must be positive, got {self.num_heads}")
+        if self.kind is AttentionKind.MLA:
+            if self.kv_lora_rank <= 0:
+                raise ValueError("MLA requires kv_lora_rank > 0")
+        else:
+            if self.num_kv_heads <= 0:
+                raise ValueError(f"{self.kind.value} requires num_kv_heads > 0")
+            if self.num_heads % self.num_kv_heads != 0:
+                raise ValueError(
+                    f"num_heads ({self.num_heads}) must be divisible by "
+                    f"num_kv_heads ({self.num_kv_heads})"
+                )
+            if self.kind is AttentionKind.MQA and self.num_kv_heads != 1:
+                raise ValueError("MQA requires num_kv_heads == 1")
+            if self.kind is AttentionKind.MHA and self.num_kv_heads != self.num_heads:
+                raise ValueError("MHA requires num_kv_heads == num_heads")
+
+    @property
+    def full_qk_head_dim(self) -> int:
+        """Total per-head QK dim including the MLA rope part."""
+        return self.qk_head_dim + self.qk_rope_head_dim
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """DeepSeekMoE configuration (Section 2.2 and Figure 1).
+
+    Attributes:
+        num_routed_experts: Total routed experts in each MoE layer.
+        num_shared_experts: Always-active shared experts.
+        experts_per_token: Routed experts activated per token (top-k).
+        intermediate_size: Hidden width of each expert FFN.
+        num_expert_groups: Groups for group-limited (node-limited)
+            routing; experts are split evenly across groups and each
+            group is deployed on one node (Section 4.3).
+        max_groups_per_token: Maximum groups (nodes) a token may route
+            to — DeepSeek-V3 uses 4 (Section 4.3).
+    """
+
+    num_routed_experts: int
+    num_shared_experts: int
+    experts_per_token: int
+    intermediate_size: int
+    num_expert_groups: int = 1
+    max_groups_per_token: int = 0
+
+    def __post_init__(self) -> None:
+        if self.experts_per_token > self.num_routed_experts:
+            raise ValueError(
+                f"experts_per_token ({self.experts_per_token}) exceeds "
+                f"num_routed_experts ({self.num_routed_experts})"
+            )
+        if self.num_expert_groups > 1:
+            if self.num_routed_experts % self.num_expert_groups != 0:
+                raise ValueError(
+                    f"num_routed_experts ({self.num_routed_experts}) must divide "
+                    f"evenly into {self.num_expert_groups} groups"
+                )
+            limit = self.max_groups_per_token or self.num_expert_groups
+            if limit * self.experts_per_group < self.experts_per_token:
+                raise ValueError(
+                    "max_groups_per_token too small to place experts_per_token"
+                )
+
+    @property
+    def experts_per_group(self) -> int:
+        """Routed experts per group (per node under the §4.3 deployment)."""
+        return self.num_routed_experts // self.num_expert_groups
+
+    @property
+    def active_experts_per_token(self) -> int:
+        """Routed + shared experts each token activates."""
+        return self.experts_per_token + self.num_shared_experts
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Full transformer configuration.
+
+    A dense model has ``moe=None`` and uses ``ffn_intermediate_size``
+    in every layer; a DeepSeek-style MoE model uses dense FFNs in the
+    first ``num_dense_layers`` layers and MoE layers elsewhere.
+
+    Attributes:
+        name: Display name.
+        hidden_size: Residual-stream width.
+        num_layers: Transformer layer count (main model, excluding MTP).
+        vocab_size: Vocabulary size.
+        attention: Attention configuration.
+        ffn_intermediate_size: Dense FFN width (used by dense layers).
+        moe: MoE configuration or None for dense models.
+        num_dense_layers: Leading layers that use a dense FFN.
+        num_mtp_modules: Multi-Token Prediction depth (Section 2.3.3);
+            each MTP module is one extra lightweight layer.
+        tie_embeddings: Whether the output head shares the embedding.
+    """
+
+    name: str
+    hidden_size: int
+    num_layers: int
+    vocab_size: int
+    attention: AttentionConfig
+    ffn_intermediate_size: int
+    moe: MoEConfig | None = None
+    num_dense_layers: int = 0
+    num_mtp_modules: int = 0
+    tie_embeddings: bool = False
+
+    def __post_init__(self) -> None:
+        if self.moe is None and self.num_dense_layers not in (0, self.num_layers):
+            raise ValueError("dense models must not set num_dense_layers")
+        if self.moe is not None and self.num_dense_layers >= self.num_layers:
+            raise ValueError("num_dense_layers must leave at least one MoE layer")
+
+    @property
+    def is_moe(self) -> bool:
+        """True when the model has MoE layers."""
+        return self.moe is not None
+
+    @property
+    def num_moe_layers(self) -> int:
+        """Number of MoE layers in the main model."""
+        if self.moe is None:
+            return 0
+        return self.num_layers - self.num_dense_layers
+
+    def scaled(self, name: str, **overrides: object) -> "ModelConfig":
+        """Return a copy with fields overridden (for ablations/tests)."""
+        return replace(self, name=name, **overrides)  # type: ignore[arg-type]
+
+
+# --- Published model presets -------------------------------------------------
+
+DEEPSEEK_V3 = ModelConfig(
+    name="DeepSeek-V3",
+    hidden_size=7168,
+    num_layers=61,
+    vocab_size=129280,
+    attention=AttentionConfig(
+        kind=AttentionKind.MLA,
+        num_heads=128,
+        qk_head_dim=128,
+        v_head_dim=128,
+        kv_lora_rank=512,
+        q_lora_rank=1536,
+        qk_rope_head_dim=64,
+    ),
+    ffn_intermediate_size=18432,
+    moe=MoEConfig(
+        num_routed_experts=256,
+        num_shared_experts=1,
+        experts_per_token=8,
+        intermediate_size=2048,
+        num_expert_groups=8,
+        max_groups_per_token=4,
+    ),
+    num_dense_layers=3,
+    num_mtp_modules=1,
+)
+
+DEEPSEEK_V2 = ModelConfig(
+    name="DeepSeek-V2",
+    hidden_size=5120,
+    num_layers=60,
+    vocab_size=102400,
+    attention=AttentionConfig(
+        kind=AttentionKind.MLA,
+        num_heads=128,
+        qk_head_dim=128,
+        v_head_dim=128,
+        kv_lora_rank=512,
+        q_lora_rank=1536,
+        qk_rope_head_dim=64,
+    ),
+    ffn_intermediate_size=12288,
+    moe=MoEConfig(
+        num_routed_experts=160,
+        num_shared_experts=2,
+        experts_per_token=6,
+        intermediate_size=1536,
+        num_expert_groups=8,
+        max_groups_per_token=3,
+    ),
+    num_dense_layers=1,
+)
+
+QWEN25_72B = ModelConfig(
+    name="Qwen-2.5 72B",
+    hidden_size=8192,
+    num_layers=80,
+    vocab_size=152064,
+    attention=AttentionConfig(
+        kind=AttentionKind.GQA,
+        num_heads=64,
+        qk_head_dim=128,
+        v_head_dim=128,
+        num_kv_heads=8,
+    ),
+    ffn_intermediate_size=29568,
+)
+
+LLAMA31_405B = ModelConfig(
+    name="LLaMA-3.1 405B",
+    hidden_size=16384,
+    num_layers=126,
+    vocab_size=128256,
+    attention=AttentionConfig(
+        kind=AttentionKind.GQA,
+        num_heads=128,
+        qk_head_dim=128,
+        v_head_dim=128,
+        num_kv_heads=8,
+    ),
+    ffn_intermediate_size=53248,
+)
+
+# A 70B-class dense model of the kind Section 2.2.2 compares against for
+# local deployment ("dense models of similar capability, e.g. 70B").
+LLAMA31_70B = ModelConfig(
+    name="LLaMA-3.1 70B",
+    hidden_size=8192,
+    num_layers=80,
+    vocab_size=128256,
+    attention=AttentionConfig(
+        kind=AttentionKind.GQA,
+        num_heads=64,
+        qk_head_dim=128,
+        v_head_dim=128,
+        num_kv_heads=8,
+    ),
+    ffn_intermediate_size=28672,
+)
+
+
+# --- Tiny presets for tests and the §2.4 validation pipeline -----------------
+
+TINY_MLA_MOE = ModelConfig(
+    name="tiny-mla-moe",
+    hidden_size=64,
+    num_layers=4,
+    vocab_size=256,
+    attention=AttentionConfig(
+        kind=AttentionKind.MLA,
+        num_heads=4,
+        qk_head_dim=16,
+        v_head_dim=16,
+        kv_lora_rank=16,
+        q_lora_rank=32,
+        qk_rope_head_dim=8,
+    ),
+    ffn_intermediate_size=128,
+    moe=MoEConfig(
+        num_routed_experts=8,
+        num_shared_experts=1,
+        experts_per_token=2,
+        intermediate_size=32,
+        num_expert_groups=4,
+        max_groups_per_token=2,
+    ),
+    num_dense_layers=1,
+    num_mtp_modules=1,
+)
+
+TINY_DENSE_GQA = ModelConfig(
+    name="tiny-dense-gqa",
+    hidden_size=64,
+    num_layers=4,
+    vocab_size=256,
+    attention=AttentionConfig(
+        kind=AttentionKind.GQA,
+        num_heads=8,
+        qk_head_dim=8,
+        v_head_dim=8,
+        num_kv_heads=2,
+    ),
+    ffn_intermediate_size=192,
+)
+
+MODEL_CATALOG: dict[str, ModelConfig] = {
+    "deepseek-v3": DEEPSEEK_V3,
+    "deepseek-v2": DEEPSEEK_V2,
+    "qwen2.5-72b": QWEN25_72B,
+    "llama3.1-405b": LLAMA31_405B,
+    "llama3.1-70b": LLAMA31_70B,
+    "tiny-mla-moe": TINY_MLA_MOE,
+    "tiny-dense-gqa": TINY_DENSE_GQA,
+}

@@ -1,0 +1,100 @@
+"""FLOPs accounting (Table 2 and the MFU rows of Table 4).
+
+Training cost per token is modeled as
+
+    3 x [ 2 x N_active_linear  +  attention matmul FLOPs ]
+
+where the factor 3 is forward + backward (backward costs ~2x forward),
+``N_active_linear`` are the activated matmul parameters per token, and
+the attention term covers the QK^T and AV matmuls, which scale with
+context length.  The paper measures per-token cost at sequence length
+4096 with *causal* attention (Table 2's 250 GFLOPS/token for V3
+matches Table 4's causal 385 TFLOPS at the measured step time); the
+non-causal variant (Megatron convention) counts the full attention
+matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.units import flops_to_gflops
+from .config import ModelConfig
+from .params import count_params
+
+#: Backward pass costs ~2x forward; training = forward + backward.
+TRAINING_EXPANSION = 3.0
+
+
+def attention_matmul_flops_per_token(
+    model: ModelConfig, seq_len: int, causal: bool = True
+) -> float:
+    """Forward QK^T + AV FLOPs per token, summed over layers.
+
+    With causal masking the average context of a token is ``seq_len/2``
+    (the FlashAttention convention Table 4's 'causal' rows use); the
+    non-causal convention charges the full ``seq_len``.
+    """
+    if seq_len <= 0:
+        raise ValueError(f"seq_len must be positive, got {seq_len}")
+    attn = model.attention
+    context = seq_len / 2.0 if causal else float(seq_len)
+    per_layer = 2.0 * context * attn.num_heads * (attn.full_qk_head_dim + attn.v_head_dim)
+    return per_layer * model.num_layers
+
+
+def forward_flops_per_token(model: ModelConfig, seq_len: int, causal: bool = True) -> float:
+    """Forward FLOPs per token: linear matmuls + attention matmuls."""
+    linear = 2.0 * count_params(model).active_linear
+    return linear + attention_matmul_flops_per_token(model, seq_len, causal)
+
+
+def training_flops_per_token(model: ModelConfig, seq_len: int, causal: bool = True) -> float:
+    """Training (fwd+bwd) FLOPs per token — the quantity in Table 2."""
+    return TRAINING_EXPANSION * forward_flops_per_token(model, seq_len, causal)
+
+
+def decode_flops_per_token(model: ModelConfig, context_len: int) -> float:
+    """Single-token decode FLOPs at a given context length.
+
+    During decode every activated linear layer runs as a GEMV
+    (2 FLOPs/parameter) and attention reads the whole cache.
+    """
+    linear = 2.0 * count_params(model).active_linear
+    attn = model.attention
+    per_layer = 2.0 * context_len * attn.num_heads * (
+        attn.full_qk_head_dim + attn.v_head_dim
+    )
+    return linear + per_layer * model.num_layers
+
+
+@dataclass(frozen=True)
+class TrainingCostReport:
+    """One row of the Table 2 comparison."""
+
+    model_name: str
+    kind: str
+    total_params: int
+    active_params: int
+    gflops_per_token: float
+
+
+def compare_training_cost(
+    models: list[ModelConfig], seq_len: int = 4096, causal: bool = True
+) -> list[TrainingCostReport]:
+    """Build the Table 2 comparison (GFLOPs per training token)."""
+    reports = []
+    for model in models:
+        params = count_params(model)
+        reports.append(
+            TrainingCostReport(
+                model_name=model.name,
+                kind="MoE" if model.is_moe else "Dense",
+                total_params=params.total,
+                active_params=params.active,
+                gflops_per_token=flops_to_gflops(
+                    training_flops_per_token(model, seq_len, causal)
+                ),
+            )
+        )
+    return reports

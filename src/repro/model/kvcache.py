@@ -1,0 +1,251 @@
+"""KV-cache memory model and runtime cache (Section 2.1.2, Table 1).
+
+The analytical half computes per-token cache footprints for each
+attention variant; the runtime half is the incremental cache used by
+the numpy attention kernels in :mod:`repro.model.attention`.
+
+Per-token cache entries:
+
+* MHA/GQA/MQA store a key and a value per KV head per layer:
+  ``2 * num_kv_heads * head_dim`` elements.
+* MLA stores only the joint latent plus the decoupled RoPE key:
+  ``kv_lora_rank + qk_rope_head_dim`` elements — shared by all heads.
+
+With DeepSeek-V3 (61 layers, rank 512 + 64 rope dims, BF16) this gives
+the paper's 70.272 KB/token; Qwen-2.5 72B and LLaMA-3.1 405B reproduce
+327.680 KB and 516.096 KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.units import bytes_to_kib
+from .config import AttentionConfig, AttentionKind, ModelConfig
+
+#: Bytes per element for the precisions Table 1 and §2.1 consider.
+DTYPE_BYTES = {"bf16": 2, "fp16": 2, "fp8": 1, "fp32": 4, "int4": 0.5}
+
+
+def kv_elements_per_token_per_layer(attention: AttentionConfig) -> int:
+    """Cached elements per token per layer for one attention block."""
+    if attention.kind is AttentionKind.MLA:
+        return attention.kv_lora_rank + attention.qk_rope_head_dim
+    return 2 * attention.num_kv_heads * attention.qk_head_dim
+
+
+def kv_cache_bytes_per_token(model: ModelConfig, dtype: str = "bf16") -> float:
+    """Total KV-cache bytes per token across all layers (Table 1).
+
+    Args:
+        model: Model configuration.
+        dtype: Cache element precision (Table 1 uses BF16).
+
+    Returns:
+        Bytes of cache one generated/prefilled token occupies.
+    """
+    if dtype not in DTYPE_BYTES:
+        raise ValueError(f"unknown dtype {dtype!r}; choose from {sorted(DTYPE_BYTES)}")
+    per_layer = kv_elements_per_token_per_layer(model.attention)
+    return per_layer * DTYPE_BYTES[dtype] * model.num_layers
+
+
+def kv_cache_bytes(
+    model: ModelConfig,
+    context_tokens: int,
+    batch_size: int = 1,
+    dtype: str = "bf16",
+) -> float:
+    """Cache footprint of ``batch_size`` requests at ``context_tokens``."""
+    if context_tokens < 0 or batch_size < 0:
+        raise ValueError("context_tokens and batch_size must be non-negative")
+    return kv_cache_bytes_per_token(model, dtype) * context_tokens * batch_size
+
+
+def windowed_kv_cache_bytes(
+    model: ModelConfig,
+    window_tokens: int,
+    context_tokens: int,
+    dtype: str = "bf16",
+) -> float:
+    """Cache footprint under a sliding-window policy (§2.1.2).
+
+    Windowed KV retains only the most recent ``window_tokens`` entries,
+    trading long-context recall for bounded memory (Longformer-style).
+    """
+    if window_tokens <= 0:
+        raise ValueError("window_tokens must be positive")
+    kept = min(window_tokens, context_tokens)
+    return kv_cache_bytes_per_token(model, dtype) * kept
+
+
+def max_context_tokens(
+    model: ModelConfig,
+    memory_budget_bytes: float,
+    dtype: str = "bf16",
+) -> int:
+    """Largest total token count whose cache fits in a memory budget."""
+    per_token = kv_cache_bytes_per_token(model, dtype)
+    return int(memory_budget_bytes // per_token)
+
+
+@dataclass(frozen=True)
+class KVCacheReport:
+    """One row of the Table 1 comparison."""
+
+    model_name: str
+    attention_kind: str
+    bytes_per_token: float
+    multiplier: float
+
+    @property
+    def kb_per_token(self) -> float:
+        """Per-token footprint in decimal KB — the unit Table 1 prints
+        (the paper writes 70,272 bytes as "70.272 KB")."""
+        return self.bytes_per_token / 1000.0
+
+    @property
+    def kib_per_token(self) -> float:
+        """Per-token footprint in binary KiB."""
+        return bytes_to_kib(self.bytes_per_token)
+
+
+def compare_kv_cache(
+    models: list[ModelConfig],
+    baseline: ModelConfig | None = None,
+    dtype: str = "bf16",
+) -> list[KVCacheReport]:
+    """Build the Table 1 comparison for a set of models.
+
+    Args:
+        models: Models to compare.
+        baseline: Model whose footprint defines multiplier 1x (defaults
+            to the smallest-footprint model, as in Table 1).
+        dtype: Cache precision.
+
+    Returns:
+        One report per model, in input order.
+    """
+    sizes = {m.name: kv_cache_bytes_per_token(m, dtype) for m in models}
+    if baseline is not None:
+        base = kv_cache_bytes_per_token(baseline, dtype)
+    else:
+        base = min(sizes.values())
+    return [
+        KVCacheReport(
+            model_name=m.name,
+            attention_kind=m.attention.kind.value.upper(),
+            bytes_per_token=sizes[m.name],
+            multiplier=sizes[m.name] / base,
+        )
+        for m in models
+    ]
+
+
+class LayerKVCache:
+    """Incremental per-layer KV cache used by the numpy kernels.
+
+    For MHA/GQA/MQA the cache stores keys and values of shape
+    ``[batch, kv_heads, t, head_dim]``.  For MLA it stores the
+    compressed latent ``[batch, t, kv_lora_rank]`` and the shared RoPE
+    key ``[batch, t, qk_rope_head_dim]`` — exactly what §2.1.2 says
+    needs to be cached.
+    """
+
+    def __init__(self, attention: AttentionConfig, batch_size: int) -> None:
+        self._attention = attention
+        self._batch_size = batch_size
+        self._length = 0
+        if attention.kind is AttentionKind.MLA:
+            self._latent = np.zeros((batch_size, 0, attention.kv_lora_rank), np.float32)
+            self._rope_key = np.zeros(
+                (batch_size, 0, attention.qk_rope_head_dim), np.float32
+            )
+            self._keys = None
+            self._values = None
+        else:
+            shape = (batch_size, attention.num_kv_heads, 0, attention.qk_head_dim)
+            vshape = (batch_size, attention.num_kv_heads, 0, attention.v_head_dim)
+            self._keys = np.zeros(shape, np.float32)
+            self._values = np.zeros(vshape, np.float32)
+            self._latent = None
+            self._rope_key = None
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def batch_size(self) -> int:
+        """Number of sequences cached."""
+        return self._batch_size
+
+    def append_kv(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append per-head keys/values ([batch, kv_heads, t, dim])."""
+        if self._keys is None:
+            raise TypeError("this cache stores MLA latents; use append_latent")
+        if keys.shape[0] != self._batch_size:
+            raise ValueError("batch size mismatch")
+        self._keys = np.concatenate([self._keys, keys], axis=2)
+        self._values = np.concatenate([self._values, values], axis=2)
+        self._length += keys.shape[2]
+
+    def append_latent(self, latent: np.ndarray, rope_key: np.ndarray) -> None:
+        """Append MLA latent + rope key ([batch, t, dim])."""
+        if self._latent is None:
+            raise TypeError("this cache stores per-head KV; use append_kv")
+        if latent.shape[0] != self._batch_size:
+            raise ValueError("batch size mismatch")
+        self._latent = np.concatenate([self._latent, latent], axis=1)
+        self._rope_key = np.concatenate([self._rope_key, rope_key], axis=1)
+        self._length += latent.shape[1]
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Cached keys [batch, kv_heads, t, head_dim] (non-MLA only)."""
+        if self._keys is None:
+            raise TypeError("MLA cache has no per-head keys")
+        return self._keys
+
+    @property
+    def values(self) -> np.ndarray:
+        """Cached values [batch, kv_heads, t, v_dim] (non-MLA only)."""
+        if self._values is None:
+            raise TypeError("MLA cache has no per-head values")
+        return self._values
+
+    @property
+    def latent(self) -> np.ndarray:
+        """Cached joint latent [batch, t, rank] (MLA only)."""
+        if self._latent is None:
+            raise TypeError("non-MLA cache has no latent")
+        return self._latent
+
+    @property
+    def rope_key(self) -> np.ndarray:
+        """Cached decoupled rope key [batch, t, rope_dim] (MLA only)."""
+        if self._rope_key is None:
+            raise TypeError("non-MLA cache has no rope key")
+        return self._rope_key
+
+    def truncate(self, length: int) -> None:
+        """Drop cached entries beyond ``length`` (speculative rollback).
+
+        Speculative decoding appends draft tokens optimistically; when
+        verification rejects a draft, its cache entries are discarded.
+        """
+        if not 0 <= length <= self._length:
+            raise ValueError(f"cannot truncate to {length} (have {self._length})")
+        if self._latent is not None:
+            self._latent = self._latent[:, :length]
+            self._rope_key = self._rope_key[:, :length]
+        else:
+            self._keys = self._keys[:, :, :length]
+            self._values = self._values[:, :, :length]
+        self._length = length
+
+    def nbytes(self, dtype: str = "bf16") -> float:
+        """Footprint of the current cache contents at ``dtype``."""
+        per_token = kv_elements_per_token_per_layer(self._attention)
+        return per_token * DTYPE_BYTES[dtype] * self._length * self._batch_size

@@ -1,0 +1,110 @@
+"""DeepSeekMoE layer: fine-grained experts + shared experts (Section 2.2).
+
+The numpy forward path computes exactly what an EP deployment computes:
+each token is processed by its shared expert(s) plus the top-k routed
+experts chosen by the gate, with outputs mixed by the normalized gate
+weights.  The layer also reports the routing decision so the
+communication simulators can replay real dispatch patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import MoEConfig
+from .routing import MoEGate, RoutingDecision
+
+
+def swiglu(x: np.ndarray, w_gate: np.ndarray, w_up: np.ndarray, w_down: np.ndarray) -> np.ndarray:
+    """SwiGLU FFN: ``(silu(x @ w_gate) * (x @ w_up)) @ w_down``."""
+    gate = x @ w_gate
+    silu = gate / (1.0 + np.exp(-gate))
+    return (silu * (x @ w_up)) @ w_down
+
+
+@dataclass
+class ExpertWeights:
+    """Weights of one SwiGLU expert."""
+
+    w_gate: np.ndarray
+    w_up: np.ndarray
+    w_down: np.ndarray
+
+    @classmethod
+    def create(
+        cls, hidden_size: int, intermediate_size: int, rng: np.random.Generator
+    ) -> "ExpertWeights":
+        """Random-initialize one expert."""
+
+        def init(fan_in: int, fan_out: int) -> np.ndarray:
+            return rng.normal(0.0, 1.0 / np.sqrt(fan_in), size=(fan_in, fan_out)).astype(
+                np.float32
+            )
+
+        return cls(
+            w_gate=init(hidden_size, intermediate_size),
+            w_up=init(hidden_size, intermediate_size),
+            w_down=init(intermediate_size, hidden_size),
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Apply the expert FFN to tokens [n, hidden]."""
+        return swiglu(x, self.w_gate, self.w_up, self.w_down)
+
+
+class DenseFfn:
+    """Ordinary dense SwiGLU FFN (the first-k dense layers of V2/V3)."""
+
+    def __init__(self, hidden_size: int, intermediate_size: int, rng: np.random.Generator) -> None:
+        self.expert = ExpertWeights.create(hidden_size, intermediate_size, rng)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Apply to [.., hidden]; shape-preserving."""
+        flat = x.reshape(-1, x.shape[-1])
+        return self.expert(flat).reshape(x.shape)
+
+
+class DeepSeekMoELayer:
+    """A DeepSeekMoE layer: gate + routed experts + shared experts."""
+
+    def __init__(self, moe: MoEConfig, hidden_size: int, rng: np.random.Generator) -> None:
+        self.moe = moe
+        self.hidden_size = hidden_size
+        self.gate = MoEGate(moe, hidden_size, rng)
+        self.routed_experts = [
+            ExpertWeights.create(hidden_size, moe.intermediate_size, rng)
+            for _ in range(moe.num_routed_experts)
+        ]
+        self.shared_experts = [
+            ExpertWeights.create(hidden_size, moe.intermediate_size, rng)
+            for _ in range(moe.num_shared_experts)
+        ]
+        self.last_decision: RoutingDecision | None = None
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Apply the MoE layer to ``x`` [..., hidden].
+
+        Tokens are flattened, routed, dispatched to their experts,
+        combined with gate weights, and shared-expert output is added —
+        the same dataflow DeepEP's dispatch/combine implements across
+        GPUs.
+        """
+        flat = x.reshape(-1, self.hidden_size)
+        decision = self.gate.route(flat)
+        self.last_decision = decision
+
+        out = np.zeros_like(flat)
+        for slot in range(self.moe.experts_per_token):
+            expert_ids = decision.expert_ids[:, slot]
+            weights = decision.weights[:, slot]
+            for expert_id in np.unique(expert_ids):
+                members = expert_ids == expert_id
+                out[members] += (
+                    weights[members, None]
+                    * self.routed_experts[int(expert_id)](flat[members])
+                )
+        for shared in self.shared_experts:
+            out += shared(flat)
+        return out.reshape(x.shape)

@@ -1,0 +1,206 @@
+"""Expert routing: TopK selection and Node-Limited Routing (Section 4.3).
+
+DeepSeek-V3 groups its 256 routed experts into 8 groups (one group per
+node) and restricts each token to experts from at most
+``max_groups_per_token`` (=4) groups.  Because tokens destined to the
+same node are sent over IB once and fanned out over NVLink, the IB
+traffic of a token is proportional to the number of *distinct nodes* M
+it touches, not the number of experts; node-limited routing caps M.
+
+This module implements:
+
+* plain top-k routing (the baseline the paper's 8t cost refers to),
+* group-limited ("node-limited") top-k routing as in DeepSeek-V3:
+  group scores are the sum of the top-2 expert affinities within the
+  group, the best ``max_groups`` groups are kept, and top-k selection
+  runs inside the surviving groups,
+* the sigmoid gate with auxiliary-loss-free load balancing bias, and
+* routing statistics used by the EP communication model (nodes touched
+  per token, expert load balance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import MoEConfig
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Result of routing a batch of tokens.
+
+    Attributes:
+        expert_ids: Selected routed experts, [tokens, k] int array.
+        weights: Gate weights for the selected experts, [tokens, k];
+            normalized to sum to 1 per token.
+        scores: Raw affinity scores, [tokens, num_experts].
+    """
+
+    expert_ids: np.ndarray
+    weights: np.ndarray
+    scores: np.ndarray
+
+    @property
+    def num_tokens(self) -> int:
+        """Tokens routed in this decision."""
+        return self.expert_ids.shape[0]
+
+
+def _topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k largest entries per row, descending by score."""
+    if k > scores.shape[1]:
+        raise ValueError(f"k={k} exceeds candidate count {scores.shape[1]}")
+    part = np.argpartition(scores, -k, axis=1)[:, -k:]
+    row = np.arange(scores.shape[0])[:, None]
+    order = np.argsort(scores[row, part], axis=1)[:, ::-1]
+    return part[row, order]
+
+
+def _normalized_weights(scores: np.ndarray, expert_ids: np.ndarray) -> np.ndarray:
+    row = np.arange(scores.shape[0])[:, None]
+    selected = scores[row, expert_ids]
+    total = selected.sum(axis=1, keepdims=True)
+    # Guard all-zero rows (possible with sigmoid scores rounded to 0).
+    total = np.where(total <= 0, 1.0, total)
+    return selected / total
+
+
+def topk_routing(scores: np.ndarray, k: int) -> RoutingDecision:
+    """Unrestricted top-k routing (tokens may touch every node)."""
+    expert_ids = _topk_indices(scores, k)
+    return RoutingDecision(expert_ids, _normalized_weights(scores, expert_ids), scores)
+
+
+def node_limited_topk(
+    scores: np.ndarray,
+    k: int,
+    num_groups: int,
+    max_groups: int,
+    group_score_topk: int = 2,
+) -> RoutingDecision:
+    """Group-limited top-k routing (DeepSeek-V3's Node-Limited Routing).
+
+    Args:
+        scores: Affinities, [tokens, num_experts]; experts are laid out
+            group-major (experts ``g*E/G .. (g+1)*E/G - 1`` form group g).
+        k: Routed experts per token.
+        num_groups: Expert groups (= nodes under the §4.3 deployment).
+        max_groups: Maximum groups a token may route to (4 in V3).
+        group_score_topk: Affinities summed per group to score the
+            group (V3 uses the top-2 experts of each group).
+
+    Returns:
+        Routing restricted to at most ``max_groups`` groups per token.
+    """
+    tokens, num_experts = scores.shape
+    if num_experts % num_groups != 0:
+        raise ValueError(f"{num_experts} experts do not divide into {num_groups} groups")
+    if max_groups > num_groups:
+        raise ValueError(f"max_groups={max_groups} exceeds num_groups={num_groups}")
+    group_size = num_experts // num_groups
+    if max_groups * group_size < k:
+        raise ValueError("max_groups leaves fewer than k candidate experts")
+
+    grouped = scores.reshape(tokens, num_groups, group_size)
+    top_in_group = np.sort(grouped, axis=2)[:, :, -group_score_topk:]
+    group_scores = top_in_group.sum(axis=2)
+    keep_groups = _topk_indices(group_scores, max_groups)
+
+    mask = np.zeros((tokens, num_groups), dtype=bool)
+    np.put_along_axis(mask, keep_groups, True, axis=1)
+    expert_mask = np.repeat(mask, group_size, axis=1)
+    masked = np.where(expert_mask, scores, -np.inf)
+
+    expert_ids = _topk_indices(masked, k)
+    return RoutingDecision(expert_ids, _normalized_weights(scores, expert_ids), scores)
+
+
+class MoEGate:
+    """Sigmoid gate with auxiliary-loss-free load balancing (V3-style).
+
+    The gate computes per-expert affinities ``sigmoid(x @ w)``.  For
+    *selection* a per-expert bias is added (the aux-loss-free balancing
+    term of DeepSeek-V3); gate *weights* use the unbiased affinities.
+    ``update_bias`` nudges the bias against the observed load, the
+    online rule the V3 report describes.
+    """
+
+    def __init__(
+        self,
+        moe: MoEConfig,
+        hidden_size: int,
+        rng: np.random.Generator,
+        bias_update_speed: float = 0.001,
+    ) -> None:
+        self.moe = moe
+        self.hidden_size = hidden_size
+        self.weight = rng.normal(
+            0.0, 1.0 / np.sqrt(hidden_size), size=(hidden_size, moe.num_routed_experts)
+        ).astype(np.float32)
+        self.bias = np.zeros(moe.num_routed_experts, dtype=np.float32)
+        self.bias_update_speed = bias_update_speed
+
+    def affinities(self, x: np.ndarray) -> np.ndarray:
+        """Unbiased expert affinities for tokens ``x`` [tokens, hidden]."""
+        return 1.0 / (1.0 + np.exp(-(x @ self.weight)))
+
+    def route(self, x: np.ndarray) -> RoutingDecision:
+        """Route tokens, honoring node-limited routing when configured."""
+        scores = self.affinities(x)
+        selection_scores = scores + self.bias
+        if self.moe.num_expert_groups > 1 and self.moe.max_groups_per_token:
+            decision = node_limited_topk(
+                selection_scores,
+                self.moe.experts_per_token,
+                self.moe.num_expert_groups,
+                self.moe.max_groups_per_token,
+            )
+        else:
+            decision = topk_routing(selection_scores, self.moe.experts_per_token)
+        # Gate weights come from the unbiased affinities.
+        weights = _normalized_weights(scores, decision.expert_ids)
+        return RoutingDecision(decision.expert_ids, weights, scores)
+
+    def update_bias(self, decision: RoutingDecision) -> None:
+        """Aux-loss-free balancing: bias against overloaded experts."""
+        load = expert_load(decision, self.moe.num_routed_experts)
+        violation = load - load.mean()
+        self.bias -= self.bias_update_speed * np.sign(violation).astype(np.float32)
+
+
+def expert_load(decision: RoutingDecision, num_experts: int) -> np.ndarray:
+    """Tokens assigned to each expert, [num_experts]."""
+    return np.bincount(decision.expert_ids.ravel(), minlength=num_experts).astype(
+        np.float64
+    )
+
+
+def load_imbalance(decision: RoutingDecision, num_experts: int) -> float:
+    """Max-over-mean expert load (1.0 = perfectly balanced)."""
+    load = expert_load(decision, num_experts)
+    mean = load.mean()
+    if mean == 0:
+        return 0.0
+    return float(load.max() / mean)
+
+
+def nodes_touched(decision: RoutingDecision, num_groups: int, num_experts: int) -> np.ndarray:
+    """Distinct expert groups (nodes) each token's routed experts span.
+
+    This is the M of Section 4.3: a token's deduplicated IB dispatch
+    cost is ``M * t`` instead of ``k * t``.
+    """
+    if num_experts % num_groups != 0:
+        raise ValueError("experts must divide evenly into groups")
+    group_size = num_experts // num_groups
+    groups = decision.expert_ids // group_size
+    counts = np.array([len(np.unique(row)) for row in groups])
+    return counts
+
+
+def mean_nodes_touched(decision: RoutingDecision, num_groups: int, num_experts: int) -> float:
+    """Average M across tokens."""
+    return float(nodes_touched(decision, num_groups, num_experts).mean())

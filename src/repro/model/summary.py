@@ -1,0 +1,92 @@
+"""Textual architecture summaries (the Figure 1 overview as text).
+
+Produces the per-component breakdown Figure 1 annotates: the MLA
+stack with its latent ranks, the DeepSeekMoE layer structure, the MTP
+module, parameter totals and the precision each block computes in
+(FP8 GEMMs with BF16 I/O, per the figure's legend).
+"""
+
+from __future__ import annotations
+
+from .config import AttentionKind, ModelConfig
+from .flops import training_flops_per_token
+from .kvcache import kv_cache_bytes_per_token
+from .params import count_params
+
+
+def _fmt_count(n: float) -> str:
+    if n >= 1e9:
+        return f"{n / 1e9:.2f}B"
+    if n >= 1e6:
+        return f"{n / 1e6:.2f}M"
+    return f"{n / 1e3:.1f}K"
+
+
+def architecture_summary(model: ModelConfig, seq_len: int = 4096) -> str:
+    """Multi-line architecture summary of ``model``."""
+    p = count_params(model)
+    attn = model.attention
+    lines = [
+        f"{model.name}",
+        "=" * max(20, len(model.name)),
+        f"hidden {model.hidden_size}, {model.num_layers} layers, vocab {model.vocab_size}",
+        "",
+        f"attention: {attn.kind.value.upper()}, {attn.num_heads} heads",
+    ]
+    if attn.kind is AttentionKind.MLA:
+        lines += [
+            f"  q compression rank {attn.q_lora_rank or '-'}, joint KV rank {attn.kv_lora_rank}",
+            f"  per-head dims: qk {attn.qk_head_dim} + rope {attn.qk_rope_head_dim}, v {attn.v_head_dim}",
+            f"  cached per token per layer: {attn.kv_lora_rank + attn.qk_rope_head_dim} elements (latent + rope key)",
+        ]
+    else:
+        lines += [
+            f"  kv heads {attn.num_kv_heads}, per-head dim {attn.qk_head_dim}",
+        ]
+    lines.append("")
+    if model.moe is not None:
+        moe = model.moe
+        lines += [
+            (
+                f"ffn: DeepSeekMoE in {model.num_moe_layers}/{model.num_layers} layers "
+                f"(first {model.num_dense_layers} dense @ {model.ffn_intermediate_size})"
+            ),
+            (
+                f"  {moe.num_routed_experts} routed experts @ {moe.intermediate_size}, "
+                f"top-{moe.experts_per_token} + {moe.num_shared_experts} shared"
+            ),
+        ]
+        if moe.num_expert_groups > 1:
+            lines.append(
+                f"  node-limited routing: {moe.num_expert_groups} groups, "
+                f"<= {moe.max_groups_per_token or moe.num_expert_groups} groups/token"
+            )
+    else:
+        lines.append(f"ffn: dense SwiGLU @ {model.ffn_intermediate_size}")
+    if model.num_mtp_modules:
+        lines.append(f"mtp: {model.num_mtp_modules} module(s), one extra layer each")
+    lines += [
+        "",
+        f"parameters: total {_fmt_count(p.total)} (main {_fmt_count(p.total_main)}), "
+        f"activated {_fmt_count(p.active)}",
+        f"kv cache: {kv_cache_bytes_per_token(model) / 1000:.3f} KB/token (BF16)",
+        f"training cost: {training_flops_per_token(model, seq_len) / 1e9:.0f} GFLOPS/token "
+        f"(seq {seq_len}, causal)",
+        "precision: FP8 GEMMs (1x128 act / 128x128 weight scaling), BF16 I/O",
+    ]
+    return "\n".join(lines)
+
+
+def parameter_table(model: ModelConfig) -> list[tuple[str, int]]:
+    """(component, parameter count) rows for reporting."""
+    p = count_params(model)
+    rows = [
+        ("embedding", p.embedding),
+        ("output head", p.output_head),
+        ("attention", p.attention),
+        ("dense FFN", p.dense_ffn),
+        ("MoE experts (total)", p.moe_total),
+        ("gates", p.gates),
+        ("MTP modules", p.mtp_total),
+    ]
+    return [(name, count) for name, count in rows if count]

@@ -1,0 +1,152 @@
+"""A runnable numpy transformer assembling MLA/GQA attention and MoE.
+
+This is the inference-path reference model (Figure 1's architecture):
+token embedding, RMSNorm pre-norm transformer layers whose FFN is dense
+for the first ``num_dense_layers`` layers and DeepSeekMoE elsewhere,
+a final norm and an output head, plus optional Multi-Token Prediction
+modules for speculative decoding (Section 2.3.3).
+
+The trainable (autograd) counterpart lives in :mod:`repro.training`;
+this one is pure-numpy forward and is used by the attention/KV-cache
+equivalence tests and the speculative-decoding simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import build_attention
+from .config import ModelConfig
+from .kvcache import LayerKVCache
+from .moe import DeepSeekMoELayer, DenseFfn
+
+
+class RMSNorm:
+    """Root-mean-square layer norm with learned gain."""
+
+    def __init__(self, dim: int) -> None:
+        self.weight = np.ones(dim, dtype=np.float32)
+        self.eps = 1e-6
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Normalize the last axis."""
+        rms = np.sqrt(np.mean(np.square(x), axis=-1, keepdims=True) + self.eps)
+        return x / rms * self.weight
+
+
+class TransformerLayer:
+    """Pre-norm attention + FFN block."""
+
+    def __init__(self, model: ModelConfig, use_moe: bool, rng: np.random.Generator) -> None:
+        h = model.hidden_size
+        self.attn_norm = RMSNorm(h)
+        self.attention = build_attention(model.attention, h, rng)
+        self.ffn_norm = RMSNorm(h)
+        if use_moe:
+            if model.moe is None:
+                raise ValueError("use_moe requires a MoE config")
+            self.ffn: DeepSeekMoELayer | DenseFfn = DeepSeekMoELayer(model.moe, h, rng)
+        else:
+            self.ffn = DenseFfn(h, model.ffn_intermediate_size, rng)
+
+    @property
+    def is_moe(self) -> bool:
+        """True when the FFN is a MoE layer."""
+        return isinstance(self.ffn, DeepSeekMoELayer)
+
+    def __call__(self, x: np.ndarray, cache: LayerKVCache) -> np.ndarray:
+        """Apply the block to ``x`` [batch, t, hidden]."""
+        x = x + self.attention(self.attn_norm(x), cache)
+        return x + self.ffn(self.ffn_norm(x))
+
+
+class MTPModule:
+    """One Multi-Token Prediction module (Section 2.3.3, Figure 1 top).
+
+    A lightweight single transformer layer that predicts the *next*
+    token after the main model's prediction: it fuses the main model's
+    final hidden state with the embedding of the newly drafted token
+    through a linear projection, runs one layer, and reuses the shared
+    output head.
+    """
+
+    def __init__(self, model: ModelConfig, rng: np.random.Generator) -> None:
+        h = model.hidden_size
+        self.hidden_norm = RMSNorm(h)
+        self.embed_norm = RMSNorm(h)
+        self.proj = rng.normal(0.0, 1.0 / np.sqrt(2 * h), size=(2 * h, h)).astype(np.float32)
+        self.layer = TransformerLayer(model, use_moe=model.is_moe, rng=rng)
+
+    def __call__(
+        self, hidden: np.ndarray, token_embedding: np.ndarray, cache: LayerKVCache
+    ) -> np.ndarray:
+        """Fuse hidden [b,t,h] with embeddings [b,t,h] and run the layer."""
+        fused = np.concatenate(
+            [self.hidden_norm(hidden), self.embed_norm(token_embedding)], axis=-1
+        )
+        return self.layer(fused @ self.proj, cache)
+
+
+class Transformer:
+    """The assembled reference model with incremental decoding."""
+
+    def __init__(self, model: ModelConfig, seed: int = 0) -> None:
+        self.config = model
+        rng = np.random.default_rng(seed)
+        h = model.hidden_size
+        self.embedding = rng.normal(0.0, 0.02, size=(model.vocab_size, h)).astype(np.float32)
+        self.layers = [
+            TransformerLayer(model, use_moe=model.is_moe and i >= model.num_dense_layers, rng=rng)
+            for i in range(model.num_layers)
+        ]
+        self.final_norm = RMSNorm(h)
+        if model.tie_embeddings:
+            self.lm_head = self.embedding.T
+        else:
+            self.lm_head = rng.normal(0.0, 0.02, size=(h, model.vocab_size)).astype(np.float32)
+        self.mtp_modules = [MTPModule(model, rng) for _ in range(model.num_mtp_modules)]
+
+    def make_caches(self, batch_size: int) -> list[LayerKVCache]:
+        """Fresh caches for the main layers followed by MTP layers."""
+        caches = [layer.attention.make_cache(batch_size) for layer in self.layers]
+        caches += [m.layer.attention.make_cache(batch_size) for m in self.mtp_modules]
+        return caches
+
+    def forward_hidden(
+        self, tokens: np.ndarray, caches: list[LayerKVCache]
+    ) -> np.ndarray:
+        """Run the main trunk on ``tokens`` [batch, t]; return hidden states."""
+        x = self.embedding[tokens]
+        for layer, cache in zip(self.layers, caches):
+            x = layer(x, cache)
+        return self.final_norm(x)
+
+    def forward(self, tokens: np.ndarray, caches: list[LayerKVCache]) -> np.ndarray:
+        """Logits [batch, t, vocab] for ``tokens`` [batch, t]."""
+        return self.forward_hidden(tokens, caches) @ self.lm_head
+
+    def mtp_draft_logits(
+        self,
+        hidden: np.ndarray,
+        draft_tokens: np.ndarray,
+        caches: list[LayerKVCache],
+        module_index: int = 0,
+    ) -> np.ndarray:
+        """Logits from MTP module ``module_index`` for the token after
+        ``draft_tokens`` [batch, t], given trunk hidden states."""
+        module = self.mtp_modules[module_index]
+        cache = caches[len(self.layers) + module_index]
+        out = module(hidden, self.embedding[draft_tokens], cache)
+        return self.final_norm(out) @ self.lm_head
+
+    def greedy_generate(self, prompt: np.ndarray, num_tokens: int) -> np.ndarray:
+        """Greedy decode ``num_tokens`` after ``prompt`` [batch, t]."""
+        caches = self.make_caches(prompt.shape[0])
+        logits = self.forward(prompt, caches)
+        out = []
+        token = np.argmax(logits[:, -1], axis=-1)
+        for _ in range(num_tokens):
+            out.append(token)
+            logits = self.forward(token[:, None], caches)
+            token = np.argmax(logits[:, -1], axis=-1)
+        return np.stack(out, axis=1)

@@ -1,0 +1,207 @@
+"""Collective traffic generators and NCCL-style bandwidth accounting.
+
+Builds the flow sets behind the paper's communication experiments:
+
+* all-to-all across a cluster (Figures 5-6), with or without PXN
+  forwarding,
+* ring AllGather / ReduceScatter on a routed fat tree (Figure 8),
+
+and converts completion times into the NCCL test conventions:
+``algbw = bytes_per_rank / time`` and ``busbw = algbw * (N-1)/N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .flowsim import Flow, FlowSimulator
+from .latency import IB, LinkLayerLatency, path_latency
+from .multiplane import ClusterNetwork, direct_path, pxn_path, pxn_relay
+from .routing import RoutingPolicy, ecmp_index, equal_cost_paths, route_flow
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class CollectiveResult:
+    """Measured outcome of one collective operation.
+
+    Attributes:
+        time: Completion time of the slowest flow (seconds).
+        bytes_per_rank: Data each rank contributed (NCCL "size").
+        num_ranks: Participants.
+    """
+
+    time: float
+    bytes_per_rank: float
+    num_ranks: int
+
+    @property
+    def algbw(self) -> float:
+        """NCCL algorithm bandwidth, bytes/s."""
+        if self.time == 0:
+            return float("inf")
+        return self.bytes_per_rank / self.time
+
+    @property
+    def busbw(self) -> float:
+        """NCCL bus bandwidth, bytes/s: algbw x (N-1)/N."""
+        return self.algbw * (self.num_ranks - 1) / self.num_ranks
+
+
+def pair_flows(
+    cluster: ClusterNetwork,
+    src: str,
+    dst: str,
+    size: float,
+    use_pxn: bool = True,
+    spread: str = "adaptive",
+    layer: LinkLayerLatency = IB,
+    tag: str = "",
+) -> list[Flow]:
+    """Flows realizing one src -> dst transfer on a cluster.
+
+    Same-node pairs use NVLink.  Cross-node pairs enter the network on
+    the destination plane (PXN) or on the shortest graph path; the
+    network segment is spread over the plane's equal-cost spine paths:
+
+    * ``"adaptive"`` — even fractional split (IB adaptive routing /
+      multi-QP spraying; the production default),
+    * ``"ecmp"`` — one hash-selected path,
+    * ``"first"`` — the deterministically first path (pathological).
+    """
+    topo = cluster.topology
+    if cluster.same_node(src, dst):
+        path = [src, f"n{cluster.node_of[src]}/nvsw", dst]
+        return [Flow(src, dst, size, path, latency=path_latency(cluster, path, layer), tag=tag)]
+    if use_pxn:
+        prefix, net_src = pxn_relay(cluster, src, dst)
+    else:
+        prefix, net_src = [], src
+    paths = equal_cost_paths(topo, net_src, dst) if use_pxn else [direct_path(cluster, src, dst)]
+    if not use_pxn:
+        # Spread the direct path too, over its equal-cost variants.
+        paths = equal_cost_paths(topo, src, dst)
+    full_paths = [prefix + p if prefix else p for p in paths]
+    latency = path_latency(cluster, full_paths[0], layer)
+    if spread == "adaptive":
+        share = size / len(full_paths)
+        return [Flow(src, dst, share, p, latency=latency, tag=tag) for p in full_paths]
+    if spread == "ecmp":
+        chosen = full_paths[ecmp_index(src, dst, len(full_paths))]
+    elif spread == "first":
+        chosen = full_paths[0]
+    else:
+        raise ValueError(f"unknown spread {spread!r}")
+    return [Flow(src, dst, size, chosen, latency=latency, tag=tag)]
+
+
+def all_to_all_flows(
+    cluster: ClusterNetwork,
+    participants: list[str],
+    bytes_per_pair: float,
+    use_pxn: bool = True,
+    layer: LinkLayerLatency = IB,
+    spread: str = "adaptive",
+) -> list[Flow]:
+    """Flows of a full all-to-all among ``participants``.
+
+    Each ordered pair (src != dst) exchanges ``bytes_per_pair``.  With
+    ``use_pxn`` cross-plane traffic relays over NVLink onto the
+    destination plane (mandatory on MPFT; NCCL's PXN behaviour on
+    MRFT); without it, the direct shortest graph path is used.
+    """
+    flows = []
+    for src in participants:
+        for dst in participants:
+            if src == dst:
+                continue
+            flows.extend(
+                pair_flows(
+                    cluster, src, dst, bytes_per_pair, use_pxn, spread, layer, tag="a2a"
+                )
+            )
+    return flows
+
+
+def run_all_to_all(
+    cluster: ClusterNetwork,
+    participants: list[str],
+    bytes_per_pair: float,
+    use_pxn: bool = True,
+    layer: LinkLayerLatency = IB,
+    spread: str = "adaptive",
+    mode: str = "event",
+) -> CollectiveResult:
+    """Simulate an all-to-all and report NCCL-convention bandwidths.
+
+    ``mode`` selects the flow-simulator fidelity ("event" exact,
+    "drain" fluid bound — accurate here and much faster at scale).
+    """
+    n = len(participants)
+    if n < 2:
+        raise ValueError("need at least two participants")
+    flows = all_to_all_flows(cluster, participants, bytes_per_pair, use_pxn, layer, spread)
+    result = FlowSimulator(cluster.topology).simulate(flows, mode=mode)
+    return CollectiveResult(
+        time=result.makespan,
+        bytes_per_rank=bytes_per_pair * n,
+        num_ranks=n,
+    )
+
+
+def ring_collective_flows(
+    topology: Topology,
+    ring: list[str],
+    buffer_bytes: float,
+    policy: RoutingPolicy,
+    static_table: dict[tuple[str, str], int] | None = None,
+    tag: str = "ring",
+) -> list[Flow]:
+    """Flows of a ring AllGather (== ReduceScatter traffic, reversed).
+
+    A ring of N ranks moves ``(N-1)/N x buffer_bytes`` over each
+    neighbour link in total; the N-1 pipelined steps are aggregated
+    into one flow per neighbour pair, which preserves per-link volume
+    (what determines bandwidth-dominated completion).
+    """
+    n = len(ring)
+    if n < 2:
+        raise ValueError("a ring needs at least two ranks")
+    per_link = buffer_bytes * (n - 1) / n
+    flows: list[Flow] = []
+    for i, src in enumerate(ring):
+        dst = ring[(i + 1) % n]
+        flows.extend(
+            route_flow(topology, src, dst, per_link, policy, static_table=static_table, tag=tag)
+        )
+    return flows
+
+
+def run_concurrent_rings(
+    topology: Topology,
+    rings: list[list[str]],
+    buffer_bytes: float,
+    policy: RoutingPolicy,
+    static_table: dict[tuple[str, str], int] | None = None,
+) -> CollectiveResult:
+    """Simulate several rings sharing the fabric (the Figure 8 setup).
+
+    Returns a result whose ``time`` is the completion of the slowest
+    ring and whose bandwidth figures use one ring's per-rank bytes (all
+    rings are the same size).
+    """
+    if not rings:
+        raise ValueError("need at least one ring")
+    flows: list[Flow] = []
+    for r, ring in enumerate(rings):
+        flows.extend(
+            ring_collective_flows(
+                topology, ring, buffer_bytes, policy, static_table, tag=f"ring{r}"
+            )
+        )
+    result = FlowSimulator(topology).simulate(flows)
+    return CollectiveResult(
+        time=result.makespan,
+        bytes_per_rank=buffer_bytes,
+        num_ranks=len(rings[0]),
+    )

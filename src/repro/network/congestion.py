@@ -1,0 +1,104 @@
+"""Incast congestion and traffic isolation (Section 5.2.2, item 3).
+
+Mixed AI workloads put bursty many-to-one all-to-all traffic (EP) on
+the same switch ports as latency-sensitive flows.  RoCE switches offer
+only a handful of priority queues; when the incast burst and a victim
+flow share a queue, the victim waits behind the whole burst.  The
+paper's fixes: virtual output queuing (a queue per QP) or better
+endpoint congestion control that keeps the burst from queueing at all.
+
+The model is an output-port queue: an incast of ``n`` senders delivers
+``n x burst_bytes`` into one egress port while a small victim flow
+arrives mid-burst.
+
+* ``"shared_queue"`` — victim queues behind the residual burst (FIFO).
+* ``"priority_queues"`` — the victim is isolated *only if* one of the
+  few priority classes is free for it; with more concurrent traffic
+  classes than queues, collision probability grows and the expected
+  delay interpolates toward the shared queue.
+* ``"voq"`` — per-QP virtual output queues: the victim shares the wire
+  fairly with the burst only for its own serialization time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ISOLATION_SCHEMES = ("shared_queue", "priority_queues", "voq")
+
+
+@dataclass(frozen=True)
+class IncastScenario:
+    """A many-to-one burst plus a small latency-sensitive victim flow.
+
+    Attributes:
+        num_senders: Concurrent incast senders.
+        burst_bytes: Bytes each sender contributes.
+        victim_bytes: Victim flow size.
+        port_bandwidth: Egress port bandwidth (bytes/s).
+        victim_arrival_fraction: When the victim arrives, as a fraction
+            of the burst drain time (0 = with the burst's start).
+    """
+
+    num_senders: int = 16
+    burst_bytes: float = 4 << 20
+    victim_bytes: float = 64 << 10
+    port_bandwidth: float = 50e9
+    victim_arrival_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_senders < 1 or self.port_bandwidth <= 0:
+            raise ValueError("need >=1 sender and positive bandwidth")
+        if not 0 <= self.victim_arrival_fraction <= 1:
+            raise ValueError("victim_arrival_fraction must be in [0, 1]")
+
+    @property
+    def burst_drain_time(self) -> float:
+        """Time to drain the whole incast burst through the port."""
+        return self.num_senders * self.burst_bytes / self.port_bandwidth
+
+    @property
+    def victim_serialization(self) -> float:
+        """Victim wire time in isolation."""
+        return self.victim_bytes / self.port_bandwidth
+
+
+def victim_completion_time(
+    scenario: IncastScenario,
+    scheme: str = "shared_queue",
+    num_priority_queues: int = 8,
+    num_traffic_classes: int = 8,
+) -> float:
+    """Victim flow completion (from its arrival) under a queue scheme.
+
+    Args:
+        scenario: The incast setup.
+        scheme: One of :data:`ISOLATION_SCHEMES`.
+        num_priority_queues: Hardware priority queues available.
+        num_traffic_classes: Concurrent traffic classes competing for
+            them (the paper: today's queues are "insufficient for
+            complex AI workloads").
+
+    Returns:
+        Seconds from victim arrival to its last byte.
+    """
+    if scheme not in ISOLATION_SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    if num_priority_queues < 1 or num_traffic_classes < 1:
+        raise ValueError("queue/class counts must be positive")
+    residual = scenario.burst_drain_time * (1 - scenario.victim_arrival_fraction)
+    if scheme == "shared_queue":
+        return residual + scenario.victim_serialization
+    if scheme == "voq":
+        # Per-QP queue: the victim only shares the wire momentarily;
+        # fair interleaving doubles its serialization at worst.
+        return 2 * scenario.victim_serialization
+    # priority_queues: isolated when it lands in a free class.
+    collision = max(0.0, 1.0 - num_priority_queues / num_traffic_classes)
+    isolated = 2 * scenario.victim_serialization
+    return isolated + collision * residual
+
+
+def victim_slowdown(scenario: IncastScenario, scheme: str, **kwargs) -> float:
+    """Victim completion inflation vs its isolated wire time."""
+    return victim_completion_time(scenario, scheme, **kwargs) / scenario.victim_serialization

@@ -1,0 +1,99 @@
+"""Network cost model (Table 3), following the Slim Fly methodology.
+
+The Slim Fly paper (Blach et al., NSDI'24) costs a network as switches
+plus cables, with inter-switch cables (long runs, optical) priced
+differently from endpoint cables (short runs, electrical/DAC).  Fitting
+that three-parameter model to the paper's own Table 3 rows gives:
+
+* 64-port 400G switch:        ~$52.9k
+* inter-switch (optical):     ~$1,444 per link
+* endpoint (electrical):      ~$469 per link
+
+which reproduces all five columns within ~1.5% (the dragonfly row is
++1.4%; the fat-tree and slim fly rows are exact to three digits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dragonfly import DragonflyParams, dragonfly_spec
+from .fattree import ft2_spec, ft3_spec
+from .slimfly import slimfly_spec
+from .topology import TopologySpec
+
+#: Fitted cost parameters (US$), see module docstring.
+SWITCH_COST = 52_934.0
+INTERSWITCH_LINK_COST = 1_444.0
+ENDPOINT_LINK_COST = 469.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-component network prices."""
+
+    switch: float = SWITCH_COST
+    interswitch_link: float = INTERSWITCH_LINK_COST
+    endpoint_link: float = ENDPOINT_LINK_COST
+
+    def total(self, spec: TopologySpec) -> float:
+        """Capital cost of a topology (US$)."""
+        return (
+            spec.switches * self.switch
+            + spec.links * self.interswitch_link
+            + spec.endpoints * self.endpoint_link
+        )
+
+    def per_endpoint(self, spec: TopologySpec) -> float:
+        """Cost per endpoint (US$)."""
+        if spec.endpoints == 0:
+            raise ValueError("topology has no endpoints")
+        return self.total(spec) / spec.endpoints
+
+
+@dataclass(frozen=True)
+class TopologyCostRow:
+    """One Table 3 column."""
+
+    spec: TopologySpec
+    cost_musd: float
+    cost_per_endpoint_kusd: float
+
+
+def mpft_spec(radix: int = 64, planes: int = 8, name: str = "MPFT") -> TopologySpec:
+    """The multi-plane FT2: ``planes`` disjoint copies of the FT2."""
+    base = ft2_spec(radix)
+    return TopologySpec(
+        name=name,
+        endpoints=planes * base.endpoints,
+        switches=planes * base.switches,
+        links=planes * base.links,
+    )
+
+
+def table3_specs(radix: int = 64) -> list[TopologySpec]:
+    """The five Table 3 topologies at the paper's scales."""
+    return [
+        ft2_spec(radix),
+        mpft_spec(radix),
+        ft3_spec(radix),
+        slimfly_spec(28),
+        dragonfly_spec(DragonflyParams.balanced(radix, g=511)),
+    ]
+
+
+def table3_rows(
+    specs: list[TopologySpec] | None = None, model: CostModel | None = None
+) -> list[TopologyCostRow]:
+    """Build the Table 3 comparison."""
+    model = model or CostModel()
+    rows = []
+    for spec in specs or table3_specs():
+        rows.append(
+            TopologyCostRow(
+                spec=spec,
+                cost_musd=model.total(spec) / 1e6,
+                cost_per_endpoint_kusd=model.per_endpoint(spec) / 1e3,
+            )
+        )
+    return rows

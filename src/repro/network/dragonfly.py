@@ -1,0 +1,115 @@
+"""Canonical Dragonfly topology: sizing formulas and graph construction.
+
+The canonical dragonfly (Kim et al., ISCA'08) groups ``a`` routers into
+fully connected groups; each router hosts ``p`` endpoints and drives
+``h`` global links; groups are connected pairwise by the global links.
+A balanced radix-k design uses ``a = k/2, p = h = k/4`` and supports up
+to ``g = a h + 1`` groups.  Table 3's DF column is the radix-64 design
+at ``g = 511``: 16,352 switches, 261,632 endpoints, 384,272 links
+(253,456 intra-group + 130,816 global).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .topology import ENDPOINT_LINK, INTERSWITCH_LINK, Topology, TopologySpec
+
+
+@dataclass(frozen=True)
+class DragonflyParams:
+    """Canonical dragonfly parameters.
+
+    Attributes:
+        p: Endpoints per router.
+        a: Routers per group.
+        h: Global links per router.
+        g: Number of groups.
+    """
+
+    p: int
+    a: int
+    h: int
+    g: int
+
+    def __post_init__(self) -> None:
+        if min(self.p, self.a, self.h, self.g) < 1:
+            raise ValueError("all parameters must be positive")
+        if self.g > self.a * self.h + 1:
+            raise ValueError(
+                f"g={self.g} exceeds the a*h+1={self.a * self.h + 1} group limit"
+            )
+
+    @property
+    def router_radix(self) -> int:
+        """Ports per router: p + (a-1) + h."""
+        return self.p + (self.a - 1) + self.h
+
+    @classmethod
+    def balanced(cls, radix: int, g: int | None = None) -> "DragonflyParams":
+        """Balanced design for a router radix: a = 2p = 2h."""
+        if radix % 4 != 0:
+            raise ValueError("balanced dragonfly needs radix divisible by 4")
+        p = h = radix // 4
+        a = radix // 2
+        max_g = a * h + 1
+        return cls(p=p, a=a, h=h, g=g if g is not None else max_g)
+
+
+def dragonfly_spec(params: DragonflyParams, name: str = "DF") -> TopologySpec:
+    """Size of the dragonfly: switches ``a g``, endpoints ``p a g``,
+    links ``g a (a-1) / 2`` intra plus global links."""
+    intra = params.g * params.a * (params.a - 1) // 2
+    global_links = _num_global_links(params)
+    return TopologySpec(
+        name=name,
+        endpoints=params.p * params.a * params.g,
+        switches=params.a * params.g,
+        links=intra + global_links,
+    )
+
+
+def _num_global_links(params: DragonflyParams) -> int:
+    # Table 3's counting populates every global port: g groups x a*h
+    # ports each, two ports per link.  At the maximum g = a*h + 1 this
+    # equals one link per group pair, g*(g-1)/2; for smaller g the
+    # surplus ports become parallel links between group pairs.
+    return params.g * params.a * params.h // 2
+
+
+def build_dragonfly(
+    params: DragonflyParams, link_bandwidth: float = 50e9, name: str = "DF"
+) -> Topology:
+    """Construct the dragonfly graph (for small parameter sets).
+
+    Global link between groups i < j leaves group i from router
+    ``(j-1) // h`` and enters group j at router ``i // h`` — the
+    canonical consecutive assignment.
+    """
+    topo = Topology(name)
+
+    def rname(group: int, router: int) -> str:
+        return f"{name}/g{group}r{router}"
+
+    hid = 0
+    for group in range(params.g):
+        for router in range(params.a):
+            topo.add_switch(rname(group, router), group=group)
+            for _ in range(params.p):
+                host = f"h{hid}"
+                topo.add_host(host, leaf=rname(group, router))
+                topo.add_link(host, rname(group, router), link_bandwidth, ENDPOINT_LINK)
+                hid += 1
+        for r1 in range(params.a):
+            for r2 in range(r1 + 1, params.a):
+                topo.add_link(
+                    rname(group, r1), rname(group, r2), link_bandwidth, INTERSWITCH_LINK
+                )
+    for i in range(params.g):
+        for j in range(i + 1, params.g):
+            src_router = ((j - 1) % (params.a * params.h)) // params.h
+            dst_router = (i % (params.a * params.h)) // params.h
+            topo.add_link(
+                rname(i, src_router), rname(j, dst_router), link_bandwidth, INTERSWITCH_LINK
+            )
+    return topo

@@ -1,0 +1,98 @@
+"""The ideal multi-plane NIC of Figure 4: port bonding + out-of-order
+placement.
+
+Today's CX7 exposes one port per plane, so a queue pair is pinned to a
+plane and cross-plane traffic needs intra-node forwarding.  The paper's
+ideal NIC bonds multiple physical ports — one per plane — under a
+single logical interface: one QP sprays packets over all planes, which
+requires the receiving NIC to place packets out of order (ConnectX-8
+supports four planes natively).
+
+The model quantifies what bonding buys for a single message:
+
+* ``"single_port"`` — today's NIC: one plane's bandwidth.
+* ``"bonded_ooo"``  — spray over k planes with out-of-order placement:
+  k-fold bandwidth; completion is the slowest plane's share.
+* ``"bonded_inorder"`` — bonding *without* OOO placement: the receiver
+  must stall each plane until the in-order point arrives, which
+  serializes planes whose packets interleave; modeled as losing the
+  spray benefit (effective single-plane bandwidth plus a reorder
+  penalty per out-of-order arrival batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BONDING_MODES = ("single_port", "bonded_ooo", "bonded_inorder")
+
+
+@dataclass(frozen=True)
+class MultiPortNic:
+    """An idealized multi-plane NIC.
+
+    Attributes:
+        num_planes: Physical ports (planes) bonded together.
+        port_bandwidth: Per-port bandwidth (bytes/s).
+        port_latency: Per-plane one-way latency (seconds).
+        plane_latency_skew: Max relative latency difference between
+            planes (drives the out-of-order window).
+        reorder_stall: Receiver stall per out-of-order batch when OOO
+            placement is unsupported.
+    """
+
+    num_planes: int = 4
+    port_bandwidth: float = 50e9
+    port_latency: float = 2.8e-6
+    plane_latency_skew: float = 0.2
+    reorder_stall: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.num_planes < 1 or self.port_bandwidth <= 0:
+            raise ValueError("need >=1 plane and positive bandwidth")
+        if not 0 <= self.plane_latency_skew < 1:
+            raise ValueError("plane_latency_skew must be in [0, 1)")
+
+
+def message_time(nic: MultiPortNic, message_bytes: float, mode: str = "bonded_ooo") -> float:
+    """Delivery time of one message under a bonding mode."""
+    if message_bytes < 0:
+        raise ValueError("message size must be non-negative")
+    if mode not in BONDING_MODES:
+        raise ValueError(f"unknown mode {mode!r}")
+    if mode == "single_port":
+        return nic.port_latency + message_bytes / nic.port_bandwidth
+    slowest = nic.port_latency * (1 + nic.plane_latency_skew)
+    if mode == "bonded_ooo":
+        # Even spray; completion when the slowest plane's share lands.
+        share = message_bytes / nic.num_planes
+        return slowest + share / nic.port_bandwidth
+    # bonded_inorder: packets from faster planes wait for the in-order
+    # point; every skew window triggers a reorder stall and the spray
+    # degenerates to sequential plane drains.
+    reorder_batches = max(0, nic.num_planes - 1)
+    return slowest + message_bytes / nic.port_bandwidth + reorder_batches * nic.reorder_stall
+
+
+def bonding_speedup(nic: MultiPortNic, message_bytes: float) -> float:
+    """Speedup of OOO bonding over today's single-port NIC."""
+    single = message_time(nic, message_bytes, "single_port")
+    bonded = message_time(nic, message_bytes, "bonded_ooo")
+    return single / bonded
+
+
+def max_two_layer_endpoints(
+    switch_radix: int, planes: int, ports_per_endpoint_per_plane: int = 1
+) -> int:
+    """Endpoints a two-layer fat tree supports with plane bonding.
+
+    Each plane remains an independent FT2 with radix^2/2 endpoints;
+    bonding does not change plane capacity but keeps the *logical*
+    endpoint count equal to the physical one while multiplying its
+    bandwidth — so a 64-port-switch, 8-plane network still addresses
+    radix^2/2 x planes NICs = 16,384 (the §5.1 scaling claim).
+    """
+    if switch_radix < 2 or planes < 1 or ports_per_endpoint_per_plane < 1:
+        raise ValueError("invalid radix/plane/port parameters")
+    per_plane = switch_radix**2 // 2
+    return per_plane * planes // ports_per_endpoint_per_plane

@@ -1,0 +1,111 @@
+"""Routing policies: ECMP hashing, adaptive routing, static tables.
+
+Section 5.2.2 / Figure 8 compare three ways of mapping flows onto the
+equal-cost paths of a fat tree:
+
+* **ECMP** — the switch hashes each flow's identifiers onto one path.
+  LLM traffic "lacks randomness" (few large flows, regular patterns),
+  so hash collisions routinely converge several flows on one uplink.
+* **Adaptive routing (AR)** — packets of one flow are sprayed across
+  every equal-cost path; modeled as an even fractional split.
+* **Static routing** — a manually configured table pins each (src,
+  dst) pair to a path; collision-free for the pattern it was tuned
+  for, but inflexible.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+
+from .flowsim import Flow
+from .topology import Topology
+
+
+class RoutingPolicy(enum.Enum):
+    """The routing schemes of Figure 8."""
+
+    ECMP = "ecmp"
+    ADAPTIVE = "adaptive"
+    STATIC = "static"
+
+
+def equal_cost_paths(topology: Topology, src: str, dst: str) -> list[list[str]]:
+    """All shortest paths, deterministically ordered."""
+    return sorted(topology.shortest_paths(src, dst))
+
+
+def ecmp_index(src: str, dst: str, num_paths: int, salt: int = 0) -> int:
+    """Deterministic ECMP hash of a flow's endpoints onto a path."""
+    if num_paths <= 0:
+        raise ValueError("num_paths must be positive")
+    digest = zlib.crc32(f"{src}->{dst}#{salt}".encode())
+    return digest % num_paths
+
+
+def route_flow(
+    topology: Topology,
+    src: str,
+    dst: str,
+    size: float,
+    policy: RoutingPolicy,
+    latency: float = 0.0,
+    static_table: dict[tuple[str, str], int] | None = None,
+    tag: str = "",
+) -> list[Flow]:
+    """Map one logical transfer onto concrete flow(s).
+
+    Args:
+        topology: The network.
+        src: Source host.
+        dst: Destination host.
+        size: Bytes.
+        policy: Path selection scheme.
+        latency: Startup latency to attach to each produced flow.
+        static_table: For STATIC, (src, dst) -> path index; pairs
+            absent from the table fall back to index 0.
+        tag: Label copied onto the flows.
+
+    Returns:
+        One flow (ECMP/STATIC) or one subflow per equal-cost path
+        (ADAPTIVE, evenly split — the packet-spraying fluid limit).
+    """
+    paths = equal_cost_paths(topology, src, dst)
+    if policy is RoutingPolicy.ADAPTIVE:
+        share = size / len(paths)
+        return [
+            Flow(src, dst, share, path, latency=latency, tag=tag) for path in paths
+        ]
+    if policy is RoutingPolicy.ECMP:
+        index = ecmp_index(src, dst, len(paths))
+    else:
+        index = (static_table or {}).get((src, dst), 0) % len(paths)
+    return [Flow(src, dst, size, paths[index], latency=latency, tag=tag)]
+
+
+def collision_free_static_table(
+    topology: Topology, pairs: list[tuple[str, str]]
+) -> dict[tuple[str, str], int]:
+    """Build a static table spreading ``pairs`` across paths greedily.
+
+    Emulates a manually tuned routing configuration: each pair is
+    assigned the equal-cost path whose links are least used by the
+    pairs placed so far.  Collision-free whenever capacity permits;
+    like real static routing, it only helps the traffic pattern it was
+    built for.
+    """
+    link_use: dict[tuple[str, str], int] = {}
+    table: dict[tuple[str, str], int] = {}
+    for src, dst in pairs:
+        paths = equal_cost_paths(topology, src, dst)
+        best_index, best_cost = 0, float("inf")
+        for i, path in enumerate(paths):
+            edges = list(zip(path[:-1], path[1:]))
+            cost = max((link_use.get(e, 0) for e in edges), default=0)
+            if cost < best_cost:
+                best_index, best_cost = i, cost
+        table[(src, dst)] = best_index
+        chosen = paths[best_index]
+        for e in zip(chosen[:-1], chosen[1:]):
+            link_use[e] = link_use.get(e, 0) + 1
+    return table

@@ -1,0 +1,138 @@
+"""Slim Fly (MMS) topology: sizing formulas and graph construction.
+
+Table 3 compares the multi-plane fat tree against the Slim Fly design
+(Blach et al., NSDI'24), whose cost methodology the paper borrows.  A
+Slim Fly over parameter ``q`` (``q = 4w + delta``, ``delta`` in
+{-1, 0, 1}) has ``2 q^2`` routers of network degree ``(3q - delta)/2``;
+each router hosts ``ceil(degree / 2)`` endpoints.  The paper's table
+uses ``q = 28``: 1,568 switches, 32,928 endpoints, 32,928 links.
+
+The sizing formulas accept any ``q``; the explicit McKay-Miller-Siran
+graph construction (used for simulation and diameter checks) is
+implemented for prime ``q``, which covers the small instances tests
+exercise.
+"""
+
+from __future__ import annotations
+
+from .topology import ENDPOINT_LINK, INTERSWITCH_LINK, Topology, TopologySpec
+
+
+def _delta(q: int) -> int:
+    for delta in (-1, 0, 1):
+        if (q - delta) % 4 == 0:
+            return delta
+    raise ValueError(f"q={q} is not of the form 4w + delta, delta in {{-1,0,1}}")
+
+
+def slimfly_network_degree(q: int) -> int:
+    """Router-to-router degree k' = (3q - delta) / 2."""
+    return (3 * q - _delta(q)) // 2
+
+
+def slimfly_spec(q: int, name: str = "SF") -> TopologySpec:
+    """Size of a Slim Fly over parameter ``q`` (Table 3 uses q=28)."""
+    if q < 2:
+        raise ValueError("q must be at least 2")
+    degree = slimfly_network_degree(q)
+    routers = 2 * q * q
+    endpoints_per_router = -(-degree // 2)  # ceil(k'/2)
+    return TopologySpec(
+        name=name,
+        endpoints=routers * endpoints_per_router,
+        switches=routers,
+        links=routers * degree // 2,
+    )
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 1
+    return True
+
+
+def _primitive_root(q: int) -> int:
+    order = q - 1
+    factors = set()
+    n, f = order, 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.add(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.add(n)
+    for g in range(2, q):
+        if all(pow(g, order // p, q) != 1 for p in factors):
+            return g
+    raise ValueError(f"no primitive root found for {q}")
+
+
+def build_slimfly(
+    q: int, link_bandwidth: float = 50e9, name: str = "SF", with_hosts: bool = True
+) -> Topology:
+    """Construct the MMS Slim Fly graph for prime ``q``.
+
+    Routers are (subgraph, x, y) with x, y in GF(q).  Connection rules
+    (McKay-Miller-Siran):
+
+    * (0, x, y) ~ (0, x, y')  iff  y - y' in X  (even generator powers)
+    * (1, m, c) ~ (1, m, c')  iff  c - c' in X' (odd generator powers)
+    * (0, x, y) ~ (1, m, c)   iff  y = m x + c
+    """
+    if not _is_prime(q):
+        raise ValueError(f"graph construction implemented for prime q, got {q}")
+    delta = _delta(q)
+    xi = _primitive_root(q)
+    if delta == 1:
+        even_count, odd_count = (q - 1) // 2, (q - 1) // 2
+    elif delta == -1:
+        even_count, odd_count = (q + 1) // 2, (q - 3) // 2 + 1
+    else:
+        even_count, odd_count = (q - 1) // 2, (q - 1) // 2
+    gen_x = {pow(xi, 2 * i, q) for i in range(max(even_count, 1))}
+    gen_xp = {pow(xi, 2 * i + 1, q) for i in range(max(odd_count, 1))}
+
+    topo = Topology(name)
+    routers = [(s, x, y) for s in (0, 1) for x in range(q) for y in range(q)]
+
+    def rname(r: tuple[int, int, int]) -> str:
+        return f"{name}/r{r[0]}_{r[1]}_{r[2]}"
+
+    for r in routers:
+        topo.add_switch(rname(r))
+    # Intra-subgraph edges.
+    for s, gens in ((0, gen_x), (1, gen_xp)):
+        for x in range(q):
+            for y in range(q):
+                for yp in range(y + 1, q):
+                    if (y - yp) % q in gens or (yp - y) % q in gens:
+                        topo.add_link(
+                            rname((s, x, y)),
+                            rname((s, x, yp)),
+                            link_bandwidth,
+                            INTERSWITCH_LINK,
+                        )
+    # Cross-subgraph edges: y = m x + c.
+    for x in range(q):
+        for y in range(q):
+            for m in range(q):
+                c = (y - m * x) % q
+                topo.add_link(
+                    rname((0, x, y)), rname((1, m, c)), link_bandwidth, INTERSWITCH_LINK
+                )
+    if with_hosts:
+        per_router = -(-slimfly_network_degree(q) // 2)
+        hid = 0
+        for r in routers:
+            for _ in range(per_router):
+                host = f"h{hid}"
+                topo.add_host(host, leaf=rname(r))
+                topo.add_link(host, rname(r), link_bandwidth, ENDPOINT_LINK)
+                hid += 1
+    return topo

@@ -1,0 +1,155 @@
+"""Per-GPU training memory model (Section 4.2's DualPipe memory claim).
+
+DeepSeek-V3 trains 671B parameters on 80 GB GPUs by composing:
+
+* **EP sharding of the routed experts** — each GPU stores only its
+  slice of the experts of its own pipeline layers;
+* **PP sharding of the trunk** — each DualPipe rank holds two model
+  chunks (one per direction), ~2/P of the layers;
+* **FP8 weights with sharded FP32 master copies + Adam moments**;
+* **activation memory bounded by the schedule** — with activation
+  checkpointing, what persists per in-flight micro-batch is a few
+  boundary tensors per layer.  1F1B buffers P micro-batches on the
+  first rank but only 1 on the last; DualPipe's bidirectional feed
+  gives every rank the same peak — the paper's "balances memory usage
+  across GPUs".
+
+The numbers are a capacity model, not a byte-exact allocator: the
+tests check the V3 configuration fits comfortably in 80 GB and that
+the schedule-imbalance claim holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model.config import ModelConfig
+from ..model.params import count_params
+
+BYTES_FP8 = 1
+BYTES_BF16 = 2
+BYTES_FP32 = 4
+
+
+@dataclass(frozen=True)
+class ShardingPlan:
+    """How the model is partitioned across the cluster.
+
+    Attributes:
+        pipeline_parallel: PP degree (DualPipe: 2 chunks per rank).
+        expert_parallel: Ways each layer's routed experts are sharded.
+        optimizer_shards: Ranks sharing the FP32 master/moment shards
+            (ZeRO-1 style over the replicated dimension).
+        microbatch_tokens: Tokens per pipeline micro-batch.
+        checkpoint_tensors_per_layer: Width-h tensors retained per
+            layer per token under activation recomputation.
+    """
+
+    pipeline_parallel: int = 16
+    expert_parallel: int = 64
+    optimizer_shards: int = 16
+    microbatch_tokens: int = 4096
+    checkpoint_tensors_per_layer: int = 2
+
+    def __post_init__(self) -> None:
+        if min(
+            self.pipeline_parallel,
+            self.expert_parallel,
+            self.optimizer_shards,
+            self.microbatch_tokens,
+            self.checkpoint_tensors_per_layer,
+        ) < 1:
+            raise ValueError("all plan parameters must be positive")
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-GPU memory (bytes)."""
+
+    weights: float
+    gradients: float
+    master_and_optimizer: float
+    activations: float
+
+    @property
+    def total(self) -> float:
+        """Total per-GPU footprint."""
+        return self.weights + self.gradients + self.master_and_optimizer + self.activations
+
+
+def params_per_gpu(model: ModelConfig, plan: ShardingPlan) -> float:
+    """Parameters resident on one GPU under the sharding plan.
+
+    The trunk (attention, dense FFNs, gates, embeddings/head and MTP,
+    amortized across ranks) takes a 2/P share; routed experts take a
+    further 1/EP of that share.
+    """
+    p = count_params(model)
+    trunk = p.attention + p.dense_ffn + p.gates + p.embedding + p.output_head + p.mtp_total
+    pp_share = min(1.0, 2.0 / plan.pipeline_parallel)
+    return trunk * pp_share + p.moe_total * pp_share / plan.expert_parallel
+
+
+def inflight_microbatches(schedule: str, pipeline_parallel: int, rank: int) -> int:
+    """Peak in-flight micro-batches on ``rank`` under a schedule.
+
+    * ``"1f1b"`` — rank r buffers ``P - r`` micro-batches (rank 0
+      holds P, the last rank holds 1: imbalanced).
+    * ``"dualpipe"`` — the two directions overlap symmetrically; every
+      rank peaks at ``P + 1`` (balanced).
+    """
+    if not 0 <= rank < pipeline_parallel:
+        raise ValueError("rank out of range")
+    if schedule == "1f1b":
+        return pipeline_parallel - rank
+    if schedule == "dualpipe":
+        return pipeline_parallel + 1
+    raise ValueError(f"unknown schedule {schedule!r}")
+
+
+def activation_imbalance(schedule: str, pipeline_parallel: int) -> float:
+    """Max-over-min peak activation count across ranks (1.0 = balanced)."""
+    counts = [
+        inflight_microbatches(schedule, pipeline_parallel, r)
+        for r in range(pipeline_parallel)
+    ]
+    return max(counts) / min(counts)
+
+
+def activation_bytes_per_microbatch(model: ModelConfig, plan: ShardingPlan) -> float:
+    """Persistent activation bytes of one in-flight micro-batch.
+
+    With recomputation, each of the rank's ~2L/P layers retains
+    ``checkpoint_tensors_per_layer`` width-h BF16 tensors per token.
+    """
+    layers_per_rank = max(1.0, 2.0 * model.num_layers / plan.pipeline_parallel)
+    per_token = plan.checkpoint_tensors_per_layer * model.hidden_size * BYTES_BF16
+    return plan.microbatch_tokens * layers_per_rank * per_token
+
+
+def training_memory_per_gpu(
+    model: ModelConfig,
+    plan: ShardingPlan,
+    schedule: str = "dualpipe",
+    rank: int = 0,
+    weight_bytes: int = BYTES_FP8,
+) -> MemoryBreakdown:
+    """Per-GPU training memory breakdown.
+
+    Weights at ``weight_bytes`` (FP8 in V3), gradients at BF16, FP32
+    master weights plus two Adam moments sharded ``optimizer_shards``
+    ways, activations from the schedule's peak in-flight count.
+    """
+    resident = params_per_gpu(model, plan)
+    inflight = inflight_microbatches(schedule, plan.pipeline_parallel, rank)
+    return MemoryBreakdown(
+        weights=resident * weight_bytes,
+        gradients=resident * BYTES_BF16,
+        master_and_optimizer=resident * 3 * BYTES_FP32 / plan.optimizer_shards,
+        activations=inflight * activation_bytes_per_microbatch(model, plan),
+    )
+
+
+def fits(model: ModelConfig, plan: ShardingPlan, hbm_bytes: float, **kwargs) -> bool:
+    """Whether the plan fits a GPU's memory with ~10% headroom."""
+    return training_memory_per_gpu(model, plan, **kwargs).total <= 0.9 * hbm_bytes

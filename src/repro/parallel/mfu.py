@@ -1,0 +1,66 @@
+"""Model FLOPs Utilization accounting (Table 4's TFLOPS/MFU rows).
+
+The paper computes MFU against BF16 peak, in two conventions:
+
+* **causal** — only the lower triangle of the attention matrix counts
+  (FlashAttention convention),
+* **non-causal** — the full attention matrix counts (Megatron
+  convention).
+
+Both use the same measured step time, so non-causal MFU is higher by
+exactly the extra attention FLOPs it credits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.hardware import GpuSpec, H800
+from ..model.config import ModelConfig
+from ..model.flops import training_flops_per_token
+
+
+@dataclass(frozen=True)
+class MfuReport:
+    """Throughput accounting of one measured training step."""
+
+    tokens_per_step: float
+    step_time: float
+    num_gpus: int
+    flops_per_token_causal: float
+    flops_per_token_noncausal: float
+    peak_flops: float
+
+    def achieved_flops_per_gpu(self, causal: bool = True) -> float:
+        """Achieved FLOP/s per GPU under the chosen convention."""
+        per_token = self.flops_per_token_causal if causal else self.flops_per_token_noncausal
+        return per_token * self.tokens_per_step / (self.step_time * self.num_gpus)
+
+    def tflops(self, causal: bool = True) -> float:
+        """Achieved TFLOPS per GPU (Table 4's TFLOPS rows)."""
+        return self.achieved_flops_per_gpu(causal) / 1e12
+
+    def mfu(self, causal: bool = True) -> float:
+        """Model FLOPs utilization against BF16 peak."""
+        return self.achieved_flops_per_gpu(causal) / self.peak_flops
+
+
+def mfu_report(
+    model: ModelConfig,
+    tokens_per_step: float,
+    step_time: float,
+    num_gpus: int,
+    seq_len: int = 4096,
+    gpu: GpuSpec = H800,
+) -> MfuReport:
+    """Build the MFU accounting for one training step measurement."""
+    if step_time <= 0 or num_gpus <= 0 or tokens_per_step <= 0:
+        raise ValueError("tokens, step time and GPU count must be positive")
+    return MfuReport(
+        tokens_per_step=tokens_per_step,
+        step_time=step_time,
+        num_gpus=num_gpus,
+        flops_per_token_causal=training_flops_per_token(model, seq_len, causal=True),
+        flops_per_token_noncausal=training_flops_per_token(model, seq_len, causal=False),
+        peak_flops=gpu.bf16_flops,
+    )

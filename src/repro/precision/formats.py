@@ -1,0 +1,143 @@
+"""Binary floating-point format descriptors and value-space quantizers.
+
+The paper's low-precision work (Section 3) revolves around a handful of
+formats: FP8 E4M3/E5M2 for storage and tensor-core inputs, the custom
+E5M6 considered for the combine stage, BF16 as the accuracy reference,
+and the *FP22* accumulator (1 sign, 8 exponent, 13 mantissa bits) that
+Hopper tensor cores accumulate FP8 products into (Section 3.1.1).
+
+:class:`FloatFormat` quantizes float32/64 arrays to the nearest value
+representable in the target format (round-to-nearest-even, saturating at
+the maximum finite value, flushing below the subnormal range to zero).
+This is a *value-space* emulation: the result is an ordinary numpy array
+whose elements are exactly representable in the target format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """An IEEE-like binary float format.
+
+    Attributes:
+        name: Display name (e.g. "E4M3").
+        exponent_bits: Exponent field width.
+        mantissa_bits: Stored (fractional) mantissa width.
+        finite_only: If True the top binade is used for normal values
+            except NaN (the "fn" convention of FP8 E4M3, giving 448
+            instead of 240).
+    """
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+    finite_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2 or self.mantissa_bits < 0:
+            raise ValueError("need >=2 exponent bits and >=0 mantissa bits")
+
+    @property
+    def bits(self) -> int:
+        """Total storage bits including the sign."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias."""
+        return 2 ** (self.exponent_bits - 1) - 1
+
+    @property
+    def min_exponent(self) -> int:
+        """Smallest normal exponent (unbiased)."""
+        return 1 - self.bias
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest normal exponent (unbiased)."""
+        # With finite_only (fn formats) the all-ones exponent encodes
+        # normal values too (bar one NaN pattern).
+        top = 2**self.exponent_bits - 1 - self.bias
+        return top if self.finite_only else top - 1
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        frac_max = 2.0 - 2.0 ** (-self.mantissa_bits)
+        if self.finite_only:
+            # fn convention: the very top code is NaN, so the largest
+            # mantissa pattern is excluded in the top binade.
+            frac_max = 2.0 - 2.0 ** (1 - self.mantissa_bits)
+        return frac_max * 2.0**self.max_exponent
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return 2.0**self.min_exponent
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive subnormal magnitude."""
+        return 2.0 ** (self.min_exponent - self.mantissa_bits)
+
+    @property
+    def epsilon(self) -> float:
+        """Relative spacing of values just above 1.0."""
+        return 2.0 ** (-self.mantissa_bits)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round ``x`` to the nearest representable value.
+
+        Round-to-nearest-even; magnitudes above ``max_value`` saturate;
+        magnitudes below half the smallest subnormal flush to zero.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        sign = np.sign(x)
+        mag = np.abs(x)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            exp = np.floor(np.log2(mag, out=np.zeros_like(mag), where=mag > 0))
+        exp = np.clip(exp, self.min_exponent, self.max_exponent)
+        step = np.exp2(exp - self.mantissa_bits)
+        q = np.round(mag / step) * step
+        q = np.minimum(q, self.max_value)
+        q = np.where(mag == 0, 0.0, q)
+        return (sign * q).astype(np.float32)
+
+    def quantization_error(self, x: np.ndarray) -> float:
+        """RMS relative quantization error of ``x`` under this format."""
+        x = np.asarray(x, dtype=np.float64)
+        q = self.quantize(x).astype(np.float64)
+        denom = np.sqrt(np.mean(x**2))
+        if denom == 0:
+            return 0.0
+        return float(np.sqrt(np.mean((q - x) ** 2)) / denom)
+
+
+# --- The formats the paper discusses ----------------------------------------
+
+E4M3 = FloatFormat("E4M3", exponent_bits=4, mantissa_bits=3, finite_only=True)
+E5M2 = FloatFormat("E5M2", exponent_bits=5, mantissa_bits=2)
+E5M6 = FloatFormat("E5M6", exponent_bits=5, mantissa_bits=6)
+BF16 = FloatFormat("BF16", exponent_bits=8, mantissa_bits=7)
+FP16 = FloatFormat("FP16", exponent_bits=5, mantissa_bits=10)
+FP32 = FloatFormat("FP32", exponent_bits=8, mantissa_bits=23)
+
+#: Hopper tensor-core FP8 accumulation register (Section 3.1.1): 1 sign
+#: bit, 8 exponent bits, 13 mantissa bits.
+FP22_ACCUM = FloatFormat("FP22", exponent_bits=8, mantissa_bits=13)
+
+#: Mantissa product bits retained when the tensor core aligns 32
+#: products to their maximum exponent before adding (Section 3.1.1).
+HOPPER_ALIGNED_FRACTION_BITS = 13
+
+#: Products aligned and added per tensor-core accumulation step.
+HOPPER_ALIGN_GROUP = 32
+
+FORMAT_CATALOG: dict[str, FloatFormat] = {
+    f.name: f for f in (E4M3, E5M2, E5M6, BF16, FP16, FP32, FP22_ACCUM)
+}

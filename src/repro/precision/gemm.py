@@ -1,0 +1,163 @@
+"""Bit-accurate emulation of FP8 GEMM with limited-precision accumulation.
+
+Section 3.1.1 describes the Hopper tensor-core pipeline that constrains
+FP8 training accuracy: exact FP8xFP8 products are *aligned in groups of
+32* to the group's maximum exponent keeping only the highest 13
+fraction bits (lower bits are truncated by the right shift), the group
+sum is then accumulated into an FP22 register (1 sign / 8 exponent /
+13 mantissa bits).  DeepGEMM works around the precision loss by
+promoting partial sums to FP32 CUDA-core accumulators at every scaling
+boundary (the 128-element tile), which also applies the fine-grained
+dequantization scales.
+
+This module emulates that arithmetic exactly in numpy:
+
+* ``accumulation="ideal"`` — quantized inputs, exact FP32 accumulation
+  (the hardware the paper asks for in §3.1.2).
+* ``accumulation="hopper_promoted"`` — Hopper tensor-core semantics
+  inside each 128-wide K chunk, FP32 promotion between chunks
+  (DeepSeek-V3's production strategy).
+* ``accumulation="hopper_fp22"`` — Hopper semantics with the running
+  cross-chunk accumulator *also* held in FP22, modeling a kernel that
+  never promotes; its error grows with K, demonstrating why promotion
+  (or better hardware) is necessary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .formats import (
+    E4M3,
+    FP22_ACCUM,
+    HOPPER_ALIGN_GROUP,
+    HOPPER_ALIGNED_FRACTION_BITS,
+    FloatFormat,
+)
+from .quantize import QuantizedTensor, quantize_blocks, quantize_tiles
+
+ACCUMULATION_MODES = ("ideal", "hopper_promoted", "hopper_fp22")
+
+
+def _truncate_to_aligned_mantissa(products: np.ndarray, fraction_bits: int) -> np.ndarray:
+    """Align products to the group max exponent, truncating low bits.
+
+    ``products`` has the alignment group in its last axis.  Each value
+    is truncated (round toward zero, matching a right shift) onto the
+    lattice ``2**(e_max - fraction_bits)`` of its group.
+    """
+    amax = np.max(np.abs(products), axis=-1, keepdims=True)
+    with np.errstate(divide="ignore"):
+        e_max = np.floor(np.log2(amax, out=np.zeros_like(amax), where=amax > 0))
+    step = np.exp2(e_max - fraction_bits)
+    return np.trunc(products / step) * step
+
+
+def tensor_core_partial(
+    a_chunk: np.ndarray,
+    b_chunk: np.ndarray,
+    align_group: int = HOPPER_ALIGN_GROUP,
+    fraction_bits: int = HOPPER_ALIGNED_FRACTION_BITS,
+    accumulator: FloatFormat = FP22_ACCUM,
+    exact: bool = False,
+) -> np.ndarray:
+    """One tensor-core K-chunk: ``a_chunk [M,K] @ b_chunk [K,N]``.
+
+    With ``exact=False`` this reproduces the §3.1.1 semantics: products
+    are formed exactly (FP8 x FP8 fits float64), truncated to 13
+    aligned fraction bits in groups of 32 along K, and group sums are
+    accumulated sequentially through an FP22 register.
+    """
+    if exact:
+        return a_chunk.astype(np.float64) @ b_chunk.astype(np.float64)
+    m, k = a_chunk.shape
+    k2, n = b_chunk.shape
+    if k != k2:
+        raise ValueError(f"inner dims differ: {k} vs {k2}")
+    if k % align_group != 0:
+        raise ValueError(f"K chunk ({k}) must be a multiple of {align_group}")
+    groups = k // align_group
+    a = a_chunk.astype(np.float64).reshape(m, groups, align_group)
+    b = b_chunk.astype(np.float64).reshape(groups, align_group, n)
+
+    acc = np.zeros((m, n), dtype=np.float64)
+    for g in range(groups):
+        products = a[:, g, :, None] * b[None, g, :, :]  # [m, group, n]
+        truncated = _truncate_to_aligned_mantissa(
+            products.transpose(0, 2, 1), fraction_bits
+        )
+        acc = accumulator.quantize(acc + truncated.sum(axis=-1)).astype(np.float64)
+    return acc
+
+
+def quantized_gemm(
+    a_q: QuantizedTensor,
+    b_q: QuantizedTensor,
+    accumulation: str = "hopper_promoted",
+) -> np.ndarray:
+    """Emulated fine-grained FP8 GEMM: ``dequant(a_q) @ dequant(b_q)``.
+
+    Args:
+        a_q: Activations [M, K], tile-quantized along K (1x128 tiles).
+        b_q: Weights [K, N], block-quantized (128x128 blocks).
+        accumulation: One of :data:`ACCUMULATION_MODES`.
+
+    Returns:
+        Float32 result [M, N].
+    """
+    if accumulation not in ACCUMULATION_MODES:
+        raise ValueError(f"unknown accumulation {accumulation!r}")
+    if a_q.granularity != "tile" or b_q.granularity != "block":
+        raise ValueError("expected tile-quantized A and block-quantized B")
+    if a_q.tile != b_q.tile:
+        raise ValueError("A tile size must equal B block size")
+    m, k = a_q.shape
+    kb, n = b_q.shape
+    if k != kb:
+        raise ValueError(f"inner dims differ: {k} vs {kb}")
+    chunk = a_q.tile
+    if k % chunk != 0:
+        raise ValueError(f"K ({k}) must be a multiple of the tile ({chunk})")
+
+    b_scales = b_q.expand_scales()  # [K, N]
+    out = np.zeros((m, n), dtype=np.float64)
+    for c in range(k // chunk):
+        sl = slice(c * chunk, (c + 1) * chunk)
+        partial = tensor_core_partial(
+            a_q.data[:, sl], b_q.data[sl], exact=(accumulation == "ideal")
+        )
+        a_scale = a_q.scales[:, c][:, None]  # [M, 1]
+        b_scale = b_scales[c * chunk][None, :]  # [1, N]: constant within a chunk
+        scaled = partial * (a_scale * b_scale)
+        if accumulation == "hopper_fp22":
+            out = FP22_ACCUM.quantize(out + scaled).astype(np.float64)
+        else:
+            out = out + scaled  # FP32/FP64 CUDA-core accumulator
+    return out.astype(np.float32)
+
+
+def fp8_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    accumulation: str = "hopper_promoted",
+    act_fmt: FloatFormat = E4M3,
+    weight_fmt: FloatFormat = E4M3,
+    tile: int = 128,
+) -> np.ndarray:
+    """Quantize ``a`` (1xtile) and ``b`` (tilextile) and run the GEMM."""
+    a_q = quantize_tiles(a, act_fmt, tile)
+    b_q = quantize_blocks(b, weight_fmt, tile)
+    return quantized_gemm(a_q, b_q, accumulation)
+
+
+def dequant_overhead_fraction(tile: int = 128) -> float:
+    """CUDA-core work per tensor-core FLOP added by fine-grained scaling.
+
+    Each output element needs one multiply-add per K chunk to apply
+    scales and promote (2 ops per ``2 * tile`` tensor-core FLOPs).
+    This is the "dequantization overhead" of §3.1.1 that native
+    tensor-core scaling support (§3.1.2) would eliminate.
+    """
+    if tile <= 0:
+        raise ValueError("tile must be positive")
+    return 2.0 / (2.0 * tile)

@@ -1,0 +1,123 @@
+"""Combine-stage precision study (Section 3.2).
+
+The combine stage "still uses higher precision (e.g., BF16) due to
+accuracy requirements, [but] we are actively testing FP8, custom
+precision formats (e.g., E5M6) and mixing FP8-BF16 for further
+reductions".  This module implements those candidates on a common
+footing — error vs. wire bits per element — including the mixed
+scheme, which sends the highest-magnitude tiles (the ones that carry
+the combine sum's accuracy) in BF16 and the rest in FP8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .formats import BF16, E4M3, E5M2, E5M6, FloatFormat
+from .logfmt import bits_per_element as logfmt_bits
+from .logfmt import logfmt_fake_quantize
+from .quantize import fake_quantize, relative_error
+
+
+def mixed_fp8_bf16_quantize(
+    x: np.ndarray,
+    bf16_fraction: float,
+    fp8_fmt: FloatFormat = E4M3,
+    tile: int = 128,
+) -> np.ndarray:
+    """Per-tile mixed quantization: big tiles BF16, the rest FP8.
+
+    Tiles are ranked by absolute maximum; the top ``bf16_fraction`` of
+    tiles are transmitted in BF16 (a near-lossless 16-bit path) and the
+    remainder as tile-scaled FP8.
+
+    Args:
+        x: Activations [..., n].
+        bf16_fraction: Fraction of tiles kept in BF16, in [0, 1].
+        fp8_fmt: FP8 flavour for the remaining tiles.
+        tile: Tile width.
+
+    Returns:
+        The round-tripped array (same shape).
+    """
+    if not 0 <= bf16_fraction <= 1:
+        raise ValueError("bf16_fraction must be in [0, 1]")
+    x = np.asarray(x, dtype=np.float32)
+    flat = x.reshape(-1, x.shape[-1])
+    n = flat.shape[-1]
+    num_tiles = -(-n // tile)
+    padded = np.pad(flat, [(0, 0), (0, num_tiles * tile - n)])
+    tiles = padded.reshape(flat.shape[0], num_tiles, tile)
+    amax = np.abs(tiles).max(axis=-1).ravel()
+    keep = int(round(bf16_fraction * amax.size))
+    bf16_tiles = set(np.argsort(amax)[::-1][:keep].tolist())
+
+    out = np.empty_like(tiles)
+    for flat_idx in range(amax.size):
+        r, t = divmod(flat_idx, num_tiles)
+        segment = tiles[r, t]
+        if flat_idx in bf16_tiles:
+            out[r, t] = BF16.quantize(segment)
+        else:
+            out[r, t] = fake_quantize(segment[None, :], fp8_fmt, tile)[0]
+    return out.reshape(padded.shape)[:, :n].reshape(x.shape)
+
+
+def mixed_bits_per_element(bf16_fraction: float, fp8_bits: int = 8, tile: int = 128) -> float:
+    """Wire bits/element of the mixed scheme (incl. fp32 tile scales
+    for the FP8 tiles and a 1-bit per-tile format flag)."""
+    if not 0 <= bf16_fraction <= 1:
+        raise ValueError("bf16_fraction must be in [0, 1]")
+    fp8 = fp8_bits + 32.0 / tile
+    return bf16_fraction * 16 + (1 - bf16_fraction) * fp8 + 1.0 / tile
+
+
+@dataclass(frozen=True)
+class CombineCandidate:
+    """One combine-wire format option."""
+
+    name: str
+    relative_error: float
+    bits_per_element: float
+
+
+def combine_format_study(x: np.ndarray, tile: int = 128) -> list[CombineCandidate]:
+    """Error vs wire-bits for every §3.2 combine-format candidate."""
+    x = np.asarray(x, dtype=np.float32)
+    candidates = [
+        CombineCandidate("BF16", relative_error(x, BF16.quantize(x)), 16.0),
+        CombineCandidate(
+            "E5M6 (1x128)",
+            relative_error(x, fake_quantize(x, E5M6, tile)),
+            12 + 32.0 / tile,
+        ),
+        CombineCandidate(
+            "E4M3 (1x128)",
+            relative_error(x, fake_quantize(x, E4M3, tile)),
+            8 + 32.0 / tile,
+        ),
+        CombineCandidate(
+            "E5M2 (1x128)",
+            relative_error(x, fake_quantize(x, E5M2, tile)),
+            8 + 32.0 / tile,
+        ),
+        CombineCandidate(
+            "LogFMT-8", relative_error(x, logfmt_fake_quantize(x, 8, tile)), logfmt_bits(8, tile)
+        ),
+        CombineCandidate(
+            "LogFMT-10",
+            relative_error(x, logfmt_fake_quantize(x, 10, tile)),
+            logfmt_bits(10, tile),
+        ),
+    ]
+    for fraction in (0.25, 0.5):
+        candidates.append(
+            CombineCandidate(
+                f"mixed FP8/BF16 ({fraction:.0%} BF16)",
+                relative_error(x, mixed_fp8_bf16_quantize(x, fraction, tile=tile)),
+                mixed_bits_per_element(fraction, tile=tile),
+            )
+        )
+    return candidates

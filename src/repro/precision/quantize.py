@@ -1,0 +1,146 @@
+"""Fine-grained quantization: 1x128 tiles and 128x128 blocks (Section 3.1).
+
+DeepSeek-V3 quantizes activations tile-wise (each 1x128 slice along the
+inner dimension gets its own scale) and weights block-wise (each
+128x128 block gets its own scale).  The scale maps the tile's absolute
+maximum onto the format's maximum value, so outliers only distort their
+own tile — the property that makes FP8 training stable.
+
+:class:`QuantizedTensor` carries the quantized payload together with
+its scales; ``dequantize`` reconstructs float32.  The per-tensor
+quantizer is included as the coarse baseline the fine-grained scheme is
+compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .formats import E4M3, FloatFormat
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A quantized array plus the metadata needed to reconstruct it.
+
+    Attributes:
+        data: Quantized values (exactly representable in ``fmt``),
+            stored as float32, *before* scale multiplication.
+        scales: Per-tile/block scales; broadcastable to ``data`` after
+            :func:`expand_scales`.
+        fmt: Target number format.
+        granularity: "tile", "block" or "tensor".
+        tile: Tile/block edge length.
+    """
+
+    data: np.ndarray
+    scales: np.ndarray
+    fmt: FloatFormat
+    granularity: str
+    tile: int
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the represented tensor."""
+        return self.data.shape
+
+    @property
+    def nbytes_payload(self) -> float:
+        """Payload bytes at the format's bit width."""
+        return self.data.size * self.fmt.bits / 8.0
+
+    @property
+    def nbytes_scales(self) -> float:
+        """Scale metadata bytes (one float32 per tile/block)."""
+        return self.scales.size * 4.0
+
+    def expand_scales(self) -> np.ndarray:
+        """Scales broadcast to the full data shape."""
+        if self.granularity == "tensor":
+            return np.broadcast_to(self.scales, self.data.shape)
+        if self.granularity == "tile":
+            return np.repeat(self.scales, self.tile, axis=-1)[..., : self.data.shape[-1]]
+        # block: scales are [ceil(r/t), ceil(c/t)]
+        rows = np.repeat(self.scales, self.tile, axis=0)[: self.data.shape[0]]
+        return np.repeat(rows, self.tile, axis=1)[:, : self.data.shape[1]]
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the float32 tensor."""
+        return (self.data * self.expand_scales()).astype(np.float32)
+
+
+def _safe_scale(amax: np.ndarray, fmt_max: float) -> np.ndarray:
+    scale = amax / fmt_max
+    return np.where(scale == 0, 1.0, scale)
+
+
+def quantize_tensor(x: np.ndarray, fmt: FloatFormat = E4M3) -> QuantizedTensor:
+    """Per-tensor quantization: a single scale for the whole array."""
+    x = np.asarray(x, dtype=np.float32)
+    scale = _safe_scale(np.max(np.abs(x), keepdims=False), fmt.max_value)
+    data = fmt.quantize(x / scale)
+    return QuantizedTensor(data, np.asarray(scale, np.float32), fmt, "tensor", x.size)
+
+
+def quantize_tiles(
+    x: np.ndarray, fmt: FloatFormat = E4M3, tile: int = 128
+) -> QuantizedTensor:
+    """Tile-wise 1xN quantization along the last axis (activations).
+
+    Each contiguous run of ``tile`` elements in the last axis shares a
+    scale.  The last axis need not be a multiple of ``tile``; the final
+    partial tile gets its own scale.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    if tile <= 0:
+        raise ValueError(f"tile must be positive, got {tile}")
+    n = x.shape[-1]
+    num_tiles = -(-n // tile)
+    padded = np.pad(x, [(0, 0)] * (x.ndim - 1) + [(0, num_tiles * tile - n)])
+    tiles = padded.reshape(*x.shape[:-1], num_tiles, tile)
+    amax = np.max(np.abs(tiles), axis=-1)
+    scales = _safe_scale(amax, fmt.max_value).astype(np.float32)
+    data = fmt.quantize(tiles / scales[..., None]).reshape(padded.shape)[..., :n]
+    return QuantizedTensor(data, scales, fmt, "tile", tile)
+
+
+def quantize_blocks(
+    w: np.ndarray, fmt: FloatFormat = E4M3, block: int = 128
+) -> QuantizedTensor:
+    """Block-wise NxN quantization of a 2-D weight matrix."""
+    w = np.asarray(w, dtype=np.float32)
+    if w.ndim != 2:
+        raise ValueError(f"block quantization expects a 2-D matrix, got {w.ndim}-D")
+    if block <= 0:
+        raise ValueError(f"block must be positive, got {block}")
+    rows, cols = w.shape
+    br, bc = -(-rows // block), -(-cols // block)
+    padded = np.pad(w, [(0, br * block - rows), (0, bc * block - cols)])
+    blocks = padded.reshape(br, block, bc, block).transpose(0, 2, 1, 3)
+    amax = np.max(np.abs(blocks), axis=(-1, -2))
+    scales = _safe_scale(amax, fmt.max_value).astype(np.float32)
+    data = fmt.quantize(blocks / scales[..., None, None])
+    data = data.transpose(0, 2, 1, 3).reshape(br * block, bc * block)[:rows, :cols]
+    return QuantizedTensor(data, scales, fmt, "block", block)
+
+
+def fake_quantize(x: np.ndarray, fmt: FloatFormat = E4M3, tile: int = 128) -> np.ndarray:
+    """Quantize-dequantize round trip (tile-wise); same shape as ``x``.
+
+    This is the simulation primitive the FP8 training pipeline uses:
+    values pass through the exact representable lattice of the target
+    format while staying float32 for subsequent math.
+    """
+    return quantize_tiles(x, fmt, tile).dequantize()
+
+
+def relative_error(reference: np.ndarray, approx: np.ndarray) -> float:
+    """RMS error of ``approx`` relative to the RMS of ``reference``."""
+    reference = np.asarray(reference, dtype=np.float64)
+    approx = np.asarray(approx, dtype=np.float64)
+    denom = np.sqrt(np.mean(reference**2))
+    if denom == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((approx - reference) ** 2)) / denom)

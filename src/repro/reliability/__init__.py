@@ -1,0 +1,57 @@
+"""Reliability: failure statistics, SDC detection, network failover."""
+
+from .failover import (
+    FailureImpact,
+    assess_impact,
+    fail_entire_plane,
+    fail_link,
+    fail_switch,
+    hosts_reachable,
+    plane_switches,
+)
+from .failures import (
+    STORAGE_NIC_BANDWIDTH,
+    ComponentReliability,
+    GoodputRow,
+    checkpoint_state_bytes,
+    checkpoint_write_time,
+    cluster_mtbf,
+    goodput_fraction,
+    goodput_vs_scale,
+    optimal_checkpoint_interval,
+)
+from .sdc import (
+    BlockChecksum,
+    compute_checksum,
+    corrupted_blocks,
+    detection_rate,
+    flip_bits,
+    freivalds_check,
+    random_bit_flips,
+)
+
+__all__ = [
+    "FailureImpact",
+    "assess_impact",
+    "fail_entire_plane",
+    "fail_link",
+    "fail_switch",
+    "hosts_reachable",
+    "plane_switches",
+    "STORAGE_NIC_BANDWIDTH",
+    "ComponentReliability",
+    "GoodputRow",
+    "checkpoint_state_bytes",
+    "checkpoint_write_time",
+    "cluster_mtbf",
+    "goodput_fraction",
+    "goodput_vs_scale",
+    "optimal_checkpoint_interval",
+    "BlockChecksum",
+    "compute_checksum",
+    "corrupted_blocks",
+    "detection_rate",
+    "flip_bits",
+    "freivalds_check",
+    "random_bit_flips",
+]

@@ -1,0 +1,92 @@
+"""Network fault isolation and failover (Sections 5.1.1 and 6.1).
+
+The multi-plane topology's robustness claims: traffic in one plane is
+isolated from failures in another, and (with multi-port NICs, Figure
+4) single-port failures leave connectivity intact.  These helpers
+inject link/switch failures into a topology and evaluate what survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..network.multiplane import ClusterNetwork
+from ..network.topology import SWITCH, Topology
+
+
+def fail_link(topology: Topology, a: str, b: str) -> None:
+    """Remove a link (cable failure)."""
+    if not topology.graph.has_edge(a, b):
+        raise KeyError(f"no link {a} -- {b}")
+    topology.graph.remove_edge(a, b)
+
+
+def fail_switch(topology: Topology, switch: str) -> None:
+    """Remove a switch and all of its links."""
+    if switch not in topology.graph or topology.graph.nodes[switch]["kind"] != SWITCH:
+        raise KeyError(f"{switch} is not a switch")
+    topology.graph.remove_node(switch)
+
+
+def hosts_reachable(topology: Topology, src: str, dst: str) -> bool:
+    """Whether two hosts can still communicate."""
+    return nx.has_path(topology.graph, src, dst)
+
+
+@dataclass(frozen=True)
+class FailureImpact:
+    """Effect of an injected failure on a cluster."""
+
+    disconnected_pairs: int
+    total_pairs: int
+    affected_planes: set[int]
+
+    @property
+    def connectivity(self) -> float:
+        """Fraction of GPU pairs still connected."""
+        if self.total_pairs == 0:
+            return 1.0
+        return 1.0 - self.disconnected_pairs / self.total_pairs
+
+
+def assess_impact(cluster: ClusterNetwork, sample_pairs: int | None = None) -> FailureImpact:
+    """Measure pairwise connectivity of a (possibly damaged) cluster."""
+    gpus = cluster.gpus()
+    graph = cluster.topology.graph
+    components = list(nx.connected_components(graph))
+    comp_of: dict[str, int] = {}
+    for ci, comp in enumerate(components):
+        for node in comp:
+            if node in comp_of or node not in graph:
+                continue
+            comp_of[node] = ci
+    disconnected = 0
+    total = 0
+    affected: set[int] = set()
+    for i, a in enumerate(gpus):
+        for b in gpus[i + 1 :]:
+            total += 1
+            if comp_of.get(a) != comp_of.get(b):
+                disconnected += 1
+                affected.add(cluster.plane_of[a])
+                affected.add(cluster.plane_of[b])
+    return FailureImpact(
+        disconnected_pairs=disconnected, total_pairs=total, affected_planes=affected
+    )
+
+
+def plane_switches(cluster: ClusterNetwork, plane: int) -> list[str]:
+    """Network switches belonging to one plane (MPFT only)."""
+    return [
+        s
+        for s in cluster.topology.switches
+        if cluster.topology.graph.nodes[s].get("plane") == plane
+    ]
+
+
+def fail_entire_plane(cluster: ClusterNetwork, plane: int) -> None:
+    """Take down every switch of one MPFT plane."""
+    for s in plane_switches(cluster, plane):
+        fail_switch(cluster.topology, s)

@@ -1,0 +1,145 @@
+"""Failure statistics and checkpoint/restart economics (Section 6.1).
+
+"The impact of such failures escalates in large-scale deployments,
+where the probability of a single-point failure increases
+proportionally with system size."  This module quantifies that:
+cluster MTBF shrinks as 1/N, and the checkpoint interval / goodput
+trade-off follows the Young-Daly analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+HOURS = 3600.0
+
+
+@dataclass(frozen=True)
+class ComponentReliability:
+    """Per-component mean time between failures (seconds)."""
+
+    gpu_mtbf: float = 50_000 * HOURS
+    nic_mtbf: float = 100_000 * HOURS
+    link_mtbf: float = 40_000 * HOURS
+    node_mtbf: float = 30_000 * HOURS  # host, PSU, ECC-fatal...
+
+    def node_failure_rate(self, gpus_per_node: int = 8, nics_per_node: int = 8) -> float:
+        """Aggregate failure rate of one node (failures/second)."""
+        return (
+            gpus_per_node / self.gpu_mtbf
+            + nics_per_node / self.nic_mtbf
+            + nics_per_node / self.link_mtbf
+            + 1.0 / self.node_mtbf
+        )
+
+
+def cluster_mtbf(
+    num_nodes: int,
+    reliability: ComponentReliability | None = None,
+    gpus_per_node: int = 8,
+) -> float:
+    """Mean time between job-interrupting failures for the cluster.
+
+    Any single component failure interrupts a synchronous training
+    job, so rates add across the fleet: MTBF scales as 1/N — the
+    §6.1.1 scaling argument.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    reliability = reliability or ComponentReliability()
+    rate = num_nodes * reliability.node_failure_rate(gpus_per_node, gpus_per_node)
+    return 1.0 / rate
+
+
+#: Per-node storage-plane bandwidth: the paper's nodes carry one 400G
+#: RoCE NIC to the 3FS distributed file system (Section 5.1).
+STORAGE_NIC_BANDWIDTH = 50e9
+
+
+def checkpoint_state_bytes(
+    total_params: float,
+    weight_bytes: float = 2.0,
+    optimizer_bytes: float = 12.0,
+) -> float:
+    """Checkpoint size: weights plus FP32 master + Adam moments."""
+    if total_params <= 0:
+        raise ValueError("total_params must be positive")
+    return total_params * (weight_bytes + optimizer_bytes)
+
+
+def checkpoint_write_time(
+    state_bytes: float,
+    num_nodes: int,
+    per_node_bandwidth: float = STORAGE_NIC_BANDWIDTH,
+    efficiency: float = 0.8,
+) -> float:
+    """Time to write a sharded checkpoint over the storage plane.
+
+    Every node streams its shard through its own storage NIC (the 3FS
+    design), so write time shrinks linearly with node count.
+    """
+    if num_nodes < 1 or per_node_bandwidth <= 0 or not 0 < efficiency <= 1:
+        raise ValueError("invalid node count, bandwidth or efficiency")
+    return state_bytes / (num_nodes * per_node_bandwidth * efficiency)
+
+
+def optimal_checkpoint_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Young-Daly optimal interval: sqrt(2 x C x MTBF)."""
+    if checkpoint_cost <= 0 or mtbf <= 0:
+        raise ValueError("checkpoint cost and MTBF must be positive")
+    return math.sqrt(2.0 * checkpoint_cost * mtbf)
+
+
+def goodput_fraction(
+    checkpoint_cost: float,
+    restart_cost: float,
+    mtbf: float,
+    interval: float | None = None,
+) -> float:
+    """Fraction of wall time doing useful training work.
+
+    Overheads: one checkpoint per interval, plus on each failure
+    (Poisson with the given MTBF) a restart and on average half an
+    interval of lost work.
+    """
+    if restart_cost < 0:
+        raise ValueError("restart cost must be non-negative")
+    interval = interval or optimal_checkpoint_interval(checkpoint_cost, mtbf)
+    if interval <= checkpoint_cost:
+        raise ValueError("interval must exceed the checkpoint cost")
+    checkpoint_overhead = checkpoint_cost / interval
+    failure_overhead = (restart_cost + interval / 2.0) / mtbf
+    return max(0.0, 1.0 - checkpoint_overhead - failure_overhead)
+
+
+@dataclass(frozen=True)
+class GoodputRow:
+    """Goodput at one cluster scale."""
+
+    num_nodes: int
+    mtbf_hours: float
+    interval_hours: float
+    goodput: float
+
+
+def goodput_vs_scale(
+    node_counts: list[int],
+    checkpoint_cost: float = 300.0,
+    restart_cost: float = 900.0,
+    reliability: ComponentReliability | None = None,
+) -> list[GoodputRow]:
+    """Goodput erosion as the cluster grows (the §6.1 motivation)."""
+    rows = []
+    for n in node_counts:
+        mtbf = cluster_mtbf(n, reliability)
+        interval = optimal_checkpoint_interval(checkpoint_cost, mtbf)
+        rows.append(
+            GoodputRow(
+                num_nodes=n,
+                mtbf_hours=mtbf / HOURS,
+                interval_hours=interval / HOURS,
+                goodput=goodput_fraction(checkpoint_cost, restart_cost, mtbf, interval),
+            )
+        )
+    return rows

@@ -1,0 +1,136 @@
+"""Silent data corruption: injection and detection (Section 6.1).
+
+Errors that slip past ECC — multi-bit flips, compute faults — corrupt
+training silently.  §6.1.2 asks for checksum-based validation and
+hardware-accelerated redundancy checks; this module implements both
+detection families and the bit-flip injector used to evaluate them:
+
+* block checksums over tensors (detects storage/transport corruption),
+* Freivalds' randomized verification of a matmul result (detects
+  compute corruption with cost O(n^2) instead of a recompute's O(n^3)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def flip_bits(array: np.ndarray, flips: list[tuple[int, int]]) -> np.ndarray:
+    """Return a copy of ``array`` with (flat_index, bit) flips applied.
+
+    Bits index the IEEE-754 float32 pattern (0 = LSB of the mantissa,
+    31 = sign).
+    """
+    out = np.array(array, dtype=np.float32, copy=True)
+    view = out.reshape(-1).view(np.uint32)
+    for index, bit in flips:
+        if not 0 <= bit < 32:
+            raise ValueError(f"bit must be in [0, 32), got {bit}")
+        view[index] ^= np.uint32(1) << np.uint32(bit)
+    return out
+
+
+def random_bit_flips(
+    array: np.ndarray, num_flips: int, rng: np.random.Generator
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Inject ``num_flips`` uniformly random bit flips."""
+    flips = [
+        (int(rng.integers(array.size)), int(rng.integers(32))) for _ in range(num_flips)
+    ]
+    return flip_bits(array, flips), flips
+
+
+@dataclass(frozen=True)
+class BlockChecksum:
+    """Per-block bitwise XOR checksums of a tensor."""
+
+    block_size: int
+    digests: np.ndarray
+
+    def verify(self, array: np.ndarray) -> np.ndarray:
+        """Boolean per-block: True where the block is intact."""
+        return compute_checksum(array, self.block_size).digests == self.digests
+
+
+def compute_checksum(array: np.ndarray, block_size: int = 4096) -> BlockChecksum:
+    """XOR-fold the float32 bit patterns of each block."""
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    flat = np.ascontiguousarray(array, dtype=np.float32).reshape(-1).view(np.uint32)
+    pad = (-flat.size) % block_size
+    padded = np.concatenate([flat, np.zeros(pad, np.uint32)])
+    blocks = padded.reshape(-1, block_size)
+    digests = np.bitwise_xor.reduce(blocks, axis=1)
+    return BlockChecksum(block_size=block_size, digests=digests)
+
+
+def corrupted_blocks(array: np.ndarray, checksum: BlockChecksum) -> np.ndarray:
+    """Indices of blocks whose checksum no longer matches."""
+    ok = checksum.verify(array)
+    return np.nonzero(~ok)[0]
+
+
+def freivalds_check(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    rng: np.random.Generator,
+    rounds: int = 2,
+    rtol: float = 1e-4,
+) -> bool:
+    """Randomized verification that ``c == a @ b``.
+
+    Each round draws a random vector r and checks
+    ``a @ (b @ r) == c @ r`` — O(n^2) per round.  A corrupted result
+    escapes detection with probability that shrinks geometrically in
+    ``rounds``; tolerance absorbs floating-point noise.
+
+    Returns:
+        True when the product verifies.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be positive")
+    a64, b64, c64 = (np.asarray(x, np.float64) for x in (a, b, c))
+    scale = max(1.0, float(np.abs(c64).max()))
+    for _ in range(rounds):
+        r = rng.choice([-1.0, 1.0], size=b64.shape[1])
+        lhs = a64 @ (b64 @ r)
+        rhs = c64 @ r
+        if not np.allclose(lhs, rhs, atol=rtol * scale * np.sqrt(b64.shape[1]), rtol=rtol):
+            return False
+    return True
+
+
+def detection_rate(
+    shape: tuple[int, int],
+    num_trials: int,
+    rng: np.random.Generator,
+    bit_range: tuple[int, int] = (20, 31),
+    detector: str = "freivalds",
+) -> float:
+    """Empirical SDC detection rate over random corruptions.
+
+    One matmul per trial; a random bit in the result is flipped (high
+    mantissa/exponent bits by default — the flips that matter) and the
+    detector must notice.
+    """
+    if detector not in ("freivalds", "checksum"):
+        raise ValueError(f"unknown detector {detector!r}")
+    detected = 0
+    m, n = shape
+    for _ in range(num_trials):
+        a = rng.normal(size=(m, n)).astype(np.float32)
+        b = rng.normal(size=(n, m)).astype(np.float32)
+        c = a @ b
+        flip = (int(rng.integers(c.size)), int(rng.integers(*bit_range)))
+        corrupted = flip_bits(c, [flip])
+        if detector == "freivalds":
+            if not freivalds_check(a, b, corrupted, rng):
+                detected += 1
+        else:
+            reference = compute_checksum(c, block_size=256)
+            if corrupted_blocks(corrupted, reference).size > 0:
+                detected += 1
+    return detected / num_trials

@@ -1,0 +1,46 @@
+"""Trainable tiny DeepSeek-style model and the §2.4 validation pipeline."""
+
+from .data import SyntheticCorpus, batch_iterator, markov_corpus
+from .model import LossBreakdown, MTPModule, TrainableTransformer
+from .modules import (
+    BF16_POLICY,
+    FP32_POLICY,
+    FP8_POLICY,
+    Linear,
+    Module,
+    PrecisionPolicy,
+    RMSNorm,
+    TrainableAttention,
+    TrainableDenseFfn,
+    TrainableLayer,
+    TrainableMoELayer,
+)
+from .mtp_eval import AcceptanceReport, measure_mtp_acceptance, sample_windows
+from .trainer import TrainResult, ValidationReport, train, validate_precision
+
+__all__ = [
+    "SyntheticCorpus",
+    "batch_iterator",
+    "markov_corpus",
+    "LossBreakdown",
+    "MTPModule",
+    "TrainableTransformer",
+    "BF16_POLICY",
+    "FP32_POLICY",
+    "FP8_POLICY",
+    "Linear",
+    "Module",
+    "PrecisionPolicy",
+    "RMSNorm",
+    "TrainableAttention",
+    "TrainableDenseFfn",
+    "TrainableLayer",
+    "TrainableMoELayer",
+    "AcceptanceReport",
+    "measure_mtp_acceptance",
+    "sample_windows",
+    "TrainResult",
+    "ValidationReport",
+    "train",
+    "validate_precision",
+]

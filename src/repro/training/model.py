@@ -1,0 +1,143 @@
+"""The trainable language model: MLA + DeepSeekMoE + MTP (Figure 1).
+
+A faithful-in-miniature DeepSeek-V3: token embedding, dense-then-MoE
+pre-norm layers with MLA attention, a shared output head, and one or
+more Multi-Token Prediction modules that each predict one token deeper
+using a single extra layer fed by the trunk's hidden states fused with
+the next token's embedding.  The training loss is the main next-token
+cross-entropy plus ``mtp_loss_weight`` times each MTP module's loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd.functional import cross_entropy
+from ..autograd.tensor import Tensor, embedding_lookup
+from ..model.config import ModelConfig
+from .modules import (
+    FP32_POLICY,
+    Linear,
+    Module,
+    PrecisionPolicy,
+    RMSNorm,
+    TrainableLayer,
+)
+
+
+class MTPModule(Module):
+    """One Multi-Token Prediction module (Section 2.3.3)."""
+
+    def __init__(
+        self, model: ModelConfig, rng: np.random.Generator, policy: PrecisionPolicy
+    ) -> None:
+        h = model.hidden_size
+        self.hidden_norm = RMSNorm(h)
+        self.embed_norm = RMSNorm(h)
+        # Fusion of [hidden ; embedding] as two half projections.
+        self.proj_hidden = Linear(h, h, rng, policy)
+        self.proj_embed = Linear(h, h, rng, policy)
+        self.layer = TrainableLayer(model, use_moe=model.is_moe, rng=rng, policy=policy)
+
+    def __call__(self, hidden: Tensor, token_embedding: Tensor) -> Tensor:
+        fused = self.proj_hidden(self.hidden_norm(hidden)) + self.proj_embed(
+            self.embed_norm(token_embedding)
+        )
+        return self.layer(fused)
+
+
+@dataclass
+class LossBreakdown:
+    """Training loss components."""
+
+    total: Tensor
+    main: float
+    mtp: list[float]
+
+
+class TrainableTransformer(Module):
+    """The end-to-end trainable model."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        seed: int = 0,
+        policy: PrecisionPolicy = FP32_POLICY,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        rng = np.random.default_rng(seed)
+        h = config.hidden_size
+        self.embedding = Tensor.param(
+            rng.normal(0.0, 0.02, size=(config.vocab_size, h)).astype(np.float32)
+        )
+        self.layers = [
+            TrainableLayer(
+                config,
+                use_moe=config.is_moe and i >= config.num_dense_layers,
+                rng=rng,
+                policy=policy,
+            )
+            for i in range(config.num_layers)
+        ]
+        self.final_norm = RMSNorm(h)
+        self.lm_head = Linear(h, config.vocab_size, rng, policy)
+        self.mtp_modules = [
+            MTPModule(config, rng, policy) for _ in range(config.num_mtp_modules)
+        ]
+        self.mtp_loss_weight = 0.3
+
+    def trunk_hidden(self, tokens: np.ndarray) -> Tensor:
+        """Hidden states [b, t, h] after the final norm."""
+        x = embedding_lookup(self.embedding, tokens)
+        for layer in self.layers:
+            x = layer(x)
+        return self.final_norm(x)
+
+    def logits(self, tokens: np.ndarray) -> Tensor:
+        """Next-token logits [b, t, vocab]."""
+        return self.lm_head(self.trunk_hidden(tokens))
+
+    def loss(self, tokens: np.ndarray) -> LossBreakdown:
+        """Training loss on a token batch [b, t].
+
+        Position ``i`` predicts token ``i+1`` (main) and, through MTP
+        module ``d``, token ``i+2+d``.
+        """
+        tokens = np.asarray(tokens)
+        b, t = tokens.shape
+        if t < 3 + len(self.mtp_modules):
+            raise ValueError("sequence too short for MTP depth")
+        hidden = self.trunk_hidden(tokens)
+        vocab = self.config.vocab_size
+
+        main_logits = self.lm_head(hidden[:, :-1])
+        main_targets = tokens[:, 1:]
+        main_loss = cross_entropy(
+            main_logits.reshape(b * (t - 1), vocab), main_targets.reshape(-1)
+        )
+
+        total = main_loss
+        mtp_losses: list[float] = []
+        mtp_hidden = hidden
+        for depth, module in enumerate(self.mtp_modules, start=1):
+            # Module d consumes hidden state at position i and the
+            # embedding of token i+d, predicting token i+d+1.
+            usable = t - depth - 1
+            emb = embedding_lookup(self.embedding, tokens[:, depth : depth + usable])
+            mtp_hidden = module(mtp_hidden[:, :usable], emb)
+            logits = self.lm_head(self.final_norm(mtp_hidden))
+            targets = tokens[:, depth + 1 : depth + 1 + usable]
+            mtp_loss = cross_entropy(
+                logits.reshape(b * usable, vocab), targets.reshape(-1)
+            )
+            total = total + self.mtp_loss_weight * mtp_loss
+            mtp_losses.append(float(mtp_loss.data))
+        return LossBreakdown(total=total, main=float(main_loss.data), mtp=mtp_losses)
+
+    def greedy_next(self, tokens: np.ndarray) -> np.ndarray:
+        """Greedy next-token prediction for each sequence in [b, t]."""
+        logits = self.logits(np.asarray(tokens))
+        return np.argmax(logits.data[:, -1], axis=-1)

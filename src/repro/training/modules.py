@@ -1,0 +1,332 @@
+"""Trainable model components built on the autograd engine.
+
+These mirror the inference-path numpy model in :mod:`repro.model` but
+are differentiable, and every linear layer can run under a
+:class:`PrecisionPolicy` that fake-quantizes its inputs — BF16 for the
+baseline, fine-grained FP8 (1x128 activation tiles, 128x128 weight
+blocks) for the Section 3.1 training simulation.  Gradients use the
+straight-through estimator, and accumulation is FP32, which
+:mod:`repro.precision.gemm` shows is equivalent to DeepGEMM's promoted
+accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd.functional import (
+    apply_rope,
+    causal_mask_scores,
+    fake_quant_blocks,
+    fake_quant_tiles,
+    rms_norm,
+    softmax,
+)
+from ..autograd.tensor import Tensor, embedding_lookup
+from ..model.config import AttentionConfig, AttentionKind, ModelConfig, MoEConfig
+from ..model.routing import node_limited_topk, topk_routing
+from ..precision.formats import BF16, E4M3, FloatFormat
+
+
+class PrecisionPolicy:
+    """How linear-layer inputs are quantized during training.
+
+    Attributes:
+        name: Display name.
+        act_fmt: Activation format (None = full precision).
+        weight_fmt: Weight format (None = full precision).
+        act_tile: Activation tile width (1xN scaling groups).
+        weight_block: Weight block edge (NxN scaling groups).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        act_fmt: FloatFormat | None,
+        weight_fmt: FloatFormat | None,
+        act_tile: int = 128,
+        weight_block: int = 128,
+    ) -> None:
+        self.name = name
+        self.act_fmt = act_fmt
+        self.weight_fmt = weight_fmt
+        self.act_tile = act_tile
+        self.weight_block = weight_block
+
+    def __repr__(self) -> str:
+        return f"PrecisionPolicy({self.name})"
+
+
+FP32_POLICY = PrecisionPolicy("fp32", None, None)
+BF16_POLICY = PrecisionPolicy("bf16", BF16, BF16)
+FP8_POLICY = PrecisionPolicy("fp8-fine-grained", E4M3, E4M3)
+
+
+class Module:
+    """Base class with recursive parameter collection."""
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors reachable from this module."""
+        params: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[object] = [self]
+        while stack:
+            obj = stack.pop()
+            if id(obj) in seen:
+                continue
+            seen.add(id(obj))
+            if isinstance(obj, Tensor):
+                if obj.requires_grad:
+                    params.append(obj)
+                continue
+            if isinstance(obj, Module):
+                stack.extend(vars(obj).values())
+            elif isinstance(obj, (list, tuple)):
+                stack.extend(obj)
+        return params
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(p.data.size for p in self.parameters())
+
+
+class Linear(Module):
+    """Bias-free linear layer with optional fake-quantized inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        policy: PrecisionPolicy = FP32_POLICY,
+    ) -> None:
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = Tensor.param(
+            rng.normal(0.0, scale, size=(in_features, out_features)).astype(np.float32)
+        )
+        self.policy = policy
+
+    def __call__(self, x: Tensor) -> Tensor:
+        """Apply ``x @ W`` with the policy's quantization."""
+        w = self.weight
+        if self.policy.weight_fmt is not None:
+            w = fake_quant_blocks(w, self.policy.weight_fmt, self.policy.weight_block)
+        if self.policy.act_fmt is not None:
+            x = fake_quant_tiles(x, self.policy.act_fmt, self.policy.act_tile)
+        return x @ w
+
+
+class RMSNorm(Module):
+    """RMS norm with learned gain (always full precision, as in V3)."""
+
+    def __init__(self, dim: int) -> None:
+        self.weight = Tensor.param(np.ones(dim, dtype=np.float32))
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return rms_norm(x, self.weight)
+
+
+class TrainableAttention(Module):
+    """Differentiable attention: MLA or MHA/GQA/MQA, full-sequence."""
+
+    def __init__(
+        self,
+        config: AttentionConfig,
+        hidden_size: int,
+        rng: np.random.Generator,
+        policy: PrecisionPolicy = FP32_POLICY,
+    ) -> None:
+        self.config = config
+        self.hidden_size = hidden_size
+        heads = config.num_heads
+        if config.kind is AttentionKind.MLA:
+            nope, rope = config.qk_head_dim, config.qk_rope_head_dim
+            q_in = config.q_lora_rank or hidden_size
+            self.w_dq = (
+                Linear(hidden_size, config.q_lora_rank, rng, policy)
+                if config.q_lora_rank
+                else None
+            )
+            self.w_uq = Linear(q_in, heads * (nope + rope), rng, policy)
+            self.w_dkv = Linear(hidden_size, config.kv_lora_rank, rng, policy)
+            self.w_kr = Linear(hidden_size, rope, rng, policy)
+            self.w_uk = Linear(config.kv_lora_rank, heads * nope, rng, policy)
+            self.w_uv = Linear(config.kv_lora_rank, heads * config.v_head_dim, rng, policy)
+        else:
+            self.w_q = Linear(hidden_size, heads * config.qk_head_dim, rng, policy)
+            self.w_k = Linear(hidden_size, config.num_kv_heads * config.qk_head_dim, rng, policy)
+            self.w_v = Linear(hidden_size, config.num_kv_heads * config.v_head_dim, rng, policy)
+        self.w_o = Linear(heads * config.v_head_dim, hidden_size, rng, policy)
+
+    def _split_heads(self, x: Tensor, heads: int, dim: int) -> Tensor:
+        b, t = x.shape[0], x.shape[1]
+        return x.reshape(b, t, heads, dim).transpose(0, 2, 1, 3)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        """Causal self-attention over ``x`` [batch, t, hidden]."""
+        cfg = self.config
+        b, t = x.shape[0], x.shape[1]
+        positions = np.arange(t)
+        if cfg.kind is AttentionKind.MLA:
+            out = self._mla(x, positions)
+        else:
+            out = self._mha(x, positions)
+        merged = out.transpose(0, 2, 1, 3).reshape(b, t, cfg.num_heads * cfg.v_head_dim)
+        return self.w_o(merged)
+
+    def _mha(self, x: Tensor, positions: np.ndarray) -> Tensor:
+        cfg = self.config
+        q = self._split_heads(self.w_q(x), cfg.num_heads, cfg.qk_head_dim)
+        k = self._split_heads(self.w_k(x), cfg.num_kv_heads, cfg.qk_head_dim)
+        v = self._split_heads(self.w_v(x), cfg.num_kv_heads, cfg.v_head_dim)
+        q = apply_rope(q, positions)
+        k = apply_rope(k, positions)
+        group = cfg.num_heads // cfg.num_kv_heads
+        if group > 1:
+            idx = np.repeat(np.arange(cfg.num_kv_heads), group)
+            k = k[:, idx]
+            v = v[:, idx]
+        scale = 1.0 / np.sqrt(cfg.qk_head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        weights = softmax(causal_mask_scores(scores))
+        return weights @ v
+
+    def _mla(self, x: Tensor, positions: np.ndarray) -> Tensor:
+        cfg = self.config
+        b, t = x.shape[0], x.shape[1]
+        heads, nope, rope = cfg.num_heads, cfg.qk_head_dim, cfg.qk_rope_head_dim
+        q_hidden = self.w_dq(x) if self.w_dq is not None else x
+        q = self._split_heads(self.w_uq(q_hidden), heads, nope + rope)
+        q_nope = q[..., :nope]
+        q_rope = apply_rope(q[..., nope:], positions)
+        latent = self.w_dkv(x)
+        k_rope = apply_rope(self.w_kr(x), positions)  # [b, t, rope], shared head
+        k_nope = self._split_heads(self.w_uk(latent), heads, nope)
+        v = self._split_heads(self.w_uv(latent), heads, cfg.v_head_dim)
+        scale = 1.0 / np.sqrt(nope + rope)
+        scores = q_nope @ k_nope.transpose(0, 1, 3, 2)
+        # Shared rope key: broadcast over heads via reshape to [b,1,t,rope].
+        k_rope_b = k_rope.reshape(b, 1, t, rope)
+        scores = scores + q_rope @ k_rope_b.transpose(0, 1, 3, 2)
+        weights = softmax(causal_mask_scores(scores * scale))
+        return weights @ v
+
+
+class TrainableDenseFfn(Module):
+    """SwiGLU FFN."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        intermediate_size: int,
+        rng: np.random.Generator,
+        policy: PrecisionPolicy = FP32_POLICY,
+    ) -> None:
+        self.w_gate = Linear(hidden_size, intermediate_size, rng, policy)
+        self.w_up = Linear(hidden_size, intermediate_size, rng, policy)
+        self.w_down = Linear(intermediate_size, hidden_size, rng, policy)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.w_down(self.w_gate(x).silu() * self.w_up(x))
+
+
+class TrainableMoELayer(Module):
+    """DeepSeekMoE layer with differentiable gate weighting.
+
+    Expert selection (top-k / node-limited top-k) is discrete and uses
+    detached affinities; the *mixing weights* are differentiable, so
+    the gate learns through them (as in the real model).
+    """
+
+    def __init__(
+        self,
+        moe: MoEConfig,
+        hidden_size: int,
+        rng: np.random.Generator,
+        policy: PrecisionPolicy = FP32_POLICY,
+    ) -> None:
+        self.moe = moe
+        self.hidden_size = hidden_size
+        self.gate = Linear(hidden_size, moe.num_routed_experts, rng, FP32_POLICY)
+        self.experts = [
+            TrainableDenseFfn(hidden_size, moe.intermediate_size, rng, policy)
+            for _ in range(moe.num_routed_experts)
+        ]
+        self.shared_experts = [
+            TrainableDenseFfn(hidden_size, moe.intermediate_size, rng, policy)
+            for _ in range(moe.num_shared_experts)
+        ]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        """Apply MoE to ``x`` [batch, t, hidden]."""
+        b, t = x.shape[0], x.shape[1]
+        flat = x.reshape(b * t, self.hidden_size)
+        affinity = self.gate(flat).sigmoid()
+        scores = affinity.data
+        if self.moe.num_expert_groups > 1 and self.moe.max_groups_per_token:
+            decision = node_limited_topk(
+                scores,
+                self.moe.experts_per_token,
+                self.moe.num_expert_groups,
+                self.moe.max_groups_per_token,
+            )
+        else:
+            decision = topk_routing(scores, self.moe.experts_per_token)
+
+        rows = np.arange(flat.shape[0])
+        selected = affinity[rows[:, None], decision.expert_ids]  # [n, k]
+        norm = selected.sum(axis=1, keepdims=True) ** -1.0
+        weights = selected * norm
+
+        out = None
+        for slot in range(self.moe.experts_per_token):
+            ids = decision.expert_ids[:, slot]
+            slot_weight = weights[:, slot : slot + 1]
+            for expert_id in np.unique(ids):
+                members = np.nonzero(ids == expert_id)[0]
+                expert_out = self.experts[int(expert_id)](flat[members])
+                contribution = expert_out * slot_weight[members]
+                scattered = _scatter_rows(contribution, members, flat.shape[0])
+                out = scattered if out is None else out + scattered
+        for shared in self.shared_experts:
+            shared_out = shared(flat)
+            out = shared_out if out is None else out + shared_out
+        return out.reshape(b, t, self.hidden_size)
+
+
+def _scatter_rows(values: Tensor, rows: np.ndarray, total: int) -> Tensor:
+    """Place ``values`` [m, d] at ``rows`` of a zero [total, d] tensor."""
+    data = np.zeros((total, values.shape[1]), dtype=np.float32)
+    data[rows] = values.data
+
+    def backward(grad):
+        if values.requires_grad:
+            values._accumulate(grad[rows])
+
+    return Tensor._make(data, (values,), backward)
+
+
+class TrainableLayer(Module):
+    """Pre-norm transformer block (attention + dense-or-MoE FFN)."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        use_moe: bool,
+        rng: np.random.Generator,
+        policy: PrecisionPolicy = FP32_POLICY,
+    ) -> None:
+        h = model.hidden_size
+        self.attn_norm = RMSNorm(h)
+        self.attention = TrainableAttention(model.attention, h, rng, policy)
+        self.ffn_norm = RMSNorm(h)
+        if use_moe:
+            if model.moe is None:
+                raise ValueError("use_moe requires a MoE config")
+            self.ffn: Module = TrainableMoELayer(model.moe, h, rng, policy)
+        else:
+            self.ffn = TrainableDenseFfn(h, model.ffn_intermediate_size, rng, policy)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.attn_norm(x))
+        return x + self.ffn(self.ffn_norm(x))

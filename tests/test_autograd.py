@@ -1,0 +1,231 @@
+"""Autograd engine: ops, gradients vs numerical differentiation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import (
+    AdamW,
+    SGD,
+    Tensor,
+    apply_rope,
+    causal_mask_scores,
+    concat,
+    cross_entropy,
+    embedding_lookup,
+    fake_quant_tiles,
+    log_softmax,
+    rms_norm,
+    softmax,
+    where_constant,
+)
+from repro.precision import E4M3
+
+RNG = np.random.default_rng
+
+
+def _numerical_grad(fn, tensor, eps=1e-3):
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        up = fn()
+        flat[i] = old - eps
+        down = fn()
+        flat[i] = old
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def _check_grads(build_loss, params, atol=2e-3):
+    loss = build_loss()
+    loss.backward()
+    for p in params:
+        analytic = p.grad.copy()
+        numeric = _numerical_grad(lambda: float(build_loss().data), p)
+        assert np.allclose(analytic, numeric, atol=atol), np.abs(analytic - numeric).max()
+        p.zero_grad()
+
+
+def test_add_mul_broadcast_grads():
+    a = Tensor.param(RNG(0).normal(size=(3, 4)).astype(np.float32))
+    b = Tensor.param(RNG(1).normal(size=(4,)).astype(np.float32))
+    _check_grads(lambda: ((a * b + b) ** 2.0).sum(), [a, b])
+
+
+def test_matmul_grads_batched():
+    a = Tensor.param(RNG(2).normal(size=(2, 3, 4)).astype(np.float32))
+    b = Tensor.param(RNG(3).normal(size=(4, 5)).astype(np.float32))
+    # Scaled loss keeps float32 central-difference noise below atol.
+    _check_grads(lambda: ((a @ b) ** 2.0).sum() * 0.05, [a, b])
+
+
+def test_division_and_rsub():
+    a = Tensor.param(np.array([2.0, 4.0], np.float32))
+    _check_grads(lambda: ((1.0 - a) / a).sum(), [a])
+
+
+def test_reduction_grads():
+    a = Tensor.param(RNG(4).normal(size=(3, 5)).astype(np.float32))
+    _check_grads(lambda: (a.mean(axis=1) ** 2.0).sum(), [a])
+    _check_grads(lambda: (a.sum(axis=0, keepdims=True) ** 2.0).sum(), [a])
+
+
+def test_nonlinearity_grads():
+    a = Tensor.param(RNG(5).normal(size=(6,)).astype(np.float32))
+    _check_grads(lambda: a.sigmoid().sum(), [a])
+    _check_grads(lambda: a.silu().sum(), [a])
+    _check_grads(lambda: (a * a + 1.0).log().sum(), [a])
+    _check_grads(lambda: (a * 0.3).exp().sum(), [a])
+
+
+def test_reshape_transpose_getitem_grads():
+    a = Tensor.param(RNG(6).normal(size=(2, 6)).astype(np.float32))
+    _check_grads(lambda: (a.reshape(3, 4).transpose(1, 0)[1:] ** 2.0).sum(), [a])
+
+
+def test_concat_grads():
+    a = Tensor.param(RNG(7).normal(size=(2, 3)).astype(np.float32))
+    b = Tensor.param(RNG(8).normal(size=(2, 2)).astype(np.float32))
+    _check_grads(lambda: (concat([a, b], axis=1) ** 2.0).sum(), [a, b])
+
+
+def test_embedding_grads_accumulate_repeats():
+    table = Tensor.param(np.ones((4, 2), np.float32))
+    idx = np.array([0, 0, 3])
+    out = embedding_lookup(table, idx).sum()
+    out.backward()
+    assert table.grad[0, 0] == 2.0  # two lookups of row 0
+    assert table.grad[3, 0] == 1.0
+    assert table.grad[1, 0] == 0.0
+
+
+def test_softmax_rows_sum_one_and_grads():
+    x = Tensor.param(RNG(9).normal(size=(3, 4)).astype(np.float32))
+    s = softmax(x)
+    assert np.allclose(s.data.sum(axis=-1), 1.0, atol=1e-6)
+    _check_grads(lambda: (softmax(x) ** 2.0).sum(), [x])
+
+
+def test_log_softmax_matches_softmax():
+    x = Tensor(RNG(10).normal(size=(2, 5)).astype(np.float32))
+    assert np.allclose(log_softmax(x).data, np.log(softmax(x).data), atol=1e-6)
+
+
+def test_cross_entropy_value_and_grads():
+    logits = Tensor.param(RNG(11).normal(size=(4, 6)).astype(np.float32))
+    targets = np.array([0, 2, 5, 1])
+    _check_grads(lambda: cross_entropy(logits, targets), [logits])
+
+
+def test_cross_entropy_validation():
+    with pytest.raises(ValueError):
+        cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+
+def test_rms_norm_grads_and_scale():
+    x = Tensor.param(RNG(12).normal(size=(2, 8)).astype(np.float32))
+    w = Tensor.param(np.ones(8, np.float32))
+    out = rms_norm(x, w)
+    assert np.allclose(np.sqrt((out.data**2).mean(-1)), 1.0, atol=1e-3)
+    _check_grads(lambda: (rms_norm(x, w) ** 2.0).sum() * 0.1, [x, w], atol=5e-3)
+
+
+def test_rope_matches_inference_implementation():
+    from repro.model.attention import apply_rope as rope_np
+
+    x = RNG(13).normal(size=(2, 3, 5, 8)).astype(np.float32)
+    ours = apply_rope(Tensor(x), np.arange(5)).data
+    reference = rope_np(x, np.arange(5))
+    assert np.allclose(ours, reference, atol=1e-5)
+
+
+def test_rope_grads():
+    x = Tensor.param(RNG(14).normal(size=(1, 4, 6)).astype(np.float32))
+    _check_grads(lambda: (apply_rope(x, np.arange(4)) ** 2.0).sum(), [x])
+
+
+def test_causal_mask_blocks_future():
+    scores = Tensor(np.zeros((1, 1, 3, 3), np.float32))
+    masked = causal_mask_scores(scores)
+    assert masked.data[0, 0, 0, 1] == -1e9
+    assert masked.data[0, 0, 2, 1] == 0.0
+
+
+def test_where_constant_grad_masks():
+    x = Tensor.param(np.ones((2, 2), np.float32))
+    mask = np.array([[True, False], [False, True]])
+    out = where_constant(mask, 0.0, x).sum()
+    out.backward()
+    assert np.array_equal(x.grad, (~mask).astype(np.float32))
+
+
+def test_fake_quant_straight_through():
+    x = Tensor.param(RNG(15).normal(size=(2, 16)).astype(np.float32))
+    out = fake_quant_tiles(x, E4M3, tile=16).sum()
+    out.backward()
+    assert np.allclose(x.grad, 1.0)  # gradients pass unchanged
+
+
+def test_backward_requires_scalar_without_seed():
+    x = Tensor.param(np.ones((2, 2), np.float32))
+    with pytest.raises(ValueError):
+        (x * 2).backward()
+
+
+def test_grad_accumulates_across_backwards():
+    x = Tensor.param(np.ones(3, np.float32))
+    (x * 2).sum().backward()
+    (x * 2).sum().backward()
+    assert np.allclose(x.grad, 4.0)
+
+
+def test_detach_cuts_graph():
+    x = Tensor.param(np.ones(3, np.float32))
+    y = (x * 3).detach()
+    assert not y.requires_grad
+
+
+def test_sgd_momentum_converges():
+    w = Tensor.param(np.array([10.0], np.float32))
+    opt = SGD([w], lr=0.1, momentum=0.5)
+    for _ in range(100):
+        loss = (w * w).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    assert abs(w.data[0]) < 1e-3
+
+
+def test_adamw_weight_decay_shrinks():
+    w = Tensor.param(np.array([5.0], np.float32))
+    opt = AdamW([w], lr=0.1, weight_decay=0.5)
+    for _ in range(50):
+        loss = (w * 0.0).sum()  # zero gradient; only decay acts
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    assert abs(w.data[0]) < 5.0 * (1 - 0.05) ** 40
+
+
+def test_optimizer_validation():
+    with pytest.raises(ValueError):
+        SGD([Tensor.param(np.ones(1))], lr=0.0)
+    with pytest.raises(ValueError):
+        SGD([Tensor(np.ones(1))], lr=0.1)  # nothing trainable
+    with pytest.raises(ValueError):
+        SGD([Tensor.param(np.ones(1))], lr=0.1, momentum=1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100), rows=st.integers(1, 4), cols=st.integers(1, 5))
+def test_unbroadcast_roundtrip(seed, rows, cols):
+    """x + 0-broadcast keeps gradient shape equal to x's shape."""
+    x = Tensor.param(RNG(seed).normal(size=(rows, cols)).astype(np.float32))
+    bias = Tensor.param(RNG(seed + 1).normal(size=(cols,)).astype(np.float32))
+    (x + bias).sum().backward()
+    assert x.grad.shape == (rows, cols)
+    assert bias.grad.shape == (cols,)
+    assert np.allclose(bias.grad, rows)

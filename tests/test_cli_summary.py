@@ -1,0 +1,67 @@
+"""CLI and architecture summaries."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.model import DEEPSEEK_V3, QWEN25_72B, TINY_DENSE_GQA
+from repro.model.summary import architecture_summary, parameter_table
+
+
+def test_summary_contains_headline_numbers():
+    text = architecture_summary(DEEPSEEK_V3)
+    assert "671.03B" in text
+    assert "70.272 KB/token" in text
+    assert "250 GFLOPS/token" in text
+    assert "node-limited routing: 8 groups" in text
+    assert "576 elements" in text  # 512 latent + 64 rope
+
+
+def test_summary_dense_model():
+    text = architecture_summary(QWEN25_72B)
+    assert "GQA" in text
+    assert "dense SwiGLU" in text
+    assert "MoE" not in text
+
+
+def test_parameter_table_drops_empty_components():
+    rows = dict(parameter_table(TINY_DENSE_GQA))
+    assert "MoE experts (total)" not in rows
+    assert rows["attention"] > 0
+    v3 = dict(parameter_table(DEEPSEEK_V3))
+    assert v3["MoE experts (total)"] > v3["attention"]
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["summary"],
+        ["summary", "qwen2.5-72b"],
+        ["table1"],
+        ["table2"],
+        ["table3"],
+        ["table5"],
+        ["tpot"],
+        ["budget", "--tokens", "1.0"],
+    ],
+)
+def test_cli_commands_run(argv, capsys):
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_cli_table1_values(capsys):
+    main(["table1"])
+    out = capsys.readouterr().out
+    assert "70.272" in out
+    assert "4.66x" in out
+
+
+def test_cli_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_cli_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["summary", "gpt-17"])

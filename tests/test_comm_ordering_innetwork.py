@@ -1,0 +1,124 @@
+"""§6.4 ordering model and §6.5 in-network computation model."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    EPConfig,
+    EPDeployment,
+    OrderedStreamConfig,
+    combine_savings,
+    dispatch_savings,
+    ep_stage_time_with_innetwork,
+    expected_reduction_factor,
+    logfmt_wire_savings,
+    ordering_overhead_fraction,
+    rar_speedup,
+    simulated_mean_m,
+    stream_completion_time,
+)
+from repro.network import build_mpft_cluster
+
+CONFIG = OrderedStreamConfig(
+    num_messages=100, message_bytes=4096, rtt=3.7e-6, bandwidth=40e9
+)
+
+
+def test_ordering_scheme_hierarchy():
+    """RAR < flag-poll < fence, always."""
+    rar = stream_completion_time(CONFIG, "rar")
+    poll = stream_completion_time(CONFIG, "flag_poll")
+    fence = stream_completion_time(CONFIG, "fence")
+    assert rar < poll < fence
+
+
+def test_fence_cost_scales_with_rtt():
+    fast = OrderedStreamConfig(100, 4096, rtt=1e-6, bandwidth=40e9)
+    slow = OrderedStreamConfig(100, 4096, rtt=10e-6, bandwidth=40e9)
+    gain_fast = rar_speedup(fast)
+    gain_slow = rar_speedup(slow)
+    assert gain_slow > gain_fast  # higher RTT -> bigger RAR win
+
+
+def test_rar_approaches_serialization_floor():
+    """With zero RTT, every scheme converges to the wire time."""
+    config = OrderedStreamConfig(10, 40000, rtt=0.0, bandwidth=40e9)
+    floor = 10 * (config.serialization + config.issue_overhead)
+    assert stream_completion_time(config, "fence") == pytest.approx(floor)
+    assert stream_completion_time(config, "rar") == pytest.approx(floor)
+
+
+def test_ordering_overhead_fraction_bounds():
+    frac = ordering_overhead_fraction(CONFIG, "fence")
+    assert 0 < frac < 1
+    assert ordering_overhead_fraction(CONFIG, "rar") == pytest.approx(0.0)
+
+
+def test_ordering_validation():
+    with pytest.raises(ValueError):
+        OrderedStreamConfig(0, 64, 1e-6, 1e9)
+    with pytest.raises(ValueError):
+        OrderedStreamConfig(1, 64, 1e-6, 0.0)
+    with pytest.raises(ValueError):
+        stream_completion_time(CONFIG, "telepathy")
+
+
+# --- §6.5 --------------------------------------------------------------------
+
+
+def _deployment(max_nodes=4):
+    cluster = build_mpft_cluster(8)
+    return EPDeployment(
+        cluster, EPConfig(256, 8, hidden_size=7168, max_nodes_per_token=max_nodes)
+    )
+
+
+def test_dispatch_savings_equal_mean_m():
+    dep = _deployment()
+    decisions = dep.route_tokens(128, np.random.default_rng(0))
+    savings = dispatch_savings(dep, decisions)
+    mean_m = expected_reduction_factor(dep, decisions)
+    assert savings.reduction == pytest.approx(mean_m)
+    assert savings.baseline_bytes > savings.in_network_bytes
+
+
+def test_combine_savings_mirror_dispatch():
+    dep = _deployment()
+    decisions = dep.route_tokens(64, np.random.default_rng(1))
+    d = dispatch_savings(dep, decisions)
+    c = combine_savings(dep, decisions)
+    assert c.reduction == pytest.approx(d.reduction)
+    assert c.baseline_bytes == pytest.approx(2 * d.baseline_bytes)  # BF16 vs FP8
+
+
+def test_node_limit_caps_reduction():
+    limited = simulated_mean_m(_deployment(max_nodes=4), 128)
+    free = simulated_mean_m(_deployment(max_nodes=0), 128)
+    assert limited <= 4.0
+    assert free > limited
+
+
+def test_innetwork_stage_time_scaling():
+    assert ep_stage_time_with_innetwork(1.0, 4.0) == pytest.approx(0.25)
+    with pytest.raises(ValueError):
+        ep_stage_time_with_innetwork(1.0, 0.5)
+
+
+def test_logfmt_wire_savings():
+    assert logfmt_wire_savings() == pytest.approx(16 / 8.5)
+    with pytest.raises(ValueError):
+        logfmt_wire_savings(0.0)
+
+
+def test_savings_infinite_when_all_local():
+    """Tokens routed only to the local node need no IB at all."""
+    from repro.model import topk_routing
+
+    dep = _deployment(max_nodes=0)
+    scores = np.full((4, 256), 0.0)
+    scores[:, :8] = 1.0  # experts 0..7 live on node 0
+    decision = topk_routing(scores + np.random.default_rng(2).uniform(0, 0.01, scores.shape), 8)
+    savings = dispatch_savings(dep, {"n0g0": decision})
+    assert savings.baseline_bytes == 0.0
+    assert savings.reduction == float("inf")
+    assert expected_reduction_factor(dep, {"n0g0": decision}) == 1.0

@@ -1,0 +1,129 @@
+"""Dual micro-batch overlap, SM contention, IBGDA, PCIe contention."""
+
+import pytest
+
+from repro.comm import (
+    ARBITRATION_SCHEMES,
+    CPU_PROXY,
+    H800_COMM_SMS_TRAINING,
+    IBGDA,
+    StageTimes,
+    ep_slowdown,
+    gpu_idle_fraction,
+    ibgda_speedup,
+    layer_time,
+    overlap_efficiency,
+    shared_pipe_times,
+    sm_compute_penalty,
+    small_message_send_latency,
+)
+
+STAGES = StageTimes(
+    attention_compute=100e-6,
+    moe_compute=80e-6,
+    dispatch_comm=60e-6,
+    combine_comm=90e-6,
+)
+
+
+def test_stage_totals():
+    assert STAGES.compute == pytest.approx(180e-6)
+    assert STAGES.communication == pytest.approx(150e-6)
+
+
+def test_dual_microbatch_overlaps_comm():
+    """§2.3.1: with overlap, a layer costs max(compute, comm)."""
+    assert layer_time(STAGES, dual_microbatch=True) == pytest.approx(180e-6)
+    assert layer_time(STAGES, dual_microbatch=False) == pytest.approx(330e-6)
+
+
+def test_overlap_efficiency_positive():
+    eff = overlap_efficiency(STAGES)
+    assert eff == pytest.approx(1 - 180 / 330)
+
+
+def test_gpu_fully_utilized_when_compute_dominates():
+    """§2.3.1: 'the GPU remains fully utilized at all times'."""
+    assert gpu_idle_fraction(STAGES, dual_microbatch=True) == 0.0
+    comm_heavy = StageTimes(50e-6, 50e-6, 120e-6, 120e-6)
+    assert gpu_idle_fraction(comm_heavy, dual_microbatch=True) > 0
+
+
+def test_sm_penalty_20_of_132():
+    """§4.4.1: 20 of 132 SMs on communication slows compute ~18%."""
+    penalty = sm_compute_penalty(H800_COMM_SMS_TRAINING, 132)
+    assert penalty == pytest.approx(132 / 112)
+    assert sm_compute_penalty(0, 132) == 1.0
+    with pytest.raises(ValueError):
+        sm_compute_penalty(132, 132)
+    with pytest.raises(ValueError):
+        sm_compute_penalty(-1, 132)
+
+
+def test_rdma_offload_beats_sm_driven_comm():
+    """§4.4.1: full-RDMA EP (IBGDA, 0 comm SMs) beats SM-driven comm."""
+    sm_driven = layer_time(STAGES, comm_sms=20, total_sms=132)
+    offloaded = layer_time(STAGES, comm_sms=0)
+    assert offloaded < sm_driven
+
+
+def test_ibgda_faster_than_cpu_proxy():
+    assert IBGDA.first_message_latency() < CPU_PROXY.first_message_latency()
+    assert ibgda_speedup(1) > 1
+    # Many small messages: the single proxy thread serializes, GPU
+    # threads parallelize (§5.2.3).
+    assert ibgda_speedup(10_000) > 100
+
+
+def test_ibgda_batch_time_monotonic():
+    assert IBGDA.batch_time(1000) < IBGDA.batch_time(100_000)
+    with pytest.raises(ValueError):
+        IBGDA.batch_time(-1)
+
+
+def test_small_message_send_latency_components():
+    lat = small_message_send_latency(64, 2.8e-6, 40e9, control=IBGDA)
+    assert lat == pytest.approx(IBGDA.first_message_latency() + 2.8e-6 + 64 / 40e9)
+    with pytest.raises(ValueError):
+        small_message_send_latency(-1, 1e-6, 40e9)
+
+
+def test_contention_fair_sharing_halves_ep_bandwidth():
+    """§4.5.1: concurrent KV transfers stretch EP completion."""
+    result = shared_pipe_times(ep_bytes=1e9, kv_bytes=1e9, pipe_bandwidth=50e9)
+    assert result.ep_time == pytest.approx(1e9 / 25e9)
+
+
+def test_contention_priority_restores_ep():
+    """§4.5.2: traffic prioritization removes the EP latency spike."""
+    fair = ep_slowdown(1e9, 4e9, 50e9, scheme="fair")
+    prio = ep_slowdown(1e9, 4e9, 50e9, scheme="priority")
+    bulk = ep_slowdown(1e9, 4e9, 50e9, scheme="bulk_first")
+    assert prio == pytest.approx(1.0)
+    assert fair > 1.5
+    assert bulk > fair
+
+
+def test_contention_asymmetric_sizes():
+    # EP smaller than KV: EP drains first at half bandwidth.
+    r = shared_pipe_times(1e9, 9e9, 50e9, "fair")
+    assert r.ep_time == pytest.approx(1e9 / 25e9)
+    assert r.kv_time == pytest.approx(r.ep_time + 8e9 / 50e9)
+    # KV smaller than EP.
+    r2 = shared_pipe_times(9e9, 1e9, 50e9, "fair")
+    assert r2.kv_time == pytest.approx(1e9 / 25e9)
+    assert r2.ep_time == pytest.approx(r2.kv_time + 8e9 / 50e9)
+
+
+def test_contention_validation():
+    with pytest.raises(ValueError):
+        shared_pipe_times(1, 1, 0)
+    with pytest.raises(ValueError):
+        shared_pipe_times(1, 1, 1, scheme="magic")
+    assert set(ARBITRATION_SCHEMES) == {"fair", "priority", "bulk_first"}
+
+
+def test_scaled_compute_preserves_comm():
+    scaled = STAGES.scaled_compute(2.0)
+    assert scaled.compute == pytest.approx(2 * STAGES.compute)
+    assert scaled.communication == pytest.approx(STAGES.communication)

@@ -1,0 +1,75 @@
+"""Hardware catalog: the calibration constants every experiment uses."""
+
+import pytest
+
+from repro.core import hardware as hw
+
+
+def test_h800_nvlink_matches_paper_section_43():
+    # "NVLink provides 200GB/s bandwidth (of which about 160GB/s can
+    # actually be achieved)" — Section 4.3.
+    assert hw.NVLINK_H800.bandwidth == pytest.approx(200e9)
+    assert hw.NVLINK_H800.effective_bandwidth == pytest.approx(160e9)
+
+
+def test_ib_cx7_matches_paper_section_43():
+    # "each 400Gbps IB NIC delivers only 50GB/s bandwidth ... use 40GB/s
+    # for effective bandwidth" — Section 4.3.
+    assert hw.IB_CX7_400G.bandwidth == pytest.approx(50e9)
+    assert hw.IB_CX7_400G.effective_bandwidth == pytest.approx(40e9)
+
+
+def test_h800_node_bandwidth_disparity_is_4_to_1():
+    # Section 4.3: scale-up : scale-out disparity ~ 4:1.
+    assert hw.H800_NODE.scale_up_to_scale_out_ratio == pytest.approx(4.0)
+
+
+def test_h800_node_shape():
+    assert hw.H800_NODE.gpus_per_node == 8
+    assert hw.H800_NODE.nics_per_node == 8
+    assert hw.H800_NODE.nic_per_gpu == 1.0
+
+
+def test_gb200_domain_bandwidth():
+    # Section 2.3.2: "GB200 NVL72 (900GB/s unidirectional bandwidth
+    # across 72 GPUs)".
+    assert hw.NVLINK_GB200.effective_bandwidth == pytest.approx(900e9)
+    assert hw.GB200_NVL72_NODE.gpus_per_node == 72
+
+
+def test_latency_constants_reproduce_table5():
+    # IB: same-leaf 2.8us (2 NIC sides + 1 switch hop), cross-leaf 3.7us
+    # (2 NIC sides + 3 switch hops).
+    same = 2 * hw.IB_NIC_SIDE_LATENCY + hw.IB_SWITCH_HOP_LATENCY
+    cross = 2 * hw.IB_NIC_SIDE_LATENCY + 3 * hw.IB_SWITCH_HOP_LATENCY
+    assert same == pytest.approx(2.8e-6)
+    assert cross == pytest.approx(3.7e-6)
+    same_roce = 2 * hw.ROCE_NIC_SIDE_LATENCY + hw.ROCE_SWITCH_HOP_LATENCY
+    cross_roce = 2 * hw.ROCE_NIC_SIDE_LATENCY + 3 * hw.ROCE_SWITCH_HOP_LATENCY
+    assert same_roce == pytest.approx(3.6e-6)
+    assert cross_roce == pytest.approx(5.6e-6)
+    assert hw.NVLINK_E2E_LATENCY == pytest.approx(3.33e-6)
+
+
+def test_link_efficiency():
+    assert 0 < hw.IB_CX7_400G.efficiency <= 1
+    assert hw.IB_CX7_400G.efficiency == pytest.approx(0.8)
+
+
+def test_with_nic_swaps_nic_only():
+    node = hw.with_nic(hw.H800_NODE, hw.ROCE_400G)
+    assert node.nic is hw.ROCE_400G
+    assert node.gpu is hw.H800
+    assert node.gpus_per_node == hw.H800_NODE.gpus_per_node
+
+
+def test_switch_specs():
+    assert hw.IB_SWITCH_400G_64P.ports == 64
+    assert hw.ROCE_SWITCH_400G_128P.ports == 128
+    # Section 5.2.1: RoCE switches trade latency for radix.
+    assert hw.ROCE_SWITCH_400G_128P.latency > hw.IB_SWITCH_400G_64P.latency
+
+
+def test_catalogs_contain_expected_entries():
+    assert set(hw.GPU_CATALOG) >= {"H800", "H100", "GB200"}
+    assert set(hw.NODE_CATALOG) >= {"H800", "GB200_NVL72"}

@@ -1,0 +1,57 @@
+"""Roofline estimates."""
+
+import pytest
+
+from repro.core import H800, OpProfile, estimate, machine_balance
+
+
+def test_arithmetic_intensity():
+    op = OpProfile("gemm", flops=4e12, bytes_moved=2e9)
+    assert op.arithmetic_intensity == pytest.approx(2000.0)
+
+
+def test_zero_bytes_is_infinite_intensity():
+    assert OpProfile("x", 1.0, 0.0).arithmetic_intensity == float("inf")
+
+
+def test_gemv_is_memory_bound_on_h800():
+    # Decode-time GEMV: 2 FLOPs per parameter byte pair — far below the
+    # H800's ~295 FLOP/byte machine balance (Section 2.1.2's argument).
+    n = 7168 * 7168
+    op = OpProfile("gemv", flops=2.0 * n, bytes_moved=2.0 * n)
+    est = estimate(op, H800)
+    assert est.is_memory_bound
+    assert est.time == est.memory_time
+
+
+def test_large_gemm_is_compute_bound_on_h800():
+    m = k = n = 8192
+    op = OpProfile("gemm", flops=2.0 * m * k * n, bytes_moved=2.0 * (m * k + k * n + m * n))
+    est = estimate(op, H800)
+    assert not est.is_memory_bound
+
+
+def test_machine_balance_h800():
+    assert machine_balance(H800) == pytest.approx(989e12 / 3.35e12)
+    assert machine_balance(H800, "fp8") == pytest.approx(2 * machine_balance(H800), rel=0.01)
+
+
+def test_utilization_bounds():
+    op = OpProfile("op", flops=1e12, bytes_moved=1e9)
+    est = estimate(op, H800)
+    assert 0 < est.utilization <= 1
+
+
+def test_efficiency_derating():
+    op = OpProfile("op", flops=1e12, bytes_moved=1e6)
+    full = estimate(op, H800)
+    half = estimate(op, H800, compute_efficiency=0.5)
+    assert half.compute_time == pytest.approx(2 * full.compute_time)
+
+
+def test_invalid_efficiency_rejected():
+    op = OpProfile("op", flops=1.0, bytes_moved=1.0)
+    with pytest.raises(ValueError):
+        estimate(op, H800, compute_efficiency=0.0)
+    with pytest.raises(ValueError):
+        estimate(op, H800, memory_efficiency=1.5)

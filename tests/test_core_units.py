@@ -1,0 +1,49 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.core import units
+
+
+def test_binary_byte_constants():
+    assert units.KIB == 1024
+    assert units.MIB == 1024**2
+    assert units.GIB == 1024**3
+    assert units.TIB == 1024**4
+
+
+def test_decimal_byte_constants():
+    assert units.KB == 1000
+    assert units.GB == 10**9
+
+
+def test_gbps_conversion_matches_paper_nic():
+    # The paper treats a 400 Gbps CX7 NIC as 50 GB/s peak.
+    assert units.gbps_to_bytes_per_s(400) == pytest.approx(50e9)
+
+
+def test_bytes_to_kib():
+    assert units.bytes_to_kib(70272) == pytest.approx(68.625)
+
+
+def test_time_conversions_roundtrip():
+    assert units.us_to_seconds(units.seconds_to_us(0.0123)) == pytest.approx(0.0123)
+    assert units.seconds_to_ms(0.5) == pytest.approx(500.0)
+
+
+def test_flops_conversions():
+    assert units.flops_to_gflops(2.5e9) == pytest.approx(2.5)
+    assert units.flops_to_tflops(989e12) == pytest.approx(989.0)
+
+
+def test_fmt_bytes_picks_scale():
+    assert units.fmt_bytes(512) == "512 B"
+    assert "KB" in units.fmt_bytes(70272)
+    assert "MB" in units.fmt_bytes(5 * units.MIB)
+    assert "GB" in units.fmt_bytes(3 * units.GIB)
+
+
+def test_fmt_time_picks_scale():
+    assert "us" in units.fmt_time(120.96e-6)
+    assert "ms" in units.fmt_time(14.76e-3)
+    assert units.fmt_time(19.926).endswith("s")

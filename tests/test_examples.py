@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "70.272" in out
+    assert "14.76 ms" in out
+
+
+def test_design_cluster_network():
+    out = _run("design_cluster_network.py", "2")
+    assert "MPFT" in out and "MRFT" in out
+    assert "connectivity 100%" in out
+
+
+def test_plan_inference_deployment():
+    out = _run("plan_inference_deployment.py")
+    assert "node-limited" in out
+    assert "dispatch" in out and "combine" in out
+    assert "prefill pool" in out
+
+
+@pytest.mark.slow
+def test_validate_fp8_training_short():
+    out = _run("validate_fp8_training.py", "10")
+    assert "relative loss gap" in out
+
+
+@pytest.mark.slow
+def test_train_and_speculate_short():
+    out = _run("train_and_speculate.py", "10")
+    assert "lossless vs greedy: True" in out
+    assert "acceptance" in out
+
+
+def test_training_budget():
+    out = _run("training_budget.py", "1.0")
+    assert "GPU-hours" in out
+    assert "goodput" in out

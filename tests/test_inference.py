@@ -1,0 +1,179 @@
+"""Inference models: §2.3.2 TPOT limits, §2.2.2 decode, §2.3.3 MTP."""
+
+import numpy as np
+import pytest
+
+from repro.core import AI_SOC
+from repro.inference import (
+    DEEPSEEK_V3_INFERENCE,
+    EPInferenceConfig,
+    Workload,
+    comm_time_per_stage,
+    compare_interconnects,
+    decode_tps,
+    mtp_speedup,
+    offloaded_decode_tps,
+    plan_deployment,
+    prefill_gpus_needed,
+    simulate_acceptance,
+    soc_decode_tps,
+    speculative_generate,
+    time_per_layer,
+    tokens_per_second,
+    tpot_limit,
+)
+from repro.model import DEEPSEEK_V2, DEEPSEEK_V3, LLAMA31_70B, TINY_MLA_MOE, Transformer
+
+
+def test_section_232_ib_numbers_exact():
+    """(1B+2B) x 32 x 9 x 7K / 50GB/s = 120.96us; TPOT 14.76ms; ~67 tok/s."""
+    cfg = DEEPSEEK_V3_INFERENCE
+    assert comm_time_per_stage(cfg, 50e9) == pytest.approx(120.96e-6)
+    assert time_per_layer(cfg, 50e9) == pytest.approx(241.92e-6)
+    assert tpot_limit(cfg, 50e9) == pytest.approx(14.757e-3, rel=1e-3)
+    assert tokens_per_second(cfg, 50e9) == pytest.approx(67.8, rel=0.01)
+
+
+def test_section_232_gb200_numbers_exact():
+    """GB200 NVL72: 6.72us per stage, ~0.82ms TPOT, ~1200 tok/s."""
+    cfg = DEEPSEEK_V3_INFERENCE
+    assert comm_time_per_stage(cfg, 900e9) == pytest.approx(6.72e-6)
+    assert tpot_limit(cfg, 900e9) == pytest.approx(0.82e-3, rel=0.01)
+    assert tokens_per_second(cfg, 900e9) > 1200
+
+
+def test_compare_interconnects_rows():
+    rows = compare_interconnects()
+    assert rows[0].comm_stage_us == pytest.approx(120.96)
+    assert rows[1].comm_stage_us == pytest.approx(6.72)
+    assert rows[1].tokens_per_second / rows[0].tokens_per_second == pytest.approx(18.0)
+
+
+def test_destinations_factor_nine():
+    assert DEEPSEEK_V3_INFERENCE.destinations_per_token == 9
+
+
+def test_comm_time_validation():
+    with pytest.raises(ValueError):
+        comm_time_per_stage(DEEPSEEK_V3_INFERENCE, 0.0)
+
+
+def test_custom_ep_config():
+    cfg = EPInferenceConfig(tokens_per_device=64)
+    assert comm_time_per_stage(cfg, 50e9) == pytest.approx(2 * 120.96e-6)
+
+
+# --- §2.2.2 decode ---------------------------------------------------------
+
+
+def test_moe_on_soc_near_20_tps():
+    """§2.2.2: DeepSeek-V2 activates 21B -> ~20 TPS on an AI SoC."""
+    estimate = soc_decode_tps(DEEPSEEK_V2, AI_SOC, weight_dtype="fp8")
+    assert 15 <= estimate.tokens_per_second <= 25
+
+
+def test_dense_70b_single_digit_tps():
+    """§2.2.2: comparable dense 70B reaches only single digits."""
+    estimate = soc_decode_tps(LLAMA31_70B, AI_SOC, weight_dtype="fp8")
+    assert estimate.tokens_per_second < 10
+
+
+def test_moe_beats_dense_by_3x_or_more():
+    moe = soc_decode_tps(DEEPSEEK_V2, AI_SOC).tokens_per_second
+    dense = soc_decode_tps(LLAMA31_70B, AI_SOC).tokens_per_second
+    assert moe > 3 * dense
+
+
+def test_ktransformers_style_v3_near_20_tps():
+    """§2.2.2: full V3 on a consumer-GPU server at ~20 TPS."""
+    estimate = offloaded_decode_tps(DEEPSEEK_V3, gpu_bandwidth=1.0e12)
+    assert 15 <= estimate.tokens_per_second <= 35
+
+
+def test_decode_tps_kv_cache_slows_long_context():
+    short = decode_tps(DEEPSEEK_V3, 3.35e12, context_tokens=0)
+    long = decode_tps(DEEPSEEK_V3, 3.35e12, context_tokens=500_000)
+    assert long.tokens_per_second < short.tokens_per_second
+
+
+def test_decode_validation():
+    with pytest.raises(ValueError):
+        decode_tps(DEEPSEEK_V3, 0.0)
+    with pytest.raises(ValueError):
+        decode_tps(DEEPSEEK_V3, 1e12, weight_dtype="fp13")
+    with pytest.raises(ValueError):
+        offloaded_decode_tps(DEEPSEEK_V3, gpu_bandwidth=0.0)
+
+
+# --- §2.3.3 MTP ------------------------------------------------------------
+
+
+def test_mtp_speedup_matches_paper():
+    """80-90% acceptance -> ~1.8x generation TPS."""
+    assert mtp_speedup(0.80) == pytest.approx(1.77, abs=0.02)
+    assert mtp_speedup(0.90) == pytest.approx(1.87, abs=0.02)
+
+
+def test_mtp_speedup_bounds():
+    assert mtp_speedup(0.0) < 1.0  # pure overhead without acceptance
+    assert mtp_speedup(1.0, draft_overhead=0.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        mtp_speedup(1.5)
+    with pytest.raises(ValueError):
+        mtp_speedup(0.5, draft_overhead=-0.1)
+
+
+def test_simulate_acceptance_statistics():
+    rng = np.random.default_rng(0)
+    mean = simulate_acceptance(0.85, 20_000, rng)
+    assert mean == pytest.approx(1.85, abs=0.02)
+    with pytest.raises(ValueError):
+        simulate_acceptance(0.5, 0, rng)
+
+
+def test_speculative_generate_lossless():
+    """Speculative output must equal plain greedy decoding."""
+    model = Transformer(TINY_MLA_MOE, seed=0)
+    prompt = np.random.default_rng(1).integers(0, 256, size=(1, 6))
+    spec = speculative_generate(model, prompt, 15)
+    greedy = model.greedy_generate(prompt, 15)
+    assert np.array_equal(spec.tokens, greedy[0])
+    assert spec.decoding_steps <= 15
+    assert 0 <= spec.acceptance_rate <= 1
+    assert 1 <= spec.tokens_per_step <= 2
+
+
+def test_speculative_requires_mtp_and_single_batch():
+    from repro.model import TINY_DENSE_GQA
+
+    no_mtp = Transformer(TINY_DENSE_GQA, seed=0)
+    with pytest.raises(ValueError):
+        speculative_generate(no_mtp, np.zeros((1, 4), int), 4)
+    model = Transformer(TINY_MLA_MOE, seed=0)
+    with pytest.raises(ValueError):
+        speculative_generate(model, np.zeros((2, 4), int), 4)
+
+
+# --- Disaggregation ---------------------------------------------------------
+
+
+def test_plan_deployment_interference():
+    workload = Workload(requests_per_second=10, prompt_tokens=2048, output_tokens=512)
+    plan = plan_deployment(DEEPSEEK_V3, workload, decode_tpot=0.05)
+    assert plan.prefill_gpus > 0
+    assert plan.decode_gpus > 0
+    assert plan.colocated_tpot > plan.disaggregated_tpot
+    assert plan.tpot_inflation_colocated > 1.0
+
+
+def test_prefill_sizing_scales_with_rate():
+    w1 = Workload(1, 2048, 256)
+    w10 = Workload(10, 2048, 256)
+    assert prefill_gpus_needed(DEEPSEEK_V3, w10) == pytest.approx(
+        10 * prefill_gpus_needed(DEEPSEEK_V3, w1)
+    )
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        Workload(0, 100, 100)

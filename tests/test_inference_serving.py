@@ -1,0 +1,97 @@
+"""Decode serving frontier (§2.3.1-2.3.2 combined model)."""
+
+import pytest
+
+from repro.inference import (
+    ServingConfig,
+    compute_comm_crossover_context,
+    decode_stage_times,
+    serving_point,
+    throughput_latency_frontier,
+)
+from repro.model import TINY_DENSE_GQA
+
+
+def _paper_config(**overrides):
+    defaults = dict(nic_bandwidth=50e9, context_tokens=1, compute_efficiency=1.0)
+    defaults.update(overrides)
+    return ServingConfig(**defaults)
+
+
+def test_comm_bound_regime_reproduces_paper_tpot():
+    """At 32 tokens/device on a 50 GB/s fabric the model lands on the
+    §2.3.2 limit (~14.8 ms with hidden 7000; ~15.1 ms with 7168)."""
+    point = serving_point(_paper_config(), 32)
+    assert point.bound == "communication"
+    assert point.tpot == pytest.approx(15.11e-3, rel=0.01)
+    assert 1 / point.tpot == pytest.approx(66, abs=2)
+
+
+def test_comm_time_scales_inverse_bandwidth():
+    slow = serving_point(_paper_config(nic_bandwidth=40e9), 32)
+    fast = serving_point(_paper_config(nic_bandwidth=80e9), 32)
+    assert slow.stages.communication == pytest.approx(2 * fast.stages.communication)
+
+
+def test_gb200_fabric_moves_bound_to_compute():
+    """The paper's GB200 figure is 'purely theoretical': with a 900 GB/s
+    fabric, communication stops being the binding constraint."""
+    point = serving_point(_paper_config(nic_bandwidth=900e9), 32)
+    assert point.bound == "compute"
+    assert point.stages.communication < point.stages.compute
+
+
+def test_long_context_shifts_bound_to_compute():
+    """§2.3.2's caveat: 'request contexts are often much longer, and
+    MLA computations typically dominate'."""
+    config = ServingConfig(context_tokens=2048)
+    crossover = compute_comm_crossover_context(
+        config, 32, [1024, 4096, 16384, 65536]
+    )
+    assert crossover is not None
+    short = serving_point(ServingConfig(context_tokens=1024), 32)
+    long = serving_point(ServingConfig(context_tokens=65536), 32)
+    assert long.stages.attention_compute > short.stages.attention_compute
+    assert long.bound == "compute"
+
+
+def test_throughput_rises_with_batch_in_compute_floor():
+    """Small batches sit on the weight-streaming floor; batching
+    amortizes it until communication binds."""
+    frontier = throughput_latency_frontier(ServingConfig(context_tokens=512), [4, 16, 64])
+    throughputs = [p.throughput_per_gpu for p in frontier]
+    assert throughputs[1] > throughputs[0]
+    # TPOT monotonically worsens with batch once comm-bound.
+    assert frontier[-1].tpot > frontier[0].tpot
+
+
+def test_combine_is_twice_dispatch():
+    stages = decode_stage_times(ServingConfig(), 32)
+    assert stages.combine_comm == pytest.approx(2 * stages.dispatch_comm)
+
+
+def test_dispatch_matches_closed_form():
+    cfg = ServingConfig(nic_bandwidth=40e9)
+    stages = decode_stage_times(cfg, 32)
+    expected = 32 * 9 * 7168 * 1.0 / 40e9
+    assert stages.dispatch_comm == pytest.approx(expected)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ServingConfig(model=TINY_DENSE_GQA)  # dense model: no EP
+    with pytest.raises(ValueError):
+        ServingConfig(nic_bandwidth=0)
+    with pytest.raises(ValueError):
+        ServingConfig(ep_degree=0)
+    with pytest.raises(ValueError):
+        serving_point(ServingConfig(), 0)
+    with pytest.raises(ValueError):
+        throughput_latency_frontier(ServingConfig(), [])
+
+
+def test_ep_degree_controls_weight_traffic():
+    """Fewer experts per GPU -> less weight streaming -> faster MoE."""
+    dense_ep = decode_stage_times(ServingConfig(ep_degree=8, context_tokens=128), 4)
+    sparse_ep = decode_stage_times(ServingConfig(ep_degree=256, context_tokens=128), 4)
+    assert sparse_ep.moe_compute < dense_ep.moe_compute

@@ -1,0 +1,93 @@
+"""Coverage for smaller public APIs not exercised elsewhere."""
+
+import pytest
+
+from repro.core import GB200_NVL72_NODE, H800_NODE
+from repro.inference import DEEPSEEK_V3_INFERENCE
+from repro.inference.tpot import node_spec_row
+from repro.network import ENDPOINT_LINK, Flow, FlowSimulator, Topology
+
+
+def test_node_spec_row_uses_nic_bandwidth():
+    row = node_spec_row("h800", H800_NODE, DEEPSEEK_V3_INFERENCE)
+    assert row.bandwidth == H800_NODE.nic.bandwidth
+    assert row.tpot_ms == pytest.approx(14.76, abs=0.01)
+    gb = node_spec_row("gb200", GB200_NVL72_NODE, DEEPSEEK_V3_INFERENCE)
+    assert gb.tokens_per_second == row.tokens_per_second  # same NIC spec
+
+
+def _pair_topology(bw=10e9):
+    topo = Topology("pair")
+    topo.add_host("a")
+    topo.add_host("b")
+    topo.add_link("a", "b", bw, ENDPOINT_LINK)
+    return topo
+
+
+def test_flowsim_fixed_mode_single_link():
+    topo = _pair_topology()
+    sim = FlowSimulator(topo)
+    flows = [Flow("a", "b", 5e9, ["a", "b"]), Flow("a", "b", 5e9, ["a", "b"])]
+    result = sim.simulate(flows, mode="fixed")
+    # Equal shares of 5 GB/s each -> both complete at t = 1 s.
+    assert result.makespan == pytest.approx(1.0)
+    assert result.rates[0] == pytest.approx(5e9)
+
+
+def test_flowsim_fixed_mode_pessimistic_for_mixed_sizes():
+    """Fixed-rate mode never finishes earlier than the event simulation."""
+    topo = _pair_topology()
+    sim = FlowSimulator(topo)
+    flows = [Flow("a", "b", 1e9, ["a", "b"]), Flow("a", "b", 9e9, ["a", "b"])]
+    fixed = sim.simulate(flows, mode="fixed").makespan
+    event = sim.simulate(flows, mode="event").makespan
+    assert fixed >= event - 1e-12
+
+
+def test_flow_result_flow_bandwidth():
+    topo = _pair_topology()
+    sim = FlowSimulator(topo)
+    flows = [Flow("a", "b", 10e9, ["a", "b"])]
+    result = sim.simulate(flows)
+    assert result.flow_bandwidth(0, flows) == pytest.approx(10e9)
+
+
+def test_topology_links_filter():
+    topo = _pair_topology()
+    assert topo.links(ENDPOINT_LINK) == [("a", "b")]
+    assert topo.links("interswitch") == []
+    assert topo.max_switch_degree() == 0
+
+
+def test_stage_times_zero_idle():
+    from repro.comm import StageTimes, gpu_idle_fraction
+
+    stages = StageTimes(0.0, 0.0, 0.0, 0.0)
+    assert gpu_idle_fraction(stages) == 0.0
+
+
+def test_speculative_tokens_per_step_empty():
+    from repro.inference import SpeculativeResult
+    import numpy as np
+
+    empty = SpeculativeResult(np.array([]), 0, 0, 0)
+    assert empty.acceptance_rate == 0.0
+    assert empty.tokens_per_step == 0.0
+
+
+def test_quantized_tensor_tensor_granularity_scales():
+    import numpy as np
+    from repro.precision import quantize_tensor
+
+    q = quantize_tensor(np.full((4, 4), 2.0, np.float32))
+    expanded = q.expand_scales()
+    assert expanded.shape == (4, 4)
+    assert np.allclose(q.dequantize(), 2.0, rtol=1e-2)
+
+
+def test_decision_num_tokens():
+    import numpy as np
+    from repro.model import topk_routing
+
+    decision = topk_routing(np.random.default_rng(0).uniform(size=(7, 8)), 2)
+    assert decision.num_tokens == 7

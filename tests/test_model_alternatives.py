@@ -1,0 +1,108 @@
+"""Attention-alternative decode cost models (§2.1.3)."""
+
+import pytest
+
+from repro.model import (
+    DEEPSEEK_V3,
+    QWEN25_72B,
+    compare_decode_costs,
+    full_attention_cost,
+    kv_cache_bytes_per_token,
+    linear_attention_cost,
+    quantized_cache_cost,
+    sparse_attention_cost,
+    windowed_attention_cost,
+)
+
+CTX = 131_072
+
+
+def test_full_attention_matches_kv_cache_model():
+    cost = full_attention_cost(DEEPSEEK_V3, CTX)
+    assert cost.cache_bytes_stored_per_token == kv_cache_bytes_per_token(DEEPSEEK_V3)
+    assert cost.cache_bytes_read == pytest.approx(
+        kv_cache_bytes_per_token(DEEPSEEK_V3) * CTX
+    )
+
+
+def test_full_attention_scales_linearly_with_context():
+    a = full_attention_cost(DEEPSEEK_V3, 1024)
+    b = full_attention_cost(DEEPSEEK_V3, 4096)
+    assert b.cache_bytes_read == pytest.approx(4 * a.cache_bytes_read)
+    assert b.flops == pytest.approx(4 * a.flops)
+
+
+def test_windowed_caps_cost():
+    windowed = windowed_attention_cost(DEEPSEEK_V3, CTX, window=4096)
+    full = full_attention_cost(DEEPSEEK_V3, CTX)
+    assert windowed.cache_bytes_read == pytest.approx(full.cache_bytes_read * 4096 / CTX)
+    # Short contexts are unaffected by the window.
+    short = windowed_attention_cost(DEEPSEEK_V3, 1024, window=4096)
+    assert short.cache_bytes_read == full_attention_cost(DEEPSEEK_V3, 1024).cache_bytes_read
+
+
+def test_quantized_cache_halves_bf16_reads():
+    fp8 = quantized_cache_cost(DEEPSEEK_V3, CTX, "fp8")
+    bf16 = full_attention_cost(DEEPSEEK_V3, CTX, "bf16")
+    assert fp8.cache_bytes_read == pytest.approx(bf16.cache_bytes_read / 2)
+    assert fp8.flops == bf16.flops  # same attended positions
+
+
+def test_sparse_attends_fraction_of_long_context():
+    sparse = sparse_attention_cost(DEEPSEEK_V3, CTX)
+    full = full_attention_cost(DEEPSEEK_V3, CTX)
+    assert sparse.cache_bytes_read < 0.1 * full.cache_bytes_read
+    assert sparse.flops < 0.1 * full.flops
+    # ... but stores the full cache.
+    assert sparse.cache_bytes_stored_per_token == full.cache_bytes_stored_per_token
+
+
+def test_sparse_never_exceeds_full():
+    tiny_ctx = 256
+    sparse = sparse_attention_cost(DEEPSEEK_V3, tiny_ctx)
+    full = full_attention_cost(DEEPSEEK_V3, tiny_ctx)
+    assert sparse.cache_bytes_read <= full.cache_bytes_read * (1 + 1e-9)
+
+
+def test_linear_is_context_independent():
+    a = linear_attention_cost(DEEPSEEK_V3, 1024)
+    b = linear_attention_cost(DEEPSEEK_V3, 10_000_000)
+    assert a.cache_bytes_read == b.cache_bytes_read
+    assert a.flops == b.flops
+    assert a.cache_bytes_stored_per_token == 0.0
+
+
+def test_crossover_linear_wins_at_extreme_context():
+    """§2.1.3: linear-time alternatives matter for extreme contexts."""
+    moderate = 8192
+    extreme = 1_000_000
+    assert (
+        linear_attention_cost(DEEPSEEK_V3, moderate).cache_bytes_read
+        > full_attention_cost(DEEPSEEK_V3, moderate).cache_bytes_read / 10
+    )
+    assert (
+        linear_attention_cost(DEEPSEEK_V3, extreme).cache_bytes_read
+        < full_attention_cost(DEEPSEEK_V3, extreme).cache_bytes_read / 100
+    )
+
+
+def test_mla_full_reads_less_than_gqa_full():
+    """MLA's compression shows up directly in decode reads."""
+    mla = full_attention_cost(DEEPSEEK_V3, CTX)
+    gqa = full_attention_cost(QWEN25_72B, CTX)
+    assert mla.cache_bytes_read < gqa.cache_bytes_read / 4
+
+
+def test_compare_returns_all_strategies():
+    costs = compare_decode_costs(DEEPSEEK_V3, CTX)
+    assert len(costs) == 5
+    names = [c.name for c in costs]
+    assert any("mla" in n for n in names)
+    assert any("linear" in n for n in names)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        windowed_attention_cost(DEEPSEEK_V3, CTX, window=0)
+    with pytest.raises(ValueError):
+        sparse_attention_cost(DEEPSEEK_V3, CTX, selected_tokens=0)

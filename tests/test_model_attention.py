@@ -1,0 +1,197 @@
+"""Attention kernels: correctness and the MLA caching equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    TINY_MLA_MOE,
+    AttentionConfig,
+    AttentionKind,
+    MultiHeadAttention,
+    MultiHeadLatentAttention,
+    apply_rope,
+    build_attention,
+    causal_attention,
+    softmax,
+)
+
+RNG = np.random.default_rng
+
+
+def _mla_cfg(**overrides):
+    base = dict(
+        kind=AttentionKind.MLA,
+        num_heads=4,
+        qk_head_dim=16,
+        v_head_dim=16,
+        kv_lora_rank=24,
+        q_lora_rank=32,
+        qk_rope_head_dim=8,
+    )
+    base.update(overrides)
+    return AttentionConfig(**base)
+
+
+def _gqa_cfg(num_heads=8, num_kv_heads=2):
+    return AttentionConfig(
+        kind=AttentionKind.GQA,
+        num_heads=num_heads,
+        qk_head_dim=16,
+        v_head_dim=16,
+        num_kv_heads=num_kv_heads,
+    )
+
+
+def test_softmax_rows_sum_to_one():
+    x = RNG(0).normal(size=(5, 9))
+    assert np.allclose(softmax(x).sum(axis=-1), 1.0)
+
+
+def test_softmax_is_shift_invariant():
+    x = RNG(1).normal(size=(3, 4))
+    assert np.allclose(softmax(x), softmax(x + 100.0))
+
+
+def test_apply_rope_preserves_norm():
+    x = RNG(2).normal(size=(2, 3, 10, 16)).astype(np.float32)
+    rotated = apply_rope(x, np.arange(10))
+    # Rotations preserve the norm of each (even, odd) pair.
+    assert np.allclose(np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1), atol=1e-5)
+
+
+def test_apply_rope_position_zero_is_identity():
+    x = RNG(3).normal(size=(1, 1, 1, 8)).astype(np.float32)
+    assert np.allclose(apply_rope(x, np.array([0])), x, atol=1e-6)
+
+
+def test_apply_rope_is_relative():
+    # <rope(q,m), rope(k,n)> depends only on m-n.
+    q = RNG(4).normal(size=(8,)).astype(np.float32)
+    k = RNG(5).normal(size=(8,)).astype(np.float32)
+
+    def dot(m, n):
+        qr = apply_rope(q[None], np.array([m]))[0]
+        kr = apply_rope(k[None], np.array([n]))[0]
+        return float(qr @ kr)
+
+    assert dot(3, 1) == pytest.approx(dot(10, 8), abs=1e-4)
+
+
+def test_apply_rope_rejects_odd_dim():
+    with pytest.raises(ValueError):
+        apply_rope(np.zeros((1, 1, 7)), np.arange(1))
+
+
+def test_causal_attention_masks_future():
+    q = RNG(6).normal(size=(1, 1, 4, 8))
+    k = RNG(7).normal(size=(1, 1, 4, 8))
+    v = np.zeros((1, 1, 4, 8))
+    v[0, 0, 3] = 1.0  # only the last key position carries signal
+    out = causal_attention(q, k, v, query_offset=0, scale=1.0)
+    # Queries 0..2 cannot see key 3, so their output must be zero.
+    assert np.allclose(out[0, 0, :3], 0.0)
+    assert not np.allclose(out[0, 0, 3], 0.0)
+
+
+def test_causal_attention_offset_allows_history():
+    q = RNG(8).normal(size=(1, 2, 1, 8))
+    k = RNG(9).normal(size=(1, 2, 6, 8))
+    v = RNG(10).normal(size=(1, 2, 6, 8))
+    # A single query at absolute position 5 sees all 6 keys.
+    full = causal_attention(q, k, v, query_offset=5, scale=0.3)
+    scores = np.einsum("bhqd,bhkd->bhqk", q, k) * 0.3
+    expect = np.einsum("bhqk,bhkv->bhqv", softmax(scores), v)
+    assert np.allclose(full, expect, atol=1e-6)
+
+
+def test_mla_absorbed_equals_naive():
+    """The latent-cache execution path must match full decompression."""
+    cfg = _mla_cfg()
+    attn = MultiHeadLatentAttention(cfg, hidden_size=32, rng=RNG(11))
+    x = RNG(12).normal(size=(2, 9, 32)).astype(np.float32)
+    out_a = attn(x, attn.make_cache(2), absorbed=True)
+    out_n = attn(x, attn.make_cache(2), absorbed=False)
+    assert np.allclose(out_a, out_n, atol=1e-4)
+
+
+def test_mla_absorbed_equals_naive_without_q_compression():
+    cfg = _mla_cfg(q_lora_rank=0)
+    attn = MultiHeadLatentAttention(cfg, hidden_size=32, rng=RNG(13))
+    x = RNG(14).normal(size=(1, 6, 32)).astype(np.float32)
+    assert np.allclose(
+        attn(x, attn.make_cache(1), absorbed=True),
+        attn(x, attn.make_cache(1), absorbed=False),
+        atol=1e-4,
+    )
+
+
+def test_mla_incremental_decode_matches_prefill():
+    """Token-by-token decoding with the latent cache == one-shot prefill."""
+    cfg = _mla_cfg()
+    attn = MultiHeadLatentAttention(cfg, hidden_size=32, rng=RNG(15))
+    x = RNG(16).normal(size=(1, 7, 32)).astype(np.float32)
+    full = attn(x, attn.make_cache(1))
+    cache = attn.make_cache(1)
+    steps = [attn(x[:, t : t + 1], cache) for t in range(7)]
+    assert np.allclose(np.concatenate(steps, axis=1), full, atol=1e-4)
+
+
+def test_mla_cache_holds_only_latent():
+    cfg = _mla_cfg()
+    attn = MultiHeadLatentAttention(cfg, hidden_size=32, rng=RNG(17))
+    cache = attn.make_cache(1)
+    attn(RNG(18).normal(size=(1, 5, 32)).astype(np.float32), cache)
+    assert cache.latent.shape == (1, 5, cfg.kv_lora_rank)
+    assert cache.rope_key.shape == (1, 5, cfg.qk_rope_head_dim)
+
+
+def test_gqa_incremental_decode_matches_prefill():
+    cfg = _gqa_cfg()
+    attn = MultiHeadAttention(cfg, hidden_size=32, rng=RNG(19))
+    x = RNG(20).normal(size=(2, 6, 32)).astype(np.float32)
+    full = attn(x, attn.make_cache(2))
+    cache = attn.make_cache(2)
+    steps = [attn(x[:, t : t + 1], cache) for t in range(6)]
+    assert np.allclose(np.concatenate(steps, axis=1), full, atol=1e-4)
+
+
+def test_gqa_with_all_heads_equals_mha_shape():
+    mha = AttentionConfig(
+        kind=AttentionKind.MHA, num_heads=4, qk_head_dim=8, v_head_dim=8, num_kv_heads=4
+    )
+    attn = MultiHeadAttention(mha, hidden_size=16, rng=RNG(21))
+    out = attn(RNG(22).normal(size=(1, 3, 16)).astype(np.float32), attn.make_cache(1))
+    assert out.shape == (1, 3, 16)
+
+
+def test_mqa_runs():
+    cfg = AttentionConfig(
+        kind=AttentionKind.MQA, num_heads=4, qk_head_dim=8, v_head_dim=8, num_kv_heads=1
+    )
+    attn = MultiHeadAttention(cfg, hidden_size=16, rng=RNG(23))
+    out = attn(RNG(24).normal(size=(1, 4, 16)).astype(np.float32), attn.make_cache(1))
+    assert out.shape == (1, 4, 16)
+    assert attn.make_cache(1)._keys.shape[1] == 1
+
+
+def test_build_attention_dispatch():
+    assert isinstance(
+        build_attention(_mla_cfg(), 32, RNG(0)), MultiHeadLatentAttention
+    )
+    assert isinstance(build_attention(_gqa_cfg(), 32, RNG(0)), MultiHeadAttention)
+
+
+def test_wrong_class_for_config_raises():
+    with pytest.raises(ValueError):
+        MultiHeadAttention(_mla_cfg(), 32, RNG(0))
+    with pytest.raises(ValueError):
+        MultiHeadLatentAttention(_gqa_cfg(), 32, RNG(0))
+
+
+def test_tiny_preset_attention_runs():
+    cfg = TINY_MLA_MOE
+    attn = build_attention(cfg.attention, cfg.hidden_size, RNG(25))
+    x = RNG(26).normal(size=(1, 8, cfg.hidden_size)).astype(np.float32)
+    out = attn(x, attn.make_cache(1))
+    assert out.shape == x.shape
+    assert np.all(np.isfinite(out))

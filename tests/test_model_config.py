@@ -1,0 +1,120 @@
+"""Model configuration validation and published preset shapes."""
+
+import pytest
+
+from repro.model import (
+    DEEPSEEK_V2,
+    DEEPSEEK_V3,
+    LLAMA31_405B,
+    MODEL_CATALOG,
+    QWEN25_72B,
+    AttentionConfig,
+    AttentionKind,
+    ModelConfig,
+    MoEConfig,
+)
+
+
+def test_deepseek_v3_preset_matches_technical_report():
+    cfg = DEEPSEEK_V3
+    assert cfg.hidden_size == 7168
+    assert cfg.num_layers == 61
+    assert cfg.attention.kind is AttentionKind.MLA
+    assert cfg.attention.kv_lora_rank == 512
+    assert cfg.attention.qk_rope_head_dim == 64
+    assert cfg.moe.num_routed_experts == 256
+    assert cfg.moe.experts_per_token == 8
+    assert cfg.moe.num_shared_experts == 1
+    # Section 4.3: 8 groups of 32 experts, at most 4 nodes per token.
+    assert cfg.moe.num_expert_groups == 8
+    assert cfg.moe.experts_per_group == 32
+    assert cfg.moe.max_groups_per_token == 4
+    assert cfg.moe.active_experts_per_token == 9
+
+
+def test_deepseek_v2_preset():
+    assert DEEPSEEK_V2.moe.num_routed_experts == 160
+    assert DEEPSEEK_V2.moe.experts_per_token == 6
+    assert DEEPSEEK_V2.num_dense_layers == 1
+
+
+def test_dense_presets_have_no_moe():
+    assert not QWEN25_72B.is_moe
+    assert not LLAMA31_405B.is_moe
+    assert QWEN25_72B.num_moe_layers == 0
+
+
+def test_num_moe_layers():
+    assert DEEPSEEK_V3.num_moe_layers == 58
+
+
+def test_mqa_requires_single_kv_head():
+    with pytest.raises(ValueError):
+        AttentionConfig(kind=AttentionKind.MQA, num_heads=8, qk_head_dim=64, v_head_dim=64, num_kv_heads=2)
+
+
+def test_mha_requires_matching_kv_heads():
+    with pytest.raises(ValueError):
+        AttentionConfig(kind=AttentionKind.MHA, num_heads=8, qk_head_dim=64, v_head_dim=64, num_kv_heads=4)
+
+
+def test_gqa_divisibility_enforced():
+    with pytest.raises(ValueError):
+        AttentionConfig(kind=AttentionKind.GQA, num_heads=8, qk_head_dim=64, v_head_dim=64, num_kv_heads=3)
+
+
+def test_mla_requires_latent_rank():
+    with pytest.raises(ValueError):
+        AttentionConfig(kind=AttentionKind.MLA, num_heads=8, qk_head_dim=64, v_head_dim=64)
+
+
+def test_moe_topk_bounds():
+    with pytest.raises(ValueError):
+        MoEConfig(num_routed_experts=4, num_shared_experts=0, experts_per_token=5, intermediate_size=8)
+
+
+def test_moe_group_divisibility():
+    with pytest.raises(ValueError):
+        MoEConfig(
+            num_routed_experts=10,
+            num_shared_experts=0,
+            experts_per_token=2,
+            intermediate_size=8,
+            num_expert_groups=3,
+            max_groups_per_token=2,
+        )
+
+
+def test_moe_group_limit_must_fit_topk():
+    with pytest.raises(ValueError):
+        MoEConfig(
+            num_routed_experts=8,
+            num_shared_experts=0,
+            experts_per_token=4,
+            intermediate_size=8,
+            num_expert_groups=8,
+            max_groups_per_token=2,
+        )
+
+
+def test_full_qk_head_dim_includes_rope():
+    assert DEEPSEEK_V3.attention.full_qk_head_dim == 192
+    assert QWEN25_72B.attention.full_qk_head_dim == 128
+
+
+def test_dense_layers_must_leave_moe_layer():
+    with pytest.raises(ValueError):
+        DEEPSEEK_V3.scaled("bad", num_dense_layers=61)
+
+
+def test_scaled_override():
+    small = DEEPSEEK_V3.scaled("v3-small", num_layers=8, num_dense_layers=1)
+    assert small.num_layers == 8
+    assert small.hidden_size == DEEPSEEK_V3.hidden_size
+    assert DEEPSEEK_V3.num_layers == 61  # original untouched
+
+
+def test_catalog_keys_resolve():
+    assert MODEL_CATALOG["deepseek-v3"] is DEEPSEEK_V3
+    for cfg in MODEL_CATALOG.values():
+        assert isinstance(cfg, ModelConfig)

@@ -1,0 +1,75 @@
+"""DeepSeekMoE layer forward semantics."""
+
+import numpy as np
+import pytest
+
+from repro.model import TINY_MLA_MOE, DeepSeekMoELayer, DenseFfn, ExpertWeights, swiglu
+
+RNG = np.random.default_rng
+
+
+def test_swiglu_shapes():
+    rng = RNG(0)
+    w_g = rng.normal(size=(8, 16)).astype(np.float32)
+    w_u = rng.normal(size=(8, 16)).astype(np.float32)
+    w_d = rng.normal(size=(16, 8)).astype(np.float32)
+    out = swiglu(rng.normal(size=(5, 8)).astype(np.float32), w_g, w_u, w_d)
+    assert out.shape == (5, 8)
+
+
+def test_swiglu_zero_input_is_zero():
+    e = ExpertWeights.create(8, 16, RNG(1))
+    assert np.allclose(e(np.zeros((3, 8), np.float32)), 0.0)
+
+
+def test_dense_ffn_preserves_shape():
+    ffn = DenseFfn(16, 32, RNG(2))
+    x = RNG(3).normal(size=(2, 5, 16)).astype(np.float32)
+    assert ffn(x).shape == x.shape
+
+
+def test_moe_layer_output_shape_and_finite():
+    layer = DeepSeekMoELayer(TINY_MLA_MOE.moe, hidden_size=32, rng=RNG(4))
+    x = RNG(5).normal(size=(2, 6, 32)).astype(np.float32)
+    out = layer(x)
+    assert out.shape == x.shape
+    assert np.all(np.isfinite(out))
+
+
+def test_moe_layer_records_routing_decision():
+    layer = DeepSeekMoELayer(TINY_MLA_MOE.moe, hidden_size=32, rng=RNG(6))
+    layer(RNG(7).normal(size=(1, 4, 32)).astype(np.float32))
+    assert layer.last_decision is not None
+    assert layer.last_decision.num_tokens == 4
+
+
+def test_moe_layer_matches_manual_combine():
+    """The layer must equal sum_k w_k * expert_k(x) + shared(x)."""
+    moe = TINY_MLA_MOE.moe
+    layer = DeepSeekMoELayer(moe, hidden_size=32, rng=RNG(8))
+    x = RNG(9).normal(size=(5, 32)).astype(np.float32)
+    out = layer(x)
+    decision = layer.last_decision
+    manual = np.zeros_like(x)
+    for t in range(5):
+        for slot in range(moe.experts_per_token):
+            e = int(decision.expert_ids[t, slot])
+            manual[t] += decision.weights[t, slot] * layer.routed_experts[e](x[t : t + 1])[0]
+        for shared in layer.shared_experts:
+            manual[t] += shared(x[t : t + 1])[0]
+    assert np.allclose(out, manual, atol=1e-5)
+
+
+def test_moe_token_independence():
+    """Routing and output of a token must not depend on batch peers."""
+    layer = DeepSeekMoELayer(TINY_MLA_MOE.moe, hidden_size=32, rng=RNG(10))
+    x = RNG(11).normal(size=(6, 32)).astype(np.float32)
+    full = layer(x)
+    solo = np.concatenate([layer(x[i : i + 1]) for i in range(6)], axis=0)
+    assert np.allclose(full, solo, atol=1e-5)
+
+
+def test_moe_requires_valid_hidden_size():
+    layer = DeepSeekMoELayer(TINY_MLA_MOE.moe, hidden_size=32, rng=RNG(12))
+    with pytest.raises(ValueError):
+        layer(RNG(13).normal(size=(3, 17)).astype(np.float32))

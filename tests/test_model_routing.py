@@ -1,0 +1,160 @@
+"""Expert routing: top-k, node-limited routing (§4.3), gate balancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import (
+    DEEPSEEK_V3,
+    TINY_MLA_MOE,
+    MoEGate,
+    expert_load,
+    load_imbalance,
+    mean_nodes_touched,
+    node_limited_topk,
+    nodes_touched,
+    topk_routing,
+)
+
+RNG = np.random.default_rng
+
+
+def test_topk_selects_largest():
+    scores = np.array([[0.1, 0.9, 0.5, 0.7]])
+    decision = topk_routing(scores, 2)
+    assert set(decision.expert_ids[0]) == {1, 3}
+    # Descending order by score.
+    assert decision.expert_ids[0, 0] == 1
+
+
+def test_topk_weights_normalized():
+    scores = RNG(0).uniform(0.01, 1.0, size=(50, 16))
+    decision = topk_routing(scores, 4)
+    assert np.allclose(decision.weights.sum(axis=1), 1.0)
+    assert np.all(decision.weights >= 0)
+
+
+def test_topk_k_too_large_raises():
+    with pytest.raises(ValueError):
+        topk_routing(np.ones((1, 4)), 5)
+
+
+def test_node_limited_respects_group_cap():
+    scores = RNG(1).uniform(size=(200, 256))
+    decision = node_limited_topk(scores, k=8, num_groups=8, max_groups=4)
+    touched = nodes_touched(decision, num_groups=8, num_experts=256)
+    assert np.all(touched <= 4)
+
+
+def test_node_limited_equals_topk_when_unrestricted():
+    scores = RNG(2).uniform(size=(64, 32))
+    free = topk_routing(scores, 4)
+    limited = node_limited_topk(scores, k=4, num_groups=8, max_groups=8)
+    assert np.array_equal(np.sort(free.expert_ids, 1), np.sort(limited.expert_ids, 1))
+
+
+def test_node_limited_selects_best_groups():
+    # One group has overwhelmingly large scores; it must be kept.
+    scores = np.full((1, 16), 0.1)
+    scores[0, 4:8] = 10.0  # group 1 of 4 groups
+    decision = node_limited_topk(scores, k=2, num_groups=4, max_groups=1)
+    assert set(decision.expert_ids[0]) <= {4, 5, 6, 7}
+
+
+def test_node_limited_validations():
+    scores = np.ones((1, 16))
+    with pytest.raises(ValueError):
+        node_limited_topk(scores, 2, num_groups=3, max_groups=2)  # 16 % 3 != 0
+    with pytest.raises(ValueError):
+        node_limited_topk(scores, 2, num_groups=4, max_groups=5)
+    with pytest.raises(ValueError):
+        node_limited_topk(scores, 9, num_groups=8, max_groups=4)  # 4*2 < 9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    tokens=st.integers(1, 32),
+    seed=st.integers(0, 1000),
+    max_groups=st.integers(1, 8),
+)
+def test_node_limited_invariants(tokens, seed, max_groups):
+    """For any scores: k distinct experts, <= max_groups groups, weights sum 1."""
+    k = min(8, max_groups * 4)
+    scores = RNG(seed).uniform(size=(tokens, 32))
+    decision = node_limited_topk(scores, k=k, num_groups=8, max_groups=max_groups)
+    for row in decision.expert_ids:
+        assert len(set(row.tolist())) == k
+    assert np.all(nodes_touched(decision, 8, 32) <= max_groups)
+    assert np.allclose(decision.weights.sum(axis=1), 1.0)
+
+
+def test_nodes_touched_counts_distinct_groups():
+    scores = np.zeros((1, 8))
+    decision = topk_routing(np.array([[9, 8, 0, 0, 7, 0, 0, 0.0]]), 3)
+    # Experts 0,1 in group 0; expert 4 in group 2 (group size 2 -> 4 groups).
+    assert nodes_touched(decision, num_groups=4, num_experts=8)[0] == 2
+    del scores
+
+
+def test_mean_nodes_touched_under_limit_for_v3_shape():
+    scores = RNG(3).uniform(size=(512, 256))
+    moe = DEEPSEEK_V3.moe
+    decision = node_limited_topk(
+        scores, moe.experts_per_token, moe.num_expert_groups, moe.max_groups_per_token
+    )
+    m = mean_nodes_touched(decision, moe.num_expert_groups, moe.num_routed_experts)
+    assert m <= 4.0
+    free = topk_routing(scores, moe.experts_per_token)
+    m_free = mean_nodes_touched(free, moe.num_expert_groups, moe.num_routed_experts)
+    assert m < m_free  # the co-design reduces node fan-out
+
+
+def test_expert_load_conserves_assignments():
+    scores = RNG(4).uniform(size=(100, 16))
+    decision = topk_routing(scores, 4)
+    load = expert_load(decision, 16)
+    assert load.sum() == 100 * 4
+
+
+def test_gate_routes_with_node_limit():
+    moe = TINY_MLA_MOE.moe
+    gate = MoEGate(moe, hidden_size=16, rng=RNG(5))
+    x = RNG(6).normal(size=(64, 16)).astype(np.float32)
+    decision = gate.route(x)
+    assert decision.expert_ids.shape == (64, moe.experts_per_token)
+    touched = nodes_touched(decision, moe.num_expert_groups, moe.num_routed_experts)
+    assert np.all(touched <= moe.max_groups_per_token)
+
+
+def test_gate_affinities_in_unit_interval():
+    gate = MoEGate(TINY_MLA_MOE.moe, hidden_size=16, rng=RNG(7))
+    aff = gate.affinities(RNG(8).normal(size=(10, 16)).astype(np.float32))
+    assert np.all(aff > 0) and np.all(aff < 1)
+
+
+def test_bias_update_reduces_imbalance():
+    """Aux-loss-free balancing: repeated bias updates even the load."""
+    moe = TINY_MLA_MOE.moe
+    gate = MoEGate(moe, hidden_size=16, rng=RNG(9), bias_update_speed=0.05)
+    # Skew the gate so expert 0 dominates every token's affinities.
+    gate.weight[:, 0] += 2.0
+    x = RNG(10).normal(size=(512, 16)).astype(np.float32)
+    before = load_imbalance(gate.route(x), moe.num_routed_experts)
+    for _ in range(100):
+        gate.update_bias(gate.route(x))
+    after = load_imbalance(gate.route(x), moe.num_routed_experts)
+    assert after < before
+
+
+def test_bias_does_not_change_gate_weights_source():
+    """Selection uses biased scores but weights come from affinities."""
+    moe = TINY_MLA_MOE.moe
+    gate = MoEGate(moe, hidden_size=16, rng=RNG(11))
+    gate.bias[:] = RNG(12).normal(size=moe.num_routed_experts).astype(np.float32)
+    x = RNG(13).normal(size=(8, 16)).astype(np.float32)
+    decision = gate.route(x)
+    aff = gate.affinities(x)
+    rows = np.arange(8)[:, None]
+    expected = aff[rows, decision.expert_ids]
+    expected = expected / expected.sum(axis=1, keepdims=True)
+    assert np.allclose(decision.weights, expected)

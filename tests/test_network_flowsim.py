@@ -1,0 +1,183 @@
+"""Flow-level simulator: max-min fairness and event simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network import (
+    ENDPOINT_LINK,
+    Flow,
+    FlowSimulator,
+    Topology,
+    max_min_rates,
+    two_layer_fat_tree,
+)
+
+
+def _line_topology(bandwidths):
+    topo = Topology("line")
+    topo.add_host("a")
+    topo.add_switch("s0")
+    topo.add_switch("s1")
+    topo.add_host("b")
+    names = ["a", "s0", "s1", "b"]
+    for (x, y), bw in zip(zip(names[:-1], names[1:]), bandwidths):
+        topo.add_link(x, y, bw, ENDPOINT_LINK)
+    return topo
+
+
+def test_flow_validation():
+    with pytest.raises(ValueError):
+        Flow("a", "b", -1.0, ["a", "b"])
+    with pytest.raises(ValueError):
+        Flow("a", "b", 1.0, ["a"])
+    with pytest.raises(ValueError):
+        Flow("a", "b", 1.0, ["b", "a"])
+
+
+def test_single_flow_gets_bottleneck_bandwidth():
+    topo = _line_topology([10e9, 5e9, 10e9])
+    sim = FlowSimulator(topo)
+    flow = Flow("a", "b", 5e9, ["a", "s0", "s1", "b"])
+    result = sim.simulate([flow])
+    assert result.rates[0] == pytest.approx(5e9)
+    assert result.makespan == pytest.approx(1.0)
+
+
+def test_two_flows_share_fairly():
+    topo = _line_topology([10e9, 10e9, 10e9])
+    sim = FlowSimulator(topo)
+    flows = [
+        Flow("a", "b", 10e9, ["a", "s0", "s1", "b"]),
+        Flow("a", "b", 10e9, ["a", "s0", "s1", "b"]),
+    ]
+    result = sim.simulate(flows)
+    assert result.rates[0] == pytest.approx(5e9)
+    assert result.makespan == pytest.approx(2.0)
+
+
+def test_short_flow_finishes_then_long_flow_speeds_up():
+    topo = _line_topology([10e9, 10e9, 10e9])
+    sim = FlowSimulator(topo)
+    flows = [
+        Flow("a", "b", 5e9, ["a", "s0", "s1", "b"]),  # done at t=1
+        Flow("a", "b", 10e9, ["a", "s0", "s1", "b"]),  # 5 GB left, then 10GB/s
+    ]
+    result = sim.simulate(flows)
+    assert result.completion[0] == pytest.approx(1.0)
+    assert result.completion[1] == pytest.approx(1.5)
+
+
+def test_opposite_directions_do_not_contend():
+    topo = _line_topology([10e9, 10e9, 10e9])
+    sim = FlowSimulator(topo)
+    flows = [
+        Flow("a", "b", 10e9, ["a", "s0", "s1", "b"]),
+        Flow("b", "a", 10e9, ["b", "s1", "s0", "a"]),
+    ]
+    result = sim.simulate(flows)
+    assert result.makespan == pytest.approx(1.0)
+
+
+def test_latency_added_to_completion():
+    topo = _line_topology([10e9, 10e9, 10e9])
+    sim = FlowSimulator(topo)
+    flow = Flow("a", "b", 10e9, ["a", "s0", "s1", "b"], latency=0.25)
+    assert sim.simulate([flow]).completion[0] == pytest.approx(1.25)
+
+
+def test_zero_size_flow_is_latency_only():
+    topo = _line_topology([10e9, 10e9, 10e9])
+    sim = FlowSimulator(topo)
+    flow = Flow("a", "b", 0.0, ["a", "s0", "s1", "b"], latency=0.5)
+    result = sim.simulate([flow])
+    assert result.completion[0] == pytest.approx(0.5)
+
+
+def test_unknown_edge_raises():
+    topo = _line_topology([1e9, 1e9, 1e9])
+    sim = FlowSimulator(topo)
+    bad = Flow("a", "b", 1.0, ["a", "zz", "b"])
+    with pytest.raises(KeyError):
+        sim.simulate([bad])
+
+
+def test_max_min_is_bottleneck_fair():
+    # Classic example: two links; flow0 crosses both, flow1 only link A,
+    # flow2 only link B.  Max-min: flow0 = 5, flow1 = 5, flow2 = 15.
+    topo = Topology("y")
+    for n in ("x", "y", "z"):
+        topo.add_host(n)
+    topo.add_link("x", "y", 10.0, ENDPOINT_LINK)
+    topo.add_link("y", "z", 20.0, ENDPOINT_LINK)
+    flows = {
+        0: Flow("x", "z", 1.0, ["x", "y", "z"]),
+        1: Flow("x", "y", 1.0, ["x", "y"]),
+        2: Flow("y", "z", 1.0, ["y", "z"]),
+    }
+    caps = {("x", "y"): 10.0, ("y", "x"): 10.0, ("y", "z"): 20.0, ("z", "y"): 20.0}
+    rates = max_min_rates(flows, caps)
+    assert rates[0] == pytest.approx(5.0)
+    assert rates[1] == pytest.approx(5.0)
+    assert rates[2] == pytest.approx(15.0)
+
+
+def test_mode_validation():
+    topo = _line_topology([1e9, 1e9, 1e9])
+    sim = FlowSimulator(topo)
+    with pytest.raises(ValueError):
+        sim.simulate([], mode="quantum")
+
+
+def test_drain_mode_matches_event_for_symmetric_traffic():
+    topo = two_layer_fat_tree(2, 4, 2, link_bandwidth=10e9)
+    sim = FlowSimulator(topo)
+    hosts = topo.hosts
+    flows = []
+    for s in hosts:
+        for d in hosts:
+            if s != d:
+                path = min(topo.shortest_paths(s, d), key=len)
+                flows.append(Flow(s, d, 1e9, path))
+    event = sim.simulate(flows, mode="event")
+    drain = sim.simulate(flows, mode="drain")
+    assert drain.makespan == pytest.approx(event.makespan, rel=0.05)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(st.floats(1e6, 1e9), min_size=1, max_size=6),
+    bw=st.floats(1e9, 100e9),
+)
+def test_conservation_single_link(sizes, bw):
+    """All flows on one link: makespan == total bytes / capacity."""
+    topo = Topology("one")
+    topo.add_host("a")
+    topo.add_host("b")
+    topo.add_link("a", "b", bw, ENDPOINT_LINK)
+    sim = FlowSimulator(topo)
+    flows = [Flow("a", "b", s, ["a", "b"]) for s in sizes]
+    result = sim.simulate(flows)
+    assert result.makespan == pytest.approx(sum(sizes) / bw, rel=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_rates_never_exceed_capacity(seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    topo = two_layer_fat_tree(2, 2, 2, link_bandwidth=10e9)
+    hosts = topo.hosts
+    flows = {}
+    for i in range(6):
+        s, d = rng.choice(hosts, size=2, replace=False)
+        path = min(topo.shortest_paths(s, d), key=len)
+        flows[i] = Flow(s, d, 1e9, path)
+    sim = FlowSimulator(topo)
+    rates = max_min_rates(flows, sim.capacities)
+    per_edge: dict = {}
+    for i, f in flows.items():
+        for e in f.edges:
+            per_edge[e] = per_edge.get(e, 0.0) + rates[i]
+    for e, total in per_edge.items():
+        assert total <= sim.capacities[e] * (1 + 1e-6)

@@ -1,0 +1,76 @@
+"""Hierarchical NVLink+IB all-reduce."""
+
+import pytest
+
+from repro.network import (
+    build_mpft_cluster,
+    build_mrft_cluster,
+    flat_ring_allreduce_time,
+    run_hierarchical_allreduce,
+)
+
+SIZE = 1 << 28  # 256 MiB per GPU
+
+
+def test_phase_times_positive_and_sum():
+    c = build_mpft_cluster(4)
+    result = run_hierarchical_allreduce(c, SIZE)
+    assert result.intra_reduce_time > 0
+    assert result.inter_ring_time > 0
+    assert result.intra_gather_time == result.intra_reduce_time
+    assert result.total_time == pytest.approx(
+        result.intra_reduce_time + result.inter_ring_time + result.intra_gather_time
+    )
+
+
+def test_hierarchical_beats_flat_ring():
+    """Shard-per-GPU inter-node traffic (S/G) beats pushing the whole
+    buffer through the slow NIC hops — why collectives are
+    hierarchy-aware on 4:1 bandwidth nodes."""
+    c = build_mpft_cluster(8)
+    hier = run_hierarchical_allreduce(c, SIZE).total_time
+    flat = flat_ring_allreduce_time(c, SIZE)
+    assert flat > 2 * hier
+
+
+def test_single_node_skips_inter_ring():
+    c = build_mpft_cluster(1)
+    result = run_hierarchical_allreduce(c, SIZE)
+    assert result.inter_ring_time == 0.0
+    assert result.total_time > 0
+
+
+def test_zero_bytes_zero_time():
+    c = build_mpft_cluster(2)
+    assert run_hierarchical_allreduce(c, 0.0).total_time == 0.0
+
+
+def test_negative_bytes_rejected():
+    c = build_mpft_cluster(2)
+    with pytest.raises(ValueError):
+        run_hierarchical_allreduce(c, -1.0)
+    with pytest.raises(ValueError):
+        flat_ring_allreduce_time(c, -1.0)
+
+
+def test_mpft_mrft_parity_for_allreduce():
+    """Same-plane rings never cross planes, so MPFT == MRFT here too."""
+    a = run_hierarchical_allreduce(build_mpft_cluster(4), SIZE)
+    b = run_hierarchical_allreduce(build_mrft_cluster(4), SIZE)
+    assert a.total_time == pytest.approx(b.total_time, rel=1e-9)
+
+
+def test_inter_ring_bound_by_nic():
+    """The inter-node phase drains each NIC's 2(N-1)/N x S/G volume at
+    the 40 GB/s effective rate."""
+    c = build_mpft_cluster(4)
+    result = run_hierarchical_allreduce(c, SIZE)
+    expected = 2 * (SIZE / 8) * (3 / 4) / 40e9
+    assert result.inter_ring_time == pytest.approx(expected, rel=0.01)
+
+
+def test_busbw_convention():
+    c = build_mpft_cluster(4)
+    result = run_hierarchical_allreduce(c, SIZE)
+    assert result.busbw == pytest.approx(2 * result.algbw)
+    assert result.busbw > 40e9  # hierarchy exceeds a single NIC's rate

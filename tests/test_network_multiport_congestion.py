@@ -1,0 +1,116 @@
+"""Figure 4 multi-port NIC model and §5.2.2 incast isolation."""
+
+import pytest
+
+from repro.network import (
+    BONDING_MODES,
+    ISOLATION_SCHEMES,
+    IncastScenario,
+    MultiPortNic,
+    bonding_speedup,
+    max_two_layer_endpoints,
+    message_time,
+    victim_completion_time,
+    victim_slowdown,
+)
+
+NIC = MultiPortNic(num_planes=4, port_bandwidth=50e9)
+
+
+def test_bonded_ooo_approaches_k_fold_bandwidth():
+    """Large messages: spraying over 4 planes is ~4x faster."""
+    big = 64 << 20
+    speedup = bonding_speedup(NIC, big)
+    assert 3.5 < speedup <= 4.0
+
+
+def test_small_messages_gain_little_from_bonding():
+    """Latency-dominated sends don't benefit — and pay the skew."""
+    speedup = bonding_speedup(NIC, 64)
+    assert speedup < 1.1
+
+
+def test_inorder_bonding_wastes_the_planes():
+    """Without out-of-order placement, bonding degenerates: Figure 4's
+    'necessitating native support for out-of-order placement'."""
+    big = 16 << 20
+    ooo = message_time(NIC, big, "bonded_ooo")
+    inorder = message_time(NIC, big, "bonded_inorder")
+    single = message_time(NIC, big, "single_port")
+    assert ooo < single < inorder * 1.01
+    assert inorder >= single  # reorder stalls only add
+
+
+def test_message_time_monotone_in_size():
+    sizes = [0, 4096, 1 << 20, 1 << 26]
+    for mode in BONDING_MODES:
+        times = [message_time(NIC, s, mode) for s in sizes]
+        assert times == sorted(times)
+
+
+def test_multiport_validation():
+    with pytest.raises(ValueError):
+        MultiPortNic(num_planes=0)
+    with pytest.raises(ValueError):
+        MultiPortNic(plane_latency_skew=1.0)
+    with pytest.raises(ValueError):
+        message_time(NIC, -1)
+    with pytest.raises(ValueError):
+        message_time(NIC, 64, "teleport")
+
+
+def test_two_layer_scaling_claim():
+    """§5.1: 64-port switches x 8 planes -> 16,384 endpoints on a
+    two-layer network."""
+    assert max_two_layer_endpoints(64, 8) == 16384
+    with pytest.raises(ValueError):
+        max_two_layer_endpoints(1, 8)
+
+
+# --- incast -----------------------------------------------------------------
+
+SCENARIO = IncastScenario()
+
+
+def test_shared_queue_victim_waits_for_burst():
+    t = victim_completion_time(SCENARIO, "shared_queue")
+    assert t >= SCENARIO.burst_drain_time
+    assert victim_slowdown(SCENARIO, "shared_queue") > 100
+
+
+def test_voq_isolates_victim():
+    """§5.2.2: VOQ assigns a dedicated queue per QP."""
+    assert victim_slowdown(SCENARIO, "voq") == pytest.approx(2.0)
+
+
+def test_priority_queue_sufficiency():
+    """Enough priority queues isolate the victim; too few classes per
+    queue degrade toward the shared-queue case."""
+    good = victim_completion_time(
+        SCENARIO, "priority_queues", num_priority_queues=8, num_traffic_classes=8
+    )
+    bad = victim_completion_time(
+        SCENARIO, "priority_queues", num_priority_queues=2, num_traffic_classes=16
+    )
+    shared = victim_completion_time(SCENARIO, "shared_queue")
+    assert good == pytest.approx(2 * SCENARIO.victim_serialization)
+    assert good < bad <= shared * 1.01
+
+
+def test_late_victim_sees_less_residual_burst():
+    late = IncastScenario(victim_arrival_fraction=0.9)
+    early = IncastScenario(victim_arrival_fraction=0.0)
+    assert victim_completion_time(late, "shared_queue") < victim_completion_time(
+        early, "shared_queue"
+    )
+
+
+def test_incast_validation():
+    with pytest.raises(ValueError):
+        IncastScenario(num_senders=0)
+    with pytest.raises(ValueError):
+        IncastScenario(victim_arrival_fraction=1.5)
+    with pytest.raises(ValueError):
+        victim_completion_time(SCENARIO, "psychic")
+    with pytest.raises(ValueError):
+        victim_completion_time(SCENARIO, "priority_queues", num_priority_queues=0)

@@ -1,0 +1,106 @@
+"""Cross-table consistency: the paper's numbers imply each other.
+
+These tests document the arithmetic that links the paper's tables —
+the strongest evidence that the reproduction models the same system
+the authors measured.
+"""
+
+import pytest
+
+from repro.core import H800
+from repro.inference import DEEPSEEK_V3_INFERENCE, comm_time_per_stage, tpot_limit
+from repro.model import (
+    DEEPSEEK_V3,
+    count_params,
+    kv_cache_bytes_per_token,
+    training_flops_per_token,
+)
+from repro.parallel import TrainingJobConfig, simulate_training_step
+
+
+def test_table1_is_config_algebra():
+    """70.272 KB = (512 latent + 64 rope) x 2 bytes x 61 layers."""
+    attn = DEEPSEEK_V3.attention
+    expected = (attn.kv_lora_rank + attn.qk_rope_head_dim) * 2 * DEEPSEEK_V3.num_layers
+    assert kv_cache_bytes_per_token(DEEPSEEK_V3) == expected == 70272
+
+
+def test_table2_consistent_with_table4():
+    """Table 4's causal 385 TFLOPS at 19.93 s/step and GBS 15360x4096
+    implies ~250 GFLOPS/token — exactly Table 2's V3 entry."""
+    tokens_per_step = 15360 * 4096
+    implied_gf = 385e12 * 2048 * 19.926 / tokens_per_step / 1e9
+    ours = training_flops_per_token(DEEPSEEK_V3, 4096) / 1e9
+    assert implied_gf == pytest.approx(250, rel=0.01)
+    assert ours == pytest.approx(implied_gf, rel=0.02)
+
+
+def test_table4_mfu_is_tflops_over_peak():
+    """432/989 = 43.7% and 385/989 = 38.9% — the Table 4 MFU rows are
+    exactly achieved-over-peak on the H800."""
+    assert 432e12 / H800.bf16_flops == pytest.approx(0.4373, abs=0.001)
+    assert 385e12 / H800.bf16_flops == pytest.approx(0.3894, abs=0.001)
+    report = simulate_training_step(TrainingJobConfig())
+    mfu = report.mfu
+    assert mfu.mfu(True) == pytest.approx(
+        mfu.tflops(True) * 1e12 / H800.bf16_flops, rel=1e-9
+    )
+
+
+def test_table4_tokens_per_day_is_step_arithmetic():
+    """272.8 B/day = 15360 x 4096 tokens x 86400 / 19.926 s."""
+    implied = 15360 * 4096 * 86400 / 19.926
+    assert implied == pytest.approx(272.8e9, rel=0.001)
+
+
+def test_sec232_dispatch_combine_split():
+    """120.96 us = (1 + 2) bytes x 32 x 9 x 7000 / 50 GB/s, with
+    dispatch:combine = 1:2 (FP8 vs BF16)."""
+    cfg = DEEPSEEK_V3_INFERENCE
+    total = comm_time_per_stage(cfg, 50e9)
+    dispatch = cfg.dispatch_bytes / (cfg.dispatch_bytes + cfg.combine_bytes) * total
+    assert total == pytest.approx(120.96e-6)
+    assert dispatch == pytest.approx(40.32e-6)
+
+
+def test_sec232_tpot_is_61_layers_of_2_stages():
+    cfg = DEEPSEEK_V3_INFERENCE
+    assert tpot_limit(cfg, 50e9) == pytest.approx(
+        61 * 2 * comm_time_per_stage(cfg, 50e9)
+    )
+
+
+def test_sec43_factor9_matches_model_config():
+    """§2.3.2's 'factor 9' is Table/Figure 1's top-8 + 1 shared."""
+    moe = DEEPSEEK_V3.moe
+    assert moe.experts_per_token + moe.num_shared_experts == 9
+    assert DEEPSEEK_V3_INFERENCE.destinations_per_token == 9
+
+
+def test_sec22_params_ratio_matches_narrative():
+    """'671B ... nearly three times the size of V2 (236B)' and
+    'activation per token at just 37B' vs V2's 21B."""
+    from repro.model import DEEPSEEK_V2
+
+    v3, v2 = count_params(DEEPSEEK_V3), count_params(DEEPSEEK_V2)
+    assert v3.total_main / v2.total == pytest.approx(671 / 236, rel=0.03)
+    assert v3.active / v2.active == pytest.approx(37 / 21, rel=0.1)
+
+
+def test_sec43_bandwidth_ratio_drives_node_limit():
+    """NVLink:IB effective = 160:40 = 4:1; capping a token at 4 nodes
+    keeps per-token IB time <= intra-node forwarding capability."""
+    from repro.core import H800_NODE
+
+    ratio = H800_NODE.scale_up_to_scale_out_ratio
+    assert ratio == pytest.approx(4.0)
+    assert DEEPSEEK_V3.moe.max_groups_per_token == int(ratio)
+
+
+def test_fig7_tokens_per_gpu_dispatch_volume():
+    """Figure 7's 4096 tokens/GPU at hidden 7168 dispatches <= 4 node
+    copies x 4096 x 7168 B ~ 118 MB of FP8 per GPU."""
+    per_gpu_bytes = 4 * 4096 * 7168
+    assert per_gpu_bytes / 40e9 == pytest.approx(2.94e-3, rel=0.01)
+    # ... which matches the simulated ~2.8-2.9 ms dispatch stage time at
+    # 128 GPUs (see EXPERIMENTS.md Figure 7).

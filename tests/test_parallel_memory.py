@@ -1,0 +1,87 @@
+"""Per-GPU training memory model (§4.2 DualPipe memory balance)."""
+
+import pytest
+
+from repro.model import DEEPSEEK_V3, TINY_MLA_MOE
+from repro.parallel import (
+    ShardingPlan,
+    activation_bytes_per_microbatch,
+    activation_imbalance,
+    fits,
+    inflight_microbatches,
+    params_per_gpu,
+    training_memory_per_gpu,
+)
+
+HBM_80GB = 80 * 1024**3
+
+
+def test_v3_production_plan_fits_80gb():
+    """The V3 sharding (PP16, EP64, FP8 weights) fits the H800."""
+    plan = ShardingPlan()
+    breakdown = training_memory_per_gpu(DEEPSEEK_V3, plan)
+    assert breakdown.total < 0.6 * HBM_80GB  # headroom for buffers/comm
+    assert fits(DEEPSEEK_V3, plan, HBM_80GB)
+
+
+def test_unsharded_model_does_not_fit():
+    plan = ShardingPlan(pipeline_parallel=2, expert_parallel=1, optimizer_shards=1)
+    assert not fits(DEEPSEEK_V3, plan, HBM_80GB)
+
+
+def test_params_per_gpu_shrinks_with_ep():
+    small = params_per_gpu(DEEPSEEK_V3, ShardingPlan(expert_parallel=64))
+    big = params_per_gpu(DEEPSEEK_V3, ShardingPlan(expert_parallel=8))
+    assert small < big
+
+
+def test_params_per_gpu_shrinks_with_pp():
+    deep = params_per_gpu(DEEPSEEK_V3, ShardingPlan(pipeline_parallel=16))
+    shallow = params_per_gpu(DEEPSEEK_V3, ShardingPlan(pipeline_parallel=4))
+    assert deep < shallow
+
+
+def test_dualpipe_balances_activations_1f1b_does_not():
+    """The §4.2 claim: DualPipe 'balances memory usage across GPUs'."""
+    assert activation_imbalance("dualpipe", 16) == 1.0
+    assert activation_imbalance("1f1b", 16) == 16.0
+
+
+def test_inflight_profiles():
+    assert inflight_microbatches("1f1b", 8, 0) == 8
+    assert inflight_microbatches("1f1b", 8, 7) == 1
+    assert inflight_microbatches("dualpipe", 8, 0) == inflight_microbatches(
+        "dualpipe", 8, 7
+    )
+    with pytest.raises(ValueError):
+        inflight_microbatches("1f1b", 8, 8)
+    with pytest.raises(ValueError):
+        inflight_microbatches("gpipe", 8, 0)
+
+
+def test_activation_bytes_scale_with_tokens():
+    small = activation_bytes_per_microbatch(TINY_MLA_MOE, ShardingPlan(microbatch_tokens=128))
+    large = activation_bytes_per_microbatch(TINY_MLA_MOE, ShardingPlan(microbatch_tokens=4096))
+    assert large == pytest.approx(32 * small)
+
+
+def test_memory_breakdown_components():
+    plan = ShardingPlan()
+    b = training_memory_per_gpu(DEEPSEEK_V3, plan)
+    assert b.total == pytest.approx(
+        b.weights + b.gradients + b.master_and_optimizer + b.activations
+    )
+    # FP8 weights are half the BF16 gradient bytes for the same params.
+    assert b.gradients == pytest.approx(2 * b.weights)
+
+
+def test_bf16_weights_double_weight_memory():
+    plan = ShardingPlan()
+    fp8 = training_memory_per_gpu(DEEPSEEK_V3, plan, weight_bytes=1)
+    bf16 = training_memory_per_gpu(DEEPSEEK_V3, plan, weight_bytes=2)
+    assert bf16.weights == pytest.approx(2 * fp8.weights)
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        ShardingPlan(pipeline_parallel=0)

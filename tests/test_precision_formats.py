@@ -1,0 +1,131 @@
+"""Float format descriptors and value-space quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.precision import (
+    BF16,
+    E4M3,
+    E5M2,
+    E5M6,
+    FORMAT_CATALOG,
+    FP16,
+    FP22_ACCUM,
+    FP32,
+    FloatFormat,
+)
+
+
+def test_e4m3_constants():
+    assert E4M3.bits == 8
+    assert E4M3.max_value == 448.0
+    assert E4M3.bias == 7
+    assert E4M3.min_normal == 2.0**-6
+
+
+def test_e5m2_constants():
+    assert E5M2.bits == 8
+    assert E5M2.max_value == 57344.0
+    assert E5M2.bias == 15
+
+
+def test_bf16_and_fp16_constants():
+    assert BF16.bits == 16
+    assert FP16.bits == 16
+    assert BF16.max_exponent == 127
+    assert FP16.max_value == 65504.0
+
+
+def test_fp22_accumulator_shape():
+    # Section 3.1.1: 1 sign + 8 exponent + 13 mantissa bits.
+    assert FP22_ACCUM.bits == 22
+    assert FP22_ACCUM.exponent_bits == 8
+    assert FP22_ACCUM.mantissa_bits == 13
+
+
+def test_e5m6_is_12_bits():
+    assert E5M6.bits == 12
+
+
+def test_quantize_exact_values_pass_through():
+    values = np.array([0.0, 1.0, -1.0, 0.5, 2.0, 448.0, -448.0], np.float32)
+    assert np.array_equal(E4M3.quantize(values), values)
+
+
+def test_quantize_saturates():
+    assert E4M3.quantize(np.array([1e6]))[0] == 448.0
+    assert E4M3.quantize(np.array([-1e6]))[0] == -448.0
+
+
+def test_quantize_rounds_to_nearest():
+    # Between 1.0 and 1.125 (E4M3 step = 0.125): 1.06 -> 1.0, 1.07 -> 1.125.
+    assert E4M3.quantize(np.array([1.06]))[0] == 1.0
+    assert E4M3.quantize(np.array([1.07]))[0] == 1.125
+
+
+def test_quantize_round_half_even():
+    # 1.0625 is exactly between 1.0 and 1.125 -> ties to even code (1.0).
+    assert E4M3.quantize(np.array([1.0625]))[0] == 1.0
+
+
+def test_quantize_preserves_zero_and_sign():
+    out = E4M3.quantize(np.array([0.0, -0.25, 0.25]))
+    assert out[0] == 0.0
+    assert out[1] == -0.25
+    assert out[2] == 0.25
+
+
+def test_subnormal_handling():
+    tiny = E4M3.min_subnormal
+    assert E4M3.quantize(np.array([tiny]))[0] == pytest.approx(tiny)
+    assert E4M3.quantize(np.array([tiny / 4]))[0] == 0.0
+
+
+def test_fp32_format_is_nearly_lossless_for_float32():
+    x = np.random.default_rng(0).normal(size=1000).astype(np.float32)
+    assert np.allclose(FP32.quantize(x), x, rtol=1e-7)
+
+
+def test_higher_mantissa_lower_error():
+    x = np.random.default_rng(1).normal(size=4096)
+    errs = [f.quantization_error(x) for f in (E5M2, E4M3, E5M6, BF16)]
+    # E4M3 beats E5M2 on unit-scale data; more mantissa keeps improving.
+    assert errs[1] < errs[0]
+    assert errs[2] < errs[1]
+    assert errs[3] < errs[2]
+
+
+def test_quantization_error_of_zero_signal():
+    assert E4M3.quantization_error(np.zeros(8)) == 0.0
+
+
+def test_invalid_format_rejected():
+    with pytest.raises(ValueError):
+        FloatFormat("bad", exponent_bits=1, mantissa_bits=3)
+    with pytest.raises(ValueError):
+        FloatFormat("bad", exponent_bits=4, mantissa_bits=-1)
+
+
+def test_catalog_contents():
+    assert set(FORMAT_CATALOG) == {"E4M3", "E5M2", "E5M6", "BF16", "FP16", "FP32", "FP22"}
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-1e4, 1e4, allow_nan=False), min_size=1, max_size=64))
+def test_quantize_idempotent(values):
+    """Quantization must be a projection: q(q(x)) == q(x)."""
+    x = np.array(values, dtype=np.float32)
+    once = E4M3.quantize(x)
+    assert np.array_equal(E4M3.quantize(once), once)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-400, 400, allow_nan=False), min_size=1, max_size=64))
+def test_quantize_relative_error_bounded(values):
+    """|q(x) - x| <= eps/2 * |x| within the normal range."""
+    x = np.array(values, dtype=np.float64)
+    inside = np.abs(x) >= E4M3.min_normal
+    q = E4M3.quantize(x).astype(np.float64)
+    err = np.abs(q[inside] - x[inside])
+    assert np.all(err <= (E4M3.epsilon / 2) * np.abs(x[inside]) * (1 + 1e-9))

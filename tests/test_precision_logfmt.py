@@ -1,0 +1,156 @@
+"""LogFMT-nBit codec (Section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.precision import (
+    BF16,
+    E4M3,
+    E5M2,
+    FUSED_ENCODE_OVERHEAD_RANGE,
+    bits_per_element,
+    encode_tile,
+    fake_quantize,
+    logfmt_fake_quantize,
+    logspace_rounded_fake_quantize,
+    quantization_bias,
+    relative_error,
+)
+from repro.precision.logfmt import MAX_LOG_RANGE
+
+RNG = np.random.default_rng
+
+
+def _activations(shape=(32, 256), seed=0):
+    """Residual-branch-like activations: heavy-tailed, mixed sign."""
+    rng = RNG(seed)
+    return (rng.normal(size=shape) * np.exp(rng.normal(0, 1, size=shape))).astype(
+        np.float32
+    )
+
+
+def test_roundtrip_preserves_shape_and_sign():
+    x = _activations()
+    out = logfmt_fake_quantize(x, 8)
+    assert out.shape == x.shape
+    nz = out != 0
+    assert np.all(np.sign(out[nz]) == np.sign(x[nz]))
+
+
+def test_zero_maps_to_zero():
+    x = np.zeros((1, 128), np.float32)
+    assert np.all(logfmt_fake_quantize(x, 8) == 0.0)
+
+
+def test_zero_elements_within_tile_stay_zero():
+    x = _activations((1, 128))
+    x[0, 10:20] = 0.0
+    out = logfmt_fake_quantize(x, 8)
+    assert np.all(out[0, 10:20] == 0.0)
+
+
+def test_min_and_max_are_exact():
+    """Tile min and max magnitudes are codebook endpoints."""
+    x = np.array([[0.001, 0.5, 2.0, 7.0]], np.float32)
+    out = logfmt_fake_quantize(x, 8, tile=4)
+    # min is clamped upward by the E5-range constraint only when the
+    # spread exceeds 2^32; here it does not.
+    assert out[0, 0] == pytest.approx(0.001, rel=1e-5)
+    assert out[0, 3] == pytest.approx(7.0, rel=1e-5)
+
+
+def test_dynamic_range_clamped_to_e5():
+    """min is constrained to max - log(2^32)."""
+    x = np.array([[1e-30, 1.0]], np.float32)
+    tile = encode_tile(x[0], 8)
+    assert tile.log_min == pytest.approx(np.log(1.0) - MAX_LOG_RANGE)
+
+
+def test_constant_tile_roundtrips():
+    x = np.full((1, 128), 3.7, np.float32)
+    out = logfmt_fake_quantize(x, 8)
+    assert np.allclose(out, 3.7, rtol=1e-6)
+
+
+def test_paper_claim_logfmt8_beats_fp8_formats():
+    """§3.2: at 8 bits LogFMT has better accuracy than E4M3 or E5M2."""
+    x = _activations(seed=1)
+    err_log = relative_error(x, logfmt_fake_quantize(x, 8))
+    err_e4m3 = relative_error(x, fake_quantize(x, E4M3, 128))
+    err_e5m2 = relative_error(x, fake_quantize(x, E5M2, 128))
+    assert err_log < err_e4m3
+    assert err_log < err_e5m2
+
+
+def test_paper_claim_logfmt10_near_bf16():
+    """§3.2: LogFMT-10Bit is 'similar to the BF16 combine stage'."""
+    x = _activations(seed=2)
+    err_log10 = relative_error(x, logfmt_fake_quantize(x, 10))
+    err_bf16 = relative_error(x, BF16.quantize(x))
+    assert err_log10 < 3 * err_bf16
+    assert err_log10 < 0.01
+
+
+def test_more_bits_lower_error():
+    x = _activations(seed=3)
+    errs = [relative_error(x, logfmt_fake_quantize(x, n)) for n in (6, 8, 10, 12)]
+    assert errs == sorted(errs, reverse=True)
+
+
+def test_linear_rounding_bias_is_small():
+    x = _activations(seed=4)
+    assert abs(quantization_bias(x, 8)) < 5e-4
+
+
+def test_logspace_rounding_inflates_magnitudes():
+    """§3.2: rounding must happen in linear space; log-space rounding
+    systematically rounds magnitudes upward (exp is convex)."""
+    x = np.abs(_activations(seed=5)) + 1e-3
+    lin = logfmt_fake_quantize(x, 5)
+    logr = logspace_rounded_fake_quantize(x, 5)
+    assert np.mean(logr) > np.mean(lin)
+
+
+def test_encode_tile_requires_bits():
+    with pytest.raises(ValueError):
+        encode_tile(np.ones(4), 2)
+
+
+def test_bits_per_element_accounting():
+    # 8-bit payload + two fp32 (min, step) per 128-element tile.
+    assert bits_per_element(8, 128) == pytest.approx(8.5)
+    with pytest.raises(ValueError):
+        bits_per_element(8, 0)
+
+
+def test_fused_overhead_range_constant():
+    lo, hi = FUSED_ENCODE_OVERHEAD_RANGE
+    assert 0 < lo < hi <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 200),
+    n_bits=st.integers(4, 12),
+    size=st.integers(1, 129),
+)
+def test_roundtrip_error_bounded_by_step(seed, n_bits, size):
+    """Every decoded magnitude is within one log-step of the original."""
+    x = RNG(seed).normal(size=size).astype(np.float32)
+    tile = encode_tile(x, n_bits)
+    decoded = tile.decode()
+    nz = (x != 0) & (decoded != 0)
+    if tile.step > 0 and np.any(nz):
+        ratio = np.abs(np.log(np.abs(decoded[nz].astype(np.float64)))
+                       - np.log(np.abs(x[nz].astype(np.float64))))
+        assert np.all(ratio <= tile.step * 1.01)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_codes_in_range(seed):
+    x = RNG(seed).normal(size=128).astype(np.float32)
+    tile = encode_tile(x, 8)
+    assert tile.codes.min() >= 0
+    assert tile.codes.max() <= 2**7 - 1

@@ -1,0 +1,92 @@
+"""Mixed FP8/BF16 and E5M6 combine-format study (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.precision import (
+    BF16,
+    combine_format_study,
+    fake_quantize,
+    mixed_bits_per_element,
+    mixed_fp8_bf16_quantize,
+    relative_error,
+    E4M3,
+)
+
+RNG = np.random.default_rng
+
+
+def _activations(seed=0, shape=(16, 512)):
+    rng = RNG(seed)
+    return (rng.normal(size=shape) * np.exp(rng.normal(0, 1, size=shape))).astype(
+        np.float32
+    )
+
+
+def test_fraction_zero_equals_fp8():
+    x = _activations()
+    mixed = mixed_fp8_bf16_quantize(x, 0.0)
+    pure = fake_quantize(x, E4M3, 128)
+    assert np.allclose(mixed, pure)
+
+
+def test_fraction_one_equals_bf16():
+    x = _activations(1)
+    mixed = mixed_fp8_bf16_quantize(x, 1.0)
+    assert np.allclose(mixed, BF16.quantize(x))
+
+
+def test_error_decreases_with_bf16_fraction():
+    x = _activations(2)
+    errs = [
+        relative_error(x, mixed_fp8_bf16_quantize(x, f)) for f in (0.0, 0.25, 0.5, 1.0)
+    ]
+    assert errs == sorted(errs, reverse=True)
+
+
+def test_mixed_preserves_shape_and_partial_tiles():
+    x = _activations(3, shape=(3, 200))  # partial final tile
+    out = mixed_fp8_bf16_quantize(x, 0.3)
+    assert out.shape == x.shape
+    assert np.all(np.isfinite(out))
+
+
+def test_fraction_validation():
+    with pytest.raises(ValueError):
+        mixed_fp8_bf16_quantize(np.ones((1, 8)), 1.5)
+    with pytest.raises(ValueError):
+        mixed_bits_per_element(-0.1)
+
+
+def test_bits_accounting_monotonic():
+    bits = [mixed_bits_per_element(f) for f in (0.0, 0.5, 1.0)]
+    assert bits == sorted(bits)
+    assert bits[0] == pytest.approx(8 + 32 / 128 + 1 / 128)
+    assert bits[2] == pytest.approx(16 + 1 / 128)
+
+
+def test_combine_study_contains_all_candidates():
+    study = combine_format_study(_activations(4))
+    names = {c.name for c in study}
+    assert {"BF16", "E5M6 (1x128)", "E4M3 (1x128)", "E5M2 (1x128)", "LogFMT-8", "LogFMT-10"} <= names
+    assert any("mixed" in n for n in names)
+
+
+def test_combine_study_orderings():
+    """§3.2's qualitative conclusions: BF16 most accurate; E5M6 sits between
+    BF16 and FP8; LogFMT-8 beats both FP8 flavours at equal bits."""
+    study = {c.name: c for c in combine_format_study(_activations(5))}
+    assert study["BF16"].relative_error < study["E5M6 (1x128)"].relative_error
+    assert study["E5M6 (1x128)"].relative_error < study["E4M3 (1x128)"].relative_error
+    assert study["LogFMT-8"].relative_error < study["E4M3 (1x128)"].relative_error
+    assert study["LogFMT-8"].relative_error < study["E5M2 (1x128)"].relative_error
+    assert study["BF16"].bits_per_element > study["LogFMT-8"].bits_per_element
+
+
+def test_mixed_beats_pure_fp8_at_modest_extra_bits():
+    x = _activations(6)
+    study = {c.name: c for c in combine_format_study(x)}
+    mixed = study["mixed FP8/BF16 (25% BF16)"]
+    fp8 = study["E4M3 (1x128)"]
+    assert mixed.relative_error < fp8.relative_error
+    assert mixed.bits_per_element < study["BF16"].bits_per_element

@@ -1,0 +1,128 @@
+"""Fine-grained tile/block quantization (Section 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.precision import (
+    E4M3,
+    fake_quantize,
+    quantize_blocks,
+    quantize_tensor,
+    quantize_tiles,
+    relative_error,
+)
+
+RNG = np.random.default_rng
+
+
+def test_tile_quantize_roundtrip_close():
+    x = RNG(0).normal(size=(4, 256)).astype(np.float32)
+    q = quantize_tiles(x, E4M3, tile=128)
+    assert q.scales.shape == (4, 2)
+    assert relative_error(x, q.dequantize()) < 0.03
+
+
+def test_tile_quantize_partial_tile():
+    x = RNG(1).normal(size=(2, 200)).astype(np.float32)
+    q = quantize_tiles(x, E4M3, tile=128)
+    assert q.scales.shape == (2, 2)
+    assert q.dequantize().shape == x.shape
+
+
+def test_block_quantize_roundtrip():
+    w = RNG(2).normal(size=(256, 384)).astype(np.float32)
+    q = quantize_blocks(w, E4M3, block=128)
+    assert q.scales.shape == (2, 3)
+    assert relative_error(w, q.dequantize()) < 0.03
+
+
+def test_block_quantize_partial_blocks():
+    w = RNG(3).normal(size=(150, 70)).astype(np.float32)
+    q = quantize_blocks(w, E4M3, block=128)
+    assert q.scales.shape == (2, 1)
+    assert q.dequantize().shape == w.shape
+
+
+def test_block_requires_2d():
+    with pytest.raises(ValueError):
+        quantize_blocks(np.zeros((2, 3, 4)), E4M3)
+
+
+def test_invalid_tile_rejected():
+    with pytest.raises(ValueError):
+        quantize_tiles(np.zeros((1, 8)), E4M3, tile=0)
+    with pytest.raises(ValueError):
+        quantize_blocks(np.zeros((8, 8)), E4M3, block=-1)
+
+
+def test_tensor_quantize_single_scale():
+    x = RNG(4).normal(size=(16, 16)).astype(np.float32)
+    q = quantize_tensor(x, E4M3)
+    assert q.scales.size == 1
+
+
+def test_fine_grained_beats_per_tensor_with_outliers():
+    """The point of 1x128 tiles: an outlier only hurts its own tile."""
+    # The outlier must be large enough that a per-tensor scale pushes
+    # ordinary values into E4M3's subnormal range (below max/2^6 * ~1e-2).
+    x = RNG(5).normal(size=(8, 512)).astype(np.float32)
+    x[0, 0] = 3e5  # one extreme outlier
+    coarse = quantize_tensor(x, E4M3).dequantize()
+    fine = quantize_tiles(x, E4M3, 128).dequantize()
+    clean = np.s_[1:, :]  # rows unaffected by the outlier
+    assert relative_error(x[clean], fine[clean]) < relative_error(x[clean], coarse[clean]) / 4
+
+
+def test_quantized_values_respect_format_range():
+    x = RNG(6).normal(size=(4, 128)).astype(np.float32) * 100
+    q = quantize_tiles(x, E4M3)
+    assert np.max(np.abs(q.data)) <= E4M3.max_value
+
+
+def test_zero_tile_has_unit_scale():
+    x = np.zeros((1, 128), np.float32)
+    q = quantize_tiles(x, E4M3)
+    assert q.scales[0, 0] == 1.0
+    assert np.all(q.dequantize() == 0.0)
+
+
+def test_payload_and_scale_bytes():
+    x = np.zeros((4, 256), np.float32)
+    q = quantize_tiles(x, E4M3, 128)
+    assert q.nbytes_payload == 4 * 256  # 1 byte per fp8 element
+    assert q.nbytes_scales == 4 * 2 * 4  # fp32 per tile
+
+
+def test_fake_quantize_shape_and_projection():
+    x = RNG(7).normal(size=(3, 5, 128)).astype(np.float32)
+    fq = fake_quantize(x, E4M3)
+    assert fq.shape == x.shape
+    assert np.allclose(fake_quantize(fq, E4M3), fq, atol=1e-6)
+
+
+def test_relative_error_zero_reference():
+    assert relative_error(np.zeros(4), np.zeros(4)) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 300),
+    seed=st.integers(0, 99),
+)
+def test_tile_roundtrip_error_bounded(rows, cols, seed):
+    """Tile-quantized error is bounded by the format's half-step."""
+    x = RNG(seed).normal(size=(rows, cols)).astype(np.float32)
+    deq = quantize_tiles(x, E4M3, 128).dequantize()
+    # Per-tile max scales to 448; worst relative error per element is
+    # ~eps/2 of the tile max, amplified by tiny subnormal effects.
+    tile_max = np.max(np.abs(x)) + 1e-12
+    assert np.max(np.abs(deq - x)) <= tile_max * E4M3.epsilon
+
+
+def test_scales_positive():
+    x = RNG(8).normal(size=(4, 256)).astype(np.float32)
+    assert np.all(quantize_tiles(x, E4M3).scales > 0)
+    w = RNG(9).normal(size=(256, 256)).astype(np.float32)
+    assert np.all(quantize_blocks(w, E4M3).scales > 0)

@@ -1,0 +1,132 @@
+"""Property-based tests across the core simulators (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import TINY_MLA_MOE, LayerKVCache, windowed_kv_cache_bytes
+from repro.model.config import TINY_DENSE_GQA
+from repro.network import ENDPOINT_LINK, Flow, FlowSimulator, Topology
+from repro.parallel import ChunkCosts, analytic_dualpipe_bubble, simulate_pipeline
+from repro.precision import E4M3, encode_tile, quantize_tiles
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ranks=st.sampled_from([2, 4, 6, 8]),
+    microbatches=st.integers(1, 6),
+    f=st.floats(0.1, 2.0),
+    b_ratio=st.floats(0.5, 2.5),
+    w_ratio=st.floats(0.1, 1.0),
+)
+def test_schedule_always_valid_and_work_conserving(ranks, microbatches, f, b_ratio, w_ratio):
+    """Any DualPipe simulation: dependencies respected, no overlap,
+    every rank executes exactly its chunk work."""
+    costs = ChunkCosts(f, f * b_ratio, f * w_ratio)
+    result = simulate_pipeline(ranks, microbatches, costs, bidirectional=True)
+    result.validate()
+    expected_busy = 2 * microbatches * costs.total
+    for rank in range(ranks):
+        assert result.busy_time(rank) == pytest.approx(expected_busy)
+    # Total time at least the critical path lower bound.
+    assert result.total_time >= expected_busy - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ranks=st.sampled_from([4, 8]),
+    f=st.floats(0.2, 2.0),
+)
+def test_event_schedule_never_much_worse_than_analytic(ranks, f):
+    costs = ChunkCosts(f, 1.8 * f, 0.4 * f)
+    result = simulate_pipeline(ranks, 8, costs, bidirectional=True)
+    busy = result.busy_time(0)
+    analytic = busy + analytic_dualpipe_bubble(ranks, costs)
+    assert result.total_time <= analytic * 1.6
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(st.floats(1e3, 1e9), min_size=1, max_size=8),
+    bw=st.floats(1e9, 200e9),
+)
+def test_drain_mode_lower_bounds_event_mode(sizes, bw):
+    """The fluid drain bound never exceeds the event simulation."""
+    topo = Topology("pair")
+    topo.add_host("a")
+    topo.add_host("b")
+    topo.add_link("a", "b", bw, ENDPOINT_LINK)
+    flows = [Flow("a", "b", s, ["a", "b"]) for s in sizes]
+    sim = FlowSimulator(topo)
+    drain = sim.simulate(flows, mode="drain").makespan
+    event = sim.simulate(flows, mode="event").makespan
+    assert drain <= event * (1 + 1e-9)
+    # Single shared link: both are exactly total/capacity.
+    assert drain == pytest.approx(sum(sizes) / bw, rel=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    length=st.integers(1, 40),
+    batch=st.integers(1, 3),
+    cut=st.data(),
+)
+def test_kv_cache_truncate_roundtrip(length, batch, cut):
+    """Append then truncate leaves a consistent cache of the new length."""
+    cfg = TINY_MLA_MOE.attention
+    cache = LayerKVCache(cfg, batch)
+    rng = np.random.default_rng(0)
+    latent = rng.normal(size=(batch, length, cfg.kv_lora_rank)).astype(np.float32)
+    rope = rng.normal(size=(batch, length, cfg.qk_rope_head_dim)).astype(np.float32)
+    cache.append_latent(latent, rope)
+    keep = cut.draw(st.integers(0, length))
+    cache.truncate(keep)
+    assert len(cache) == keep
+    assert np.array_equal(cache.latent, latent[:, :keep])
+    assert np.array_equal(cache.rope_key, rope[:, :keep])
+
+
+def test_kv_cache_truncate_validation():
+    cache = LayerKVCache(TINY_DENSE_GQA.attention, 1)
+    with pytest.raises(ValueError):
+        cache.truncate(1)  # longer than contents
+    cache.append_kv(
+        np.zeros((1, 2, 3, 8), np.float32), np.zeros((1, 2, 3, 8), np.float32)
+    )
+    cache.truncate(2)
+    assert len(cache) == 2
+    assert cache.keys.shape[2] == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(window=st.integers(1, 10_000), context=st.integers(0, 100_000))
+def test_windowed_kv_bounded_by_window(window, context):
+    bytes_ = windowed_kv_cache_bytes(TINY_MLA_MOE, window, context)
+    cap = windowed_kv_cache_bytes(TINY_MLA_MOE, window, window)
+    assert bytes_ <= cap
+    if context >= window:
+        assert bytes_ == cap
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    rows=st.integers(1, 4),
+    cols=st.integers(1, 260),
+)
+def test_tile_quantization_never_amplifies(seed, rows, cols):
+    """No dequantized magnitude exceeds its tile's true maximum by more
+    than half a quantization step."""
+    x = np.random.default_rng(seed).normal(size=(rows, cols)).astype(np.float32)
+    deq = quantize_tiles(x, E4M3, 128).dequantize()
+    assert np.max(np.abs(deq)) <= np.max(np.abs(x)) * (1 + E4M3.epsilon)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 500), bits=st.integers(4, 12))
+def test_logfmt_decode_within_range(seed, bits):
+    """Decoded magnitudes never exceed the tile's true maximum."""
+    x = np.random.default_rng(seed).normal(size=64).astype(np.float32)
+    decoded = encode_tile(x, bits).decode()
+    max_in = np.max(np.abs(x))
+    assert np.max(np.abs(decoded)) <= max_in * (1 + 1e-5)

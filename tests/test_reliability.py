@@ -1,0 +1,163 @@
+"""Reliability: failure scaling, SDC detection, network failover (§6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.network import build_mpft_cluster, build_mrft_cluster
+from repro.reliability import (
+    ComponentReliability,
+    assess_impact,
+    cluster_mtbf,
+    compute_checksum,
+    corrupted_blocks,
+    detection_rate,
+    fail_entire_plane,
+    fail_link,
+    fail_switch,
+    flip_bits,
+    freivalds_check,
+    goodput_fraction,
+    goodput_vs_scale,
+    hosts_reachable,
+    optimal_checkpoint_interval,
+    plane_switches,
+    random_bit_flips,
+)
+
+RNG = np.random.default_rng
+
+
+def test_cluster_mtbf_scales_inversely():
+    """§6.1.1: failure probability grows proportionally with size."""
+    assert cluster_mtbf(256) == pytest.approx(cluster_mtbf(1) / 256)
+    with pytest.raises(ValueError):
+        cluster_mtbf(0)
+
+
+def test_component_rates_add():
+    rel = ComponentReliability()
+    assert rel.node_failure_rate(8, 8) > 1.0 / rel.node_mtbf
+
+
+def test_optimal_interval_young_daly():
+    assert optimal_checkpoint_interval(100.0, 20000.0) == pytest.approx(2000.0)
+    with pytest.raises(ValueError):
+        optimal_checkpoint_interval(0.0, 100.0)
+
+
+def test_goodput_declines_with_scale():
+    rows = goodput_vs_scale([16, 256, 2048])
+    goodputs = [r.goodput for r in rows]
+    assert goodputs == sorted(goodputs, reverse=True)
+    assert all(0 < g < 1 for g in goodputs)
+
+
+def test_goodput_validation():
+    with pytest.raises(ValueError):
+        goodput_fraction(100.0, 10.0, 1000.0, interval=50.0)
+    with pytest.raises(ValueError):
+        goodput_fraction(100.0, -1.0, 1000.0)
+
+
+# --- SDC ---------------------------------------------------------------------
+
+
+def test_flip_bits_roundtrip():
+    x = RNG(0).normal(size=16).astype(np.float32)
+    flipped = flip_bits(x, [(3, 31)])  # sign flip
+    assert flipped[3] == -x[3]
+    assert np.array_equal(np.delete(flipped, 3), np.delete(x, 3))
+    again = flip_bits(flipped, [(3, 31)])
+    assert np.array_equal(again, x)
+
+
+def test_flip_bits_validation():
+    with pytest.raises(ValueError):
+        flip_bits(np.zeros(4, np.float32), [(0, 32)])
+
+
+def test_random_bit_flips_count():
+    x = np.zeros(100, np.float32)
+    corrupted, flips = random_bit_flips(x, 5, RNG(1))
+    assert len(flips) == 5
+    assert not np.array_equal(corrupted, x) or all(b == 31 and x[i] == 0 for i, b in flips)
+
+
+def test_checksum_detects_and_localizes_corruption():
+    x = RNG(2).normal(size=10_000).astype(np.float32)
+    reference = compute_checksum(x, block_size=512)
+    corrupted = flip_bits(x, [(2048, 13)])
+    bad = corrupted_blocks(corrupted, reference)
+    assert list(bad) == [2048 // 512]
+    assert corrupted_blocks(x, reference).size == 0
+
+
+def test_checksum_validation():
+    with pytest.raises(ValueError):
+        compute_checksum(np.zeros(4, np.float32), block_size=0)
+
+
+def test_freivalds_accepts_correct_product():
+    rng = RNG(3)
+    a = rng.normal(size=(32, 16)).astype(np.float32)
+    b = rng.normal(size=(16, 32)).astype(np.float32)
+    assert freivalds_check(a, b, a @ b, rng)
+
+
+def test_freivalds_rejects_significant_corruption():
+    rng = RNG(4)
+    a = rng.normal(size=(32, 16)).astype(np.float32)
+    b = rng.normal(size=(16, 32)).astype(np.float32)
+    c = a @ b
+    c[5, 7] += 10.0
+    assert not freivalds_check(a, b, c, rng)
+    with pytest.raises(ValueError):
+        freivalds_check(a, b, c, rng, rounds=0)
+
+
+def test_detection_rates_high_for_meaningful_flips():
+    rng = RNG(5)
+    assert detection_rate((16, 16), 20, rng, detector="freivalds") > 0.9
+    assert detection_rate((16, 16), 20, rng, detector="checksum") == 1.0
+    with pytest.raises(ValueError):
+        detection_rate((4, 4), 1, rng, detector="psychic")
+
+
+# --- Failover ----------------------------------------------------------------
+
+
+def test_single_link_failure_keeps_mpft_connected():
+    """§5.1.1 robustness: one NIC/link failure does not partition the
+    cluster (NVLink forwarding reroutes through other planes)."""
+    c = build_mpft_cluster(4)
+    fail_link(c.topology, "n0g0", "MPFT/p0/leaf0")
+    impact = assess_impact(c)
+    assert impact.connectivity == 1.0
+    assert hosts_reachable(c.topology, "n0g0", "n1g0")
+
+
+def test_plane_failure_is_isolated():
+    """Killing an entire plane leaves all GPU pairs connected."""
+    c = build_mpft_cluster(4)
+    fail_entire_plane(c, plane=0)
+    assert assess_impact(c).connectivity == 1.0
+
+
+def test_plane_switches_enumeration():
+    c = build_mpft_cluster(4)
+    switches = plane_switches(c, 0)
+    assert switches and all("p0" in s for s in switches)
+
+
+def test_fail_switch_validation():
+    c = build_mpft_cluster(2)
+    with pytest.raises(KeyError):
+        fail_switch(c.topology, "n0g0")  # a host, not a switch
+    with pytest.raises(KeyError):
+        fail_link(c.topology, "n0g0", "n1g0")  # no such link
+
+
+def test_mrft_single_spine_failure_survives():
+    c = build_mrft_cluster(16)
+    fail_switch(c.topology, "MRFT/spine0")
+    assert assess_impact(c).connectivity == 1.0

@@ -1,0 +1,51 @@
+"""Checkpoint storage-plane model (3FS, §5.1) feeding the goodput math."""
+
+import pytest
+
+from repro.model import DEEPSEEK_V3, count_params
+from repro.reliability import (
+    checkpoint_state_bytes,
+    checkpoint_write_time,
+    cluster_mtbf,
+    goodput_fraction,
+    optimal_checkpoint_interval,
+)
+
+
+def test_v3_checkpoint_size_order_of_magnitude():
+    """671B params x (BF16 weights + FP32 master + moments) ~ 9.6 TB."""
+    size = checkpoint_state_bytes(count_params(DEEPSEEK_V3).total)
+    assert 8e12 < size < 12e12
+
+
+def test_write_time_scales_with_nodes():
+    size = checkpoint_state_bytes(count_params(DEEPSEEK_V3).total)
+    t256 = checkpoint_write_time(size, 256)
+    t64 = checkpoint_write_time(size, 64)
+    assert t64 == pytest.approx(4 * t256)
+    # A 256-node cluster checkpoints V3 in about a second over 3FS.
+    assert t256 < 2.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        checkpoint_state_bytes(0)
+    with pytest.raises(ValueError):
+        checkpoint_write_time(1e12, 0)
+    with pytest.raises(ValueError):
+        checkpoint_write_time(1e12, 8, efficiency=0.0)
+
+
+def test_fast_checkpoints_lift_goodput():
+    """The storage plane's point: cheap checkpoints -> short optimal
+    intervals -> less lost work per failure."""
+    mtbf = cluster_mtbf(256)
+    size = checkpoint_state_bytes(count_params(DEEPSEEK_V3).total)
+    fast = checkpoint_write_time(size, 256)  # dedicated storage plane
+    slow = 50 * fast  # checkpointing through a contended path
+    g_fast = goodput_fraction(fast, 900.0, mtbf)
+    g_slow = goodput_fraction(slow, 900.0, mtbf)
+    assert g_fast > g_slow
+    assert optimal_checkpoint_interval(fast, mtbf) < optimal_checkpoint_interval(
+        slow, mtbf
+    )

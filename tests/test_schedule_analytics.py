@@ -1,0 +1,59 @@
+"""Analytic schedule bubbles: orderings and limits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import (
+    ChunkCosts,
+    analytic_1f1b_bubble,
+    analytic_dualpipe_bubble,
+    analytic_zb1p_bubble,
+)
+
+V3_COSTS = ChunkCosts(1.0, 1.76, 0.42)
+
+
+def test_bubble_hierarchy_at_v3_ratios():
+    """DualPipe < ZB1P < 1F1B — the DualPipe repo's comparison."""
+    p = 16
+    assert (
+        analytic_dualpipe_bubble(p, V3_COSTS)
+        < analytic_zb1p_bubble(p, V3_COSTS)
+        < analytic_1f1b_bubble(p, V3_COSTS)
+    )
+
+
+def test_1f1b_bubble_formula():
+    assert analytic_1f1b_bubble(8, V3_COSTS) == pytest.approx(7 * V3_COSTS.total)
+
+
+def test_zb1p_bubble_formula():
+    expected = 7 * (1.0 + 1.76 - 2 * 0.42)
+    assert analytic_zb1p_bubble(8, V3_COSTS) == pytest.approx(expected)
+
+
+def test_dualpipe_bubble_formula():
+    # (P/2 - 1)(F&B + B - 3W) with F&B = F + B.
+    expected = 3 * ((1.0 + 1.76) + 1.76 - 3 * 0.42)
+    assert analytic_dualpipe_bubble(8, V3_COSTS) == pytest.approx(expected)
+
+
+def test_bubbles_clamp_at_zero():
+    heavy_w = ChunkCosts(1.0, 1.0, 5.0)
+    assert analytic_zb1p_bubble(8, heavy_w) == 0.0
+    assert analytic_dualpipe_bubble(8, heavy_w) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p=st.sampled_from([2, 4, 8, 16, 32]),
+    f=st.floats(0.1, 5.0),
+    b=st.floats(0.1, 5.0),
+    w=st.floats(0.01, 1.0),
+)
+def test_hierarchy_holds_generally(p, f, b, w):
+    """For any non-degenerate chunk costs with W < F and W < B,
+    the zero-bubble variants never exceed 1F1B's bubble."""
+    costs = ChunkCosts(f, b, w)
+    assert analytic_zb1p_bubble(p, costs) <= analytic_1f1b_bubble(p, costs) + 1e-12
+    assert analytic_dualpipe_bubble(p, costs) <= analytic_1f1b_bubble(p, costs) + 1e-12

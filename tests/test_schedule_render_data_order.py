@@ -1,0 +1,75 @@
+"""Schedule rendering and order-k Markov corpora."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ChunkCosts, simulate_pipeline
+from repro.training import markov_corpus
+
+
+def test_render_shape_and_symbols():
+    result = simulate_pipeline(4, 3, ChunkCosts(1.0, 1.8, 0.4))
+    art = result.render(width=60)
+    lines = art.splitlines()
+    assert len(lines) == 4
+    for line in lines:
+        assert line.startswith("rank")
+        body = line.split("|")[1]
+        assert len(body) == 60
+        assert set(body) <= set("FBWfbw.")
+    # Both directions appear (upper and lower case).
+    assert any(c.islower() for c in art)
+    assert any(c.isupper() for c in art.split("|", 1)[1])
+
+
+def test_render_busy_fraction_tracks_bubble():
+    result = simulate_pipeline(8, 2, ChunkCosts(1.0, 1.8, 0.4))
+    art = result.render(width=200)
+    body = "".join(line.split("|")[1] for line in art.splitlines())
+    idle_fraction = body.count(".") / len(body)
+    assert idle_fraction == pytest.approx(result.bubble_fraction, abs=0.1)
+
+
+def test_render_width_validation():
+    result = simulate_pipeline(2, 2, ChunkCosts(1.0, 1.0, 1.0))
+    with pytest.raises(ValueError):
+        result.render(width=5)
+
+
+def test_order2_corpus_statistics():
+    corpus = markov_corpus(8, 2000, seed=3, order=2, concentration=0.1)
+    assert corpus.tokens.shape == (2000,)
+    assert corpus.transition.shape == (8, 8)
+    assert np.allclose(corpus.transition.sum(axis=1), 1.0)
+    assert 0 < corpus.conditional_entropy <= np.log(8)
+
+
+def test_order2_has_second_order_structure():
+    """An order-2 chain's next token depends on the previous *pair*:
+    the empirical entropy given pairs is lower than given singles."""
+    corpus = markov_corpus(6, 30_000, seed=5, order=2, concentration=0.05)
+    t = corpus.tokens
+
+    def cond_entropy(contexts, nxt, num_ctx):
+        counts = np.full((num_ctx, 6), 1e-12)
+        for c, n in zip(contexts, nxt):
+            counts[c, n] += 1
+        probs = counts / counts.sum(axis=1, keepdims=True)
+        weights = counts.sum(axis=1) / counts.sum()
+        return float(-(weights[:, None] * probs * np.log(probs)).sum())
+
+    h1 = cond_entropy(t[:-1], t[1:], 6)
+    pairs = t[:-2] * 6 + t[1:-1]
+    h2 = cond_entropy(pairs, t[2:], 36)
+    assert h2 < h1 - 0.1
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        markov_corpus(8, 100, order=0)
+
+
+def test_order1_unchanged_semantics():
+    a = markov_corpus(8, 200, seed=1, order=1)
+    b = markov_corpus(8, 200, seed=1)
+    assert np.array_equal(a.tokens, b.tokens)

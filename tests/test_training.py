@@ -1,0 +1,147 @@
+"""Trainable model, synthetic data, and the §2.4 validation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.model import TINY_DENSE_GQA, TINY_MLA_MOE
+from repro.training import (
+    BF16_POLICY,
+    FP32_POLICY,
+    FP8_POLICY,
+    TrainableTransformer,
+    batch_iterator,
+    markov_corpus,
+    train,
+    validate_precision,
+)
+
+RNG = np.random.default_rng
+
+
+def test_markov_corpus_properties():
+    corpus = markov_corpus(16, 500, seed=0)
+    assert corpus.tokens.shape == (500,)
+    assert corpus.tokens.min() >= 0 and corpus.tokens.max() < 16
+    assert corpus.transition.shape == (16, 16)
+    assert np.allclose(corpus.transition.sum(axis=1), 1.0)
+    assert 0 < corpus.conditional_entropy <= np.log(16)
+
+
+def test_markov_corpus_concentration_controls_entropy():
+    sharp = markov_corpus(16, 100, seed=0, concentration=0.05)
+    flat = markov_corpus(16, 100, seed=0, concentration=10.0)
+    assert sharp.conditional_entropy < flat.conditional_entropy
+
+
+def test_markov_corpus_validation():
+    with pytest.raises(ValueError):
+        markov_corpus(1, 100)
+    with pytest.raises(ValueError):
+        markov_corpus(4, 100, concentration=0.0)
+
+
+def test_batch_iterator_shapes():
+    corpus = markov_corpus(16, 200, seed=1)
+    batches = list(batch_iterator(corpus, batch_size=4, seq_len=8, num_batches=3))
+    assert len(batches) == 3
+    for b in batches:
+        assert b.shape == (4, 8)
+    with pytest.raises(ValueError):
+        list(batch_iterator(corpus, 4, 500, 1))
+
+
+def test_model_parameter_count_positive():
+    model = TrainableTransformer(TINY_MLA_MOE, seed=0)
+    assert model.num_parameters() > 50_000
+    assert len(model.parameters()) > 20
+
+
+def test_logits_shape():
+    model = TrainableTransformer(TINY_DENSE_GQA, seed=0)
+    tokens = RNG(0).integers(0, 256, size=(2, 8))
+    logits = model.logits(tokens)
+    assert logits.shape == (2, 8, 256)
+    assert np.all(np.isfinite(logits.data))
+
+
+def test_loss_breakdown_includes_mtp():
+    model = TrainableTransformer(TINY_MLA_MOE, seed=0)
+    tokens = RNG(1).integers(0, 256, size=(2, 10))
+    breakdown = model.loss(tokens)
+    assert len(breakdown.mtp) == 1
+    assert float(breakdown.total.data) == pytest.approx(
+        breakdown.main + 0.3 * breakdown.mtp[0], rel=1e-5
+    )
+
+
+def test_loss_rejects_short_sequences():
+    model = TrainableTransformer(TINY_MLA_MOE, seed=0)
+    with pytest.raises(ValueError):
+        model.loss(RNG(2).integers(0, 256, size=(1, 3)))
+
+
+def test_initial_loss_near_uniform():
+    model = TrainableTransformer(TINY_DENSE_GQA, seed=0)
+    tokens = RNG(3).integers(0, 256, size=(4, 12))
+    breakdown = model.loss(tokens)
+    # Random init adds logit variance on top of the uniform ln(V) floor.
+    assert np.log(256) * 0.95 < breakdown.main < np.log(256) * 1.25
+
+
+def test_training_reduces_loss():
+    corpus = markov_corpus(TINY_DENSE_GQA.vocab_size, 5000, seed=2, concentration=0.05)
+    model = TrainableTransformer(TINY_DENSE_GQA, seed=0)
+    result = train(model, corpus, steps=40, batch_size=8, seq_len=12, lr=5e-3)
+    assert result.final_loss < result.losses[0] - 0.3
+
+
+def test_training_mla_moe_reduces_loss():
+    corpus = markov_corpus(TINY_MLA_MOE.vocab_size, 5000, seed=3, concentration=0.05)
+    model = TrainableTransformer(TINY_MLA_MOE, seed=0)
+    result = train(model, corpus, steps=30, batch_size=8, seq_len=12, lr=5e-3)
+    assert result.final_loss < result.losses[0]
+
+
+def test_same_seed_same_init():
+    a = TrainableTransformer(TINY_DENSE_GQA, seed=7)
+    b = TrainableTransformer(TINY_DENSE_GQA, seed=7)
+    for pa, pb in zip(a.parameters(), b.parameters()):
+        assert np.array_equal(pa.data, pb.data)
+
+
+def test_policies_change_forward_values():
+    tokens = RNG(4).integers(0, 256, size=(1, 8))
+    fp32 = TrainableTransformer(TINY_DENSE_GQA, seed=0, policy=FP32_POLICY)
+    fp8 = TrainableTransformer(TINY_DENSE_GQA, seed=0, policy=FP8_POLICY)
+    a, b = fp32.logits(tokens).data, fp8.logits(tokens).data
+    assert not np.allclose(a, b)
+    assert np.allclose(a, b, atol=2.0)  # quantization is a perturbation
+
+
+def test_validate_precision_pipeline():
+    """§2.4's paired experiment: FP8 tracks the BF16 baseline."""
+    report = validate_precision(
+        TINY_DENSE_GQA,
+        baseline_policy=BF16_POLICY,
+        candidate_policy=FP8_POLICY,
+        steps=25,
+        batch_size=8,
+        seq_len=12,
+        seed=0,
+    )
+    assert report.baseline.policy_name == "bf16"
+    assert report.candidate.policy_name == "fp8-fine-grained"
+    assert abs(report.relative_loss_gap) < 0.05
+
+
+def test_train_validation():
+    corpus = markov_corpus(16, 100, seed=0)
+    model = TrainableTransformer(TINY_DENSE_GQA, seed=0)
+    with pytest.raises(ValueError):
+        train(model, corpus, steps=0)
+
+
+def test_greedy_next_shape():
+    model = TrainableTransformer(TINY_DENSE_GQA, seed=0)
+    out = model.greedy_next(RNG(5).integers(0, 256, size=(3, 6)))
+    assert out.shape == (3,)
