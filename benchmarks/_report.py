@@ -7,6 +7,20 @@ as a faithful regeneration of the paper's tables and figures.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
+
+def write_json(name: str, payload: dict) -> Path:
+    """Record a bench's results as ``benchmarks/BENCH_<name>.json``.
+
+    The committed file is the baseline: re-running the bench rewrites
+    it, and a diff shows how a change moved the measured numbers.
+    """
+    path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
 
 def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
     """Print a fixed-width table."""

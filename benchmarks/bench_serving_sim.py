@@ -1,0 +1,120 @@
+"""Ablation: request-level serving simulation (§2.3.1–§2.3.3).
+
+Three axes, all at equal hardware (8 GPUs):
+
+* colocated vs disaggregated prefill/decode — §2.3.1's argument is
+  that decode requests queueing behind prefill bursts inflate tail
+  latency; the simulator shows it as a P99 TPOT gap.
+* MTP speculative decoding on/off — §2.3.3's ~1.8x generation speedup
+  shows up as a TPOT reduction at the measured acceptance rate.
+* decode batch cap — the throughput/latency trade the closed-form
+  frontier (bench_ablation_serving) predicts, now with queueing.
+
+Results are recorded as ``BENCH_serving_sim.json`` via
+:func:`_report.write_json`; the committed file is the baseline.
+"""
+
+from _report import print_table, write_json
+
+from repro.serving import (
+    COLOCATED,
+    DISAGGREGATED,
+    MTPConfig,
+    SchedulerConfig,
+    ServingSimulator,
+    SimConfig,
+    StepCostModel,
+    WorkloadSpec,
+)
+
+#: Bursty traffic with prefill-heavy requests: the regime where
+#: colocation hurts decode tails the most.
+WORKLOAD = WorkloadSpec(
+    request_rate=6.0,
+    num_requests=150,
+    prompt_mean=1024,
+    prompt_cv=0.5,
+    output_mean=128,
+    output_cv=0.5,
+    arrival="bursty",
+)
+
+
+def _run(mode: str, mtp: bool = False, cap: int = 64, seed: int = 0):
+    config = SimConfig(
+        workload=WORKLOAD,
+        costs=StepCostModel(mtp=MTPConfig(enabled=mtp)),
+        mode=mode,
+        prefill_gpus=2,
+        decode_gpus=6,
+        scheduler=SchedulerConfig(max_concurrent_per_gpu=cap),
+        seed=seed,
+    )
+    return ServingSimulator(config).run()
+
+
+def _row(name: str, report) -> list[object]:
+    ms = 1e3
+    return [
+        name,
+        round(report.ttft.p50 * ms, 1),
+        round(report.ttft.p99 * ms, 1),
+        round(report.tpot.p50 * ms, 2),
+        round(report.tpot.p99 * ms, 2),
+        round(report.throughput_tokens_per_s, 0),
+        round(report.slo_attainment, 3),
+    ]
+
+
+def _record(name: str, report) -> dict:
+    return {
+        "ttft_p50_ms": report.ttft.p50 * 1e3,
+        "ttft_p99_ms": report.ttft.p99 * 1e3,
+        "tpot_p50_ms": report.tpot.p50 * 1e3,
+        "tpot_p99_ms": report.tpot.p99 * 1e3,
+        "e2e_p99_s": report.e2e.p99,
+        "throughput_tokens_per_s": report.throughput_tokens_per_s,
+        "goodput_requests_per_s": report.goodput_requests_per_s,
+        "slo_attainment": report.slo_attainment,
+        "preemptions": report.preemptions,
+        "completed": report.completed,
+    }
+
+
+def bench_serving_sim_ablation(benchmark):
+    def run():
+        return {
+            "colocated": _run(COLOCATED),
+            "disaggregated": _run(DISAGGREGATED),
+            "disaggregated+mtp": _run(DISAGGREGATED, mtp=True),
+            "disaggregated cap=2": _run(DISAGGREGATED, cap=2),
+        }
+
+    reports = benchmark(run)
+    print_table(
+        "Serving simulation: 150 bursty requests, 2 prefill + 6 decode GPUs",
+        ["deployment", "TTFT p50", "TTFT p99", "TPOT p50", "TPOT p99", "tok/s", "SLO"],
+        [_row(name, report) for name, report in reports.items()],
+    )
+    write_json("serving_sim", {name: _record(name, r) for name, r in reports.items()})
+
+    colo, disagg = reports["colocated"], reports["disaggregated"]
+    mtp = reports["disaggregated+mtp"]
+    capped = reports["disaggregated cap=2"]
+    # §2.3.1: at equal hardware, disaggregation cuts the decode tail —
+    # prefill bursts no longer block decode steps.
+    assert disagg.tpot.p99 < colo.tpot.p99
+    # The trade: the colocated pool throws 4x the compute at prefill,
+    # so its TTFT is lower — disaggregation buys the decode tail with
+    # prefill latency, which is why the pools must be sized to the mix.
+    assert colo.ttft.p50 < disagg.ttft.p50
+    # §2.3.3: MTP at ~85% acceptance beats 1-token decode despite the
+    # draft overhead.
+    assert mtp.tpot.p50 < disagg.tpot.p50 / 1.5
+    assert mtp.mtp_acceptance_measured > 0.7
+    # A tight admission cap keeps per-step batches small (TPOT p50 no
+    # worse) but queues requests at entry, inflating TTFT tails.
+    assert capped.tpot.p50 <= disagg.tpot.p50
+    assert capped.ttft.p99 > disagg.ttft.p99
+    # Everyone finishes the workload.
+    assert all(r.completed == WORKLOAD.num_requests for r in reports.values())

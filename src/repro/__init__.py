@@ -11,7 +11,8 @@ Subpackages:
 * :mod:`repro.comm` - EP dispatch/combine, overlap, IBGDA, contention.
 * :mod:`repro.parallel` - DualPipe schedules, MFU, cluster throughput.
 * :mod:`repro.inference` - decode rooflines, TPOT limits, speculative decoding.
+* :mod:`repro.serving` - request-level discrete-event serving simulator.
 * :mod:`repro.reliability` - failure injection, SDC detection, checkpointing.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

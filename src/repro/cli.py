@@ -13,6 +13,7 @@ Commands:
 * ``table5`` — link-layer latency comparison.
 * ``tpot`` — §2.3.2 inference speed limits.
 * ``budget [--tokens T]`` — training GPU-hour/dollar budget.
+* ``serve-sim`` — request-level serving simulation (§2.3.1–§2.3.3).
 """
 
 from __future__ import annotations
@@ -106,6 +107,72 @@ def _cmd_budget(args: argparse.Namespace) -> None:
     print(f"cost @ $2/GPU-hour: ${training_cost_usd(report, tokens) / 1e6:.2f} M")
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> None:
+    from .serving import (
+        MTPConfig,
+        ServingSimulator,
+        SimConfig,
+        StepCostModel,
+        WorkloadSpec,
+    )
+
+    if args.smoke:
+        workload = WorkloadSpec(
+            request_rate=4.0,
+            num_requests=40,
+            prompt_mean=256,
+            prompt_cv=0.3,
+            output_mean=64,
+            output_cv=0.3,
+            arrival=args.arrival,
+        )
+    else:
+        workload = WorkloadSpec(
+            request_rate=args.rate,
+            num_requests=args.requests,
+            arrival=args.arrival,
+        )
+    config = SimConfig(
+        workload=workload,
+        costs=StepCostModel(mtp=MTPConfig(enabled=args.mtp)),
+        mode=args.mode,
+        prefill_gpus=args.prefill_gpus,
+        decode_gpus=args.decode_gpus,
+        seed=args.seed,
+    )
+    simulator = ServingSimulator(config)
+    report = simulator.run()
+    ms = 1e3
+    print(
+        f"mode {args.mode}  gpus {args.prefill_gpus}+{args.decode_gpus}  "
+        f"mtp {'on' if args.mtp else 'off'}  seed {args.seed}"
+    )
+    print(
+        f"completed {report.completed}  preemptions {report.preemptions}  "
+        f"duration {report.duration:.2f} s"
+    )
+    print(
+        f"TTFT  p50 {report.ttft.p50 * ms:8.1f} ms  p99 {report.ttft.p99 * ms:8.1f} ms"
+    )
+    print(
+        f"TPOT  p50 {report.tpot.p50 * ms:8.2f} ms  p99 {report.tpot.p99 * ms:8.2f} ms"
+    )
+    print(
+        f"E2E   p50 {report.e2e.p50:8.2f} s   p99 {report.e2e.p99:8.2f} s"
+    )
+    print(
+        f"throughput {report.throughput_tokens_per_s:,.0f} tok/s  "
+        f"goodput {report.goodput_requests_per_s:.2f} req/s  "
+        f"SLO attainment {report.slo_attainment:.0%}"
+    )
+    print(
+        f"KV occupancy mean {report.mean_kv_occupancy:.1%} peak {report.peak_kv_occupancy:.1%}  "
+        f"queue depth mean {report.mean_queue_depth:.1f} max {report.max_queue_depth}"
+    )
+    if args.mtp:
+        print(f"MTP acceptance (measured) {report.mtp_acceptance_measured:.1%}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -130,6 +197,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("budget", help="training GPU-hours and cost")
     p.add_argument("--tokens", type=float, default=14.8, help="training tokens, in trillions")
     p.set_defaults(func=_cmd_budget)
+
+    p = sub.add_parser(
+        "serve-sim", help="request-level serving simulation (Sections 2.3.1-2.3.3)"
+    )
+    p.add_argument(
+        "--mode", choices=["colocated", "disaggregated"], default="disaggregated"
+    )
+    p.add_argument("--requests", type=int, default=200, help="requests to simulate")
+    p.add_argument("--rate", type=float, default=2.0, help="mean arrival rate, req/s")
+    p.add_argument("--arrival", choices=["poisson", "bursty"], default="poisson")
+    p.add_argument("--prefill-gpus", type=int, default=2)
+    p.add_argument("--decode-gpus", type=int, default=6)
+    p.add_argument("--mtp", action="store_true", help="enable MTP speculative decoding")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--smoke", action="store_true", help="small fast workload")
+    p.set_defaults(func=_cmd_serve_sim)
     return parser
 
 

@@ -1,0 +1,47 @@
+"""Request-level discrete-event serving simulator (§2.3.1–§2.3.3).
+
+The closed-form models in :mod:`repro.inference` give steady-state
+TPOT/throughput; this subsystem simulates the dynamics they average
+away — queueing under bursty arrivals, continuous-batch formation,
+paged KV-cache pressure with preemption/recompute, prefill/decode
+disaggregation, and MTP speculative decoding — producing TTFT/TPOT/E2E
+percentile distributions, queue and KV-occupancy traces, and goodput
+under SLOs.  Per-step costs are calibrated from the analytic rooflines
+so the simulator's saturated steady state cross-validates against the
+closed forms (pinned by ``tests/test_serving_sim.py``).
+"""
+
+from .costmodel import MTPConfig, StepCostModel
+from .kvpool import KVPoolConfig, PagedKVPool, kv_pool_blocks
+from .report import SLO, LatencyStats, SimReport, build_report
+from .scheduler import (
+    SchedulerConfig,
+    form_prefill_batch,
+    pick_preemption_victim,
+    select_decode_batch,
+)
+from .simulator import COLOCATED, DISAGGREGATED, ServingSimulator, SimConfig
+from .workload import Request, WorkloadSpec, generate_requests
+
+__all__ = [
+    "MTPConfig",
+    "StepCostModel",
+    "KVPoolConfig",
+    "PagedKVPool",
+    "kv_pool_blocks",
+    "SLO",
+    "LatencyStats",
+    "SimReport",
+    "build_report",
+    "SchedulerConfig",
+    "form_prefill_batch",
+    "pick_preemption_victim",
+    "select_decode_batch",
+    "COLOCATED",
+    "DISAGGREGATED",
+    "ServingSimulator",
+    "SimConfig",
+    "Request",
+    "WorkloadSpec",
+    "generate_requests",
+]

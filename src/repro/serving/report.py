@@ -1,0 +1,128 @@
+"""Simulation output: latency distributions, traces, goodput.
+
+This is the payoff of request-level simulation over the closed forms in
+:mod:`repro.inference`: not one steady-state TPOT but the full TTFT /
+TPOT / end-to-end *distributions*, queue-depth and KV-occupancy traces,
+and goodput under explicit SLOs — the quantities §2.3.1's
+disaggregation argument is actually about (tail latency under bursts).
+
+Reports are frozen dataclasses of plain floats/tuples, so two runs of a
+seeded simulator can be compared with ``==`` to assert determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .workload import Request
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of one latency metric (seconds)."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def from_samples(samples: list[float]) -> "LatencyStats":
+        """Compute the summary (zeros for an empty sample set)."""
+        if not samples:
+            return LatencyStats(0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(samples, dtype=np.float64)
+        p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+        return LatencyStats(
+            mean=float(arr.mean()),
+            p50=float(p50),
+            p95=float(p95),
+            p99=float(p99),
+            max=float(arr.max()),
+        )
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Service-level objectives a request must meet to count as goodput."""
+
+    ttft: float = 2.0
+    tpot: float = 0.1
+
+    def met_by(self, request: Request) -> bool:
+        """Whether a completed request satisfied both objectives."""
+        return request.ttft <= self.ttft and request.tpot <= self.tpot
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Everything one simulation run measured."""
+
+    # -- population ------------------------------------------------------
+    completed: int
+    preemptions: int
+    duration: float
+    tokens_generated: int
+    # -- latency distributions ------------------------------------------
+    ttft: LatencyStats
+    tpot: LatencyStats
+    e2e: LatencyStats
+    # -- rates -----------------------------------------------------------
+    throughput_tokens_per_s: float
+    goodput_requests_per_s: float
+    slo_attainment: float
+    # -- dynamics --------------------------------------------------------
+    mean_queue_depth: float
+    max_queue_depth: int
+    mean_kv_occupancy: float
+    peak_kv_occupancy: float
+    decode_steps: int
+    prefill_batches: int
+    mtp_acceptance_measured: float
+    # -- traces (time, value) pairs; tuples so the report hashes/compares
+    queue_depth_trace: tuple[tuple[float, int], ...]
+    kv_occupancy_trace: tuple[tuple[float, float], ...]
+
+
+def build_report(
+    finished: list[Request],
+    slo: SLO,
+    duration: float,
+    preemptions: int,
+    decode_steps: int,
+    prefill_batches: int,
+    draft_attempts: int,
+    draft_accepted: int,
+    queue_trace: list[tuple[float, int]],
+    kv_trace: list[tuple[float, float]],
+) -> SimReport:
+    """Aggregate per-request records into a :class:`SimReport`."""
+    finished = sorted(finished, key=lambda r: r.rid)
+    tokens = sum(r.generated for r in finished)
+    slo_met = sum(1 for r in finished if slo.met_by(r))
+    queue_depths = [d for _, d in queue_trace]
+    kv_levels = [v for _, v in kv_trace]
+    return SimReport(
+        completed=len(finished),
+        preemptions=preemptions,
+        duration=duration,
+        tokens_generated=tokens,
+        ttft=LatencyStats.from_samples([r.ttft for r in finished]),
+        tpot=LatencyStats.from_samples([r.tpot for r in finished]),
+        e2e=LatencyStats.from_samples([r.e2e for r in finished]),
+        throughput_tokens_per_s=tokens / duration if duration > 0 else 0.0,
+        goodput_requests_per_s=slo_met / duration if duration > 0 else 0.0,
+        slo_attainment=slo_met / len(finished) if finished else 0.0,
+        mean_queue_depth=float(np.mean(queue_depths)) if queue_depths else 0.0,
+        max_queue_depth=max(queue_depths, default=0),
+        mean_kv_occupancy=float(np.mean(kv_levels)) if kv_levels else 0.0,
+        peak_kv_occupancy=max(kv_levels, default=0.0),
+        decode_steps=decode_steps,
+        prefill_batches=prefill_batches,
+        mtp_acceptance_measured=draft_accepted / draft_attempts if draft_attempts else 0.0,
+        queue_depth_trace=tuple(queue_trace),
+        kv_occupancy_trace=tuple(kv_trace),
+    )

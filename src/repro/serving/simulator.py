@@ -1,0 +1,363 @@
+"""Seeded discrete-event simulator for LLM serving (§2.3.1–§2.3.3).
+
+Drives individual requests through one or two modeled GPU pools:
+
+* **colocated** — a single pool runs prefill and decode; prefill
+  batches block decode steps (prefill-priority), reproducing the
+  interference §2.3.1 says motivates disaggregation.
+* **disaggregated** — a prefill pool hands finished contexts to a
+  decode pool over a modeled KV-cache transfer, so decode steps never
+  wait behind prefill bursts.
+
+All stochastic choices (arrivals, lengths, MTP acceptance) come from
+named streams of :func:`repro.core.rng.seeded_generator`, and the event
+heap breaks time ties with a monotone sequence number, so a seed fully
+determines the run: two simulations with the same config produce
+``SimReport``s that compare equal.
+
+Step costs come from :class:`repro.serving.costmodel.StepCostModel`,
+which is calibrated against the analytic rooflines — the simulator
+adds queueing, batching, KV-capacity and tail-latency dynamics on top
+of the closed forms, it does not re-derive the per-step physics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.rng import seeded_generator
+from .costmodel import StepCostModel
+from .kvpool import KVPoolConfig, PagedKVPool, kv_pool_blocks
+from .report import SLO, SimReport, build_report
+from .scheduler import (
+    SchedulerConfig,
+    form_prefill_batch,
+    pick_preemption_victim,
+    select_decode_batch,
+)
+from .workload import Request, WorkloadSpec, generate_requests
+
+COLOCATED = "colocated"
+DISAGGREGATED = "disaggregated"
+
+# Event kinds, in tie-breaking order: arrivals and transfers land
+# before step completions at the same instant.
+_ARRIVAL = 0
+_DECODE_ENTER = 1
+_STEP_DONE = 2
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One serving-simulation scenario.
+
+    Attributes:
+        workload: Request stream to generate.
+        costs: Calibrated step-cost model (shared by both pools).
+        mode: ``"colocated"`` or ``"disaggregated"``.
+        prefill_gpus / decode_gpus: Pool sizes.  Colocated mode runs
+            one pool of ``prefill_gpus + decode_gpus`` GPUs, so the two
+            modes compare at equal hardware.
+        scheduler: Batching/admission limits.
+        kv_blocks_per_gpu: Paged KV blocks per GPU; ``None`` sizes the
+            pool from HBM minus resident weights (Table 1 calibration).
+        block_tokens: Tokens per KV block.
+        context_bucket: Decode step times are evaluated at the batch's
+            mean context rounded up to this granularity (bounds the
+            cost-model cache while tracking context growth).
+        slo: Goodput objectives.
+        seed: Root seed for every stochastic stream.
+    """
+
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    costs: StepCostModel = field(default_factory=StepCostModel)
+    mode: str = COLOCATED
+    prefill_gpus: int = 2
+    decode_gpus: int = 6
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    kv_blocks_per_gpu: int | None = None
+    block_tokens: int = 64
+    context_bucket: int = 512
+    slo: SLO = field(default_factory=SLO)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in (COLOCATED, DISAGGREGATED):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.prefill_gpus < 1 or self.decode_gpus < 1:
+            raise ValueError("pool sizes must be positive")
+        if self.block_tokens < 1 or self.context_bucket < 1:
+            raise ValueError("block_tokens and context_bucket must be positive")
+        if self.kv_blocks_per_gpu is not None and self.kv_blocks_per_gpu < 1:
+            raise ValueError("kv_blocks_per_gpu must be positive")
+
+
+class _Pool:
+    """Runtime state of one GPU pool."""
+
+    def __init__(
+        self,
+        name: str,
+        num_gpus: int,
+        kv: PagedKVPool,
+        does_prefill: bool,
+        does_decode: bool,
+    ) -> None:
+        self.name = name
+        self.num_gpus = num_gpus
+        self.kv = kv
+        self.does_prefill = does_prefill
+        self.does_decode = does_decode
+        self.prefill_queue: deque[Request] = deque()
+        self.entry_queue: deque[Request] = deque()  # awaiting KV admission
+        self.active: list[Request] = []
+        self.busy = False
+        self.current_kind: str | None = None
+        self.current_batch: list[Request] = []
+
+    @property
+    def decode_cap(self) -> int:
+        """Concurrent decode streams this pool sustains."""
+        return self._concurrent_cap
+
+    def set_cap(self, cap: int) -> None:
+        self._concurrent_cap = cap
+
+
+class ServingSimulator:
+    """Seeded, deterministic request-level serving simulation."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self._mtp_rng = seeded_generator(config.seed, "mtp")
+
+    def _make_pools(self) -> tuple[_Pool, ...]:
+        cfg = self.config
+        sched = cfg.scheduler
+
+        def kv_for(num_gpus: int) -> PagedKVPool:
+            if cfg.kv_blocks_per_gpu is not None:
+                pool_cfg = KVPoolConfig(
+                    total_blocks=cfg.kv_blocks_per_gpu * num_gpus,
+                    block_tokens=cfg.block_tokens,
+                )
+            else:
+                serving = cfg.costs.serving
+                pool_cfg = kv_pool_blocks(
+                    serving.model,
+                    serving.gpu,
+                    num_gpus,
+                    serving.ep_degree,
+                    block_tokens=cfg.block_tokens,
+                    weight_dtype=serving.weight_dtype,
+                )
+            return PagedKVPool(pool_cfg)
+
+        if cfg.mode == COLOCATED:
+            gpus = cfg.prefill_gpus + cfg.decode_gpus
+            pool = _Pool("pool", gpus, kv_for(gpus), True, True)
+            pool.set_cap(sched.max_concurrent_per_gpu * gpus)
+            return (pool,)
+        prefill = _Pool("prefill", cfg.prefill_gpus, kv_for(cfg.prefill_gpus), True, False)
+        prefill.set_cap(0)
+        decode = _Pool("decode", cfg.decode_gpus, kv_for(cfg.decode_gpus), False, True)
+        decode.set_cap(sched.max_concurrent_per_gpu * cfg.decode_gpus)
+        return (prefill, decode)
+
+    # -- event loop ------------------------------------------------------
+
+    def run(self) -> SimReport:
+        """Simulate the whole workload and aggregate the report."""
+        cfg = self.config
+        pools = self._make_pools()
+        prefill_pool = pools[0]
+        decode_pool = pools[-1]
+
+        heap: list[tuple[float, int, int, object]] = []
+        seq = 0
+
+        def push(time: float, kind: int, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (time, kind, seq, payload))
+            seq += 1
+
+        requests = generate_requests(cfg.workload, seeded_generator(cfg.seed, "workload"))
+        for request in requests:
+            push(request.arrival, _ARRIVAL, request)
+
+        finished: list[Request] = []
+        dropped: list[Request] = []
+        self._preemptions = 0
+        self._decode_steps = 0
+        self._prefill_batches = 0
+        self._draft_attempts = 0
+        self._draft_accepted = 0
+        self._batch_profile: dict[int, tuple[int, float]] = {}
+        queue_trace: list[tuple[float, int]] = []
+        kv_trace: list[tuple[float, float]] = []
+        now = 0.0
+
+        def sample_traces(t: float) -> None:
+            depth = sum(len(p.prefill_queue) + len(p.entry_queue) for p in pools)
+            occ = sum(p.kv.used_blocks for p in pools) / sum(
+                p.kv.config.total_blocks for p in pools
+            )
+            queue_trace.append((t, depth))
+            kv_trace.append((t, occ))
+
+        while heap:
+            now, kind, _, payload = heapq.heappop(heap)
+            if kind == _ARRIVAL:
+                assert isinstance(payload, Request)
+                prefill_pool.prefill_queue.append(payload)
+            elif kind == _DECODE_ENTER:
+                assert isinstance(payload, Request)
+                decode_pool.entry_queue.append(payload)
+            else:
+                assert isinstance(payload, _Pool)
+                self._finish_step(payload, now, pools, finished, push)
+                sample_traces(now)
+            for pool in pools:
+                self._try_start(pool, now, pools, dropped, push)
+
+        duration = now
+        report = build_report(
+            finished,
+            cfg.slo,
+            duration,
+            self._preemptions,
+            self._decode_steps,
+            self._prefill_batches,
+            self._draft_attempts,
+            self._draft_accepted,
+            queue_trace,
+            kv_trace,
+        )
+        self.decode_batch_profile = tuple(
+            (batch, count, total / count)
+            for batch, (count, total) in sorted(self._batch_profile.items())
+        )
+        self.dropped = tuple(r.rid for r in dropped)
+        return report
+
+    # -- scheduling ------------------------------------------------------
+
+    def _try_start(
+        self,
+        pool: _Pool,
+        now: float,
+        pools: tuple[_Pool, ...],
+        dropped: list[Request],
+        push,
+    ) -> None:
+        if pool.busy:
+            return
+        cfg = self.config
+        self._admit_entrants(pool, dropped)
+        if pool.does_prefill and pool.prefill_queue:
+            decode_pool = pools[-1]
+            inflight = len(decode_pool.active) + len(decode_pool.entry_queue)
+            batch = form_prefill_batch(
+                pool.prefill_queue, pool.kv, cfg.scheduler, inflight, decode_pool.decode_cap
+            )
+            if not batch:
+                head = pool.prefill_queue[0]
+                if pool.kv.blocks_for(head.context_tokens + 1) > pool.kv.config.total_blocks:
+                    # Larger than the whole pool: can never fit, drop it.
+                    dropped.append(pool.prefill_queue.popleft())
+                    return self._try_start(pool, now, pools, dropped, push)
+            if batch:
+                tokens = sum(r.context_tokens for r in batch)
+                duration = cfg.costs.prefill_time(tokens, pool.num_gpus)
+                pool.busy = True
+                pool.current_kind = "prefill"
+                pool.current_batch = batch
+                self._prefill_batches += 1
+                push(now + duration, _STEP_DONE, pool)
+                return
+        if pool.does_decode and pool.active:
+            batch = select_decode_batch(pool.active, pool.decode_cap)
+            per_device = max(1, math.ceil(len(batch) / (2 * pool.num_gpus)))
+            mean_ctx = sum(r.context_tokens for r in batch) / len(batch)
+            bucket = max(1, math.ceil(mean_ctx / cfg.context_bucket)) * cfg.context_bucket
+            duration = cfg.costs.decode_step_time(per_device, bucket)
+            pool.busy = True
+            pool.current_kind = "decode"
+            pool.current_batch = batch
+            self._decode_steps += 1
+            count, total = self._batch_profile.get(len(batch), (0, 0.0))
+            self._batch_profile[len(batch)] = (count + 1, total + duration)
+            push(now + duration, _STEP_DONE, pool)
+
+    def _admit_entrants(self, pool: _Pool, dropped: list[Request]) -> None:
+        while pool.entry_queue and len(pool.active) < pool.decode_cap:
+            head = pool.entry_queue[0]
+            if not pool.kv.allocate(head.rid, head.context_tokens + 1):
+                if pool.kv.blocks_for(head.context_tokens + 1) > pool.kv.config.total_blocks:
+                    dropped.append(pool.entry_queue.popleft())
+                    continue
+                break
+            pool.entry_queue.popleft()
+            pool.active.append(head)
+
+    # -- step completion -------------------------------------------------
+
+    def _finish_step(
+        self,
+        pool: _Pool,
+        now: float,
+        pools: tuple[_Pool, ...],
+        finished: list[Request],
+        push,
+    ) -> None:
+        cfg = self.config
+        batch, kind = pool.current_batch, pool.current_kind
+        pool.busy = False
+        pool.current_batch, pool.current_kind = [], None
+        if kind == "prefill":
+            for request in batch:
+                request.prefill_runs += 1
+                if request.generated == 0:
+                    request.first_token_time = now
+                    request.generated = 1
+                if request.generated >= request.output_tokens:
+                    request.finish_time = now
+                    pool.kv.free(request.rid)
+                    finished.append(request)
+                elif cfg.mode == COLOCATED:
+                    pool.active.append(request)
+                else:
+                    pool.kv.free(request.rid)  # cache migrates to decode pool
+                    delay = cfg.costs.kv_transfer_time(request.context_tokens)
+                    push(now + delay, _DECODE_ENTER, request)
+            return
+        # Decode step: emit tokens, grow KV, preempt on exhaustion.
+        mtp = cfg.costs.mtp
+        for request in sorted(batch, key=lambda r: r.rid):
+            if request not in pool.active:
+                continue  # preempted earlier in this loop
+            emit = 1
+            if mtp.enabled and request.generated + 1 < request.output_tokens:
+                self._draft_attempts += 1
+                if self._mtp_rng.uniform() < mtp.acceptance_rate:
+                    self._draft_accepted += 1
+                    emit = 2
+            request.generated = min(request.output_tokens, request.generated + emit)
+            if request.generated >= request.output_tokens:
+                request.finish_time = now
+                pool.kv.free(request.rid)
+                pool.active.remove(request)
+                finished.append(request)
+                continue
+            while not pool.kv.extend(request.rid, request.context_tokens + 1):
+                victim = pick_preemption_victim(pool.active)
+                pool.kv.free(victim.rid)
+                pool.active.remove(victim)
+                self._preemptions += 1
+                target = pools[0]  # recompute re-runs prefill (front of queue)
+                target.prefill_queue.appendleft(victim)
+                if victim is request:
+                    break

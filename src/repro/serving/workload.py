@@ -1,0 +1,140 @@
+"""Request-level workload generation for the serving simulator.
+
+The closed-form models in :mod:`repro.inference` take a mean arrival
+rate and mean lengths; the simulator needs individual requests.  Two
+arrival processes are supported:
+
+* ``poisson`` — exponential interarrivals at the configured rate.
+* ``bursty`` — a hyperexponential mixture: a fraction of interarrival
+  gaps is drawn from a much faster exponential, producing the bursty
+  traffic (CV > 1) that §2.3.1 argues disaggregation must absorb.
+
+Prompt and output lengths are lognormal with configurable mean and
+coefficient of variation (CV 0 pins the length exactly, which the
+calibration tests use).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Request:
+    """One request moving through the simulated serving system.
+
+    The first three fields are the workload; the rest is runtime state
+    mutated by the simulator.
+    """
+
+    rid: int
+    arrival: float
+    prompt_tokens: int
+    output_tokens: int
+    # -- runtime state --------------------------------------------------
+    first_token_time: float = -1.0
+    finish_time: float = -1.0
+    generated: int = 0
+    prefill_runs: int = 0  # >1 means the request was preempted and recomputed
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token (valid once prefill completed)."""
+        return self.first_token_time - self.arrival
+
+    @property
+    def e2e(self) -> float:
+        """End-to-end latency (valid once finished)."""
+        return self.finish_time - self.arrival
+
+    @property
+    def tpot(self) -> float:
+        """Mean time per output token after the first (valid once done)."""
+        return (self.finish_time - self.first_token_time) / max(1, self.generated - 1)
+
+    @property
+    def context_tokens(self) -> int:
+        """Current KV footprint in tokens (prompt plus generated)."""
+        return self.prompt_tokens + self.generated
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A synthetic serving workload.
+
+    Attributes:
+        request_rate: Mean arrival rate, requests/s.
+        num_requests: Requests to generate.
+        prompt_mean / prompt_cv: Lognormal prompt-length parameters.
+        output_mean / output_cv: Lognormal output-length parameters.
+        arrival: ``"poisson"`` or ``"bursty"``.
+        burst_fraction: Fraction of gaps drawn from the fast phase
+            (bursty only).
+        burst_factor: Rate multiplier of the fast phase (bursty only).
+    """
+
+    request_rate: float = 2.0
+    num_requests: int = 200
+    prompt_mean: int = 1024
+    prompt_cv: float = 0.5
+    output_mean: int = 256
+    output_cv: float = 0.5
+    arrival: str = "poisson"
+    burst_fraction: float = 0.9
+    burst_factor: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.request_rate <= 0 or self.num_requests < 1:
+            raise ValueError("request_rate and num_requests must be positive")
+        if self.prompt_mean < 1 or self.output_mean < 1:
+            raise ValueError("mean lengths must be at least 1 token")
+        if self.prompt_cv < 0 or self.output_cv < 0:
+            raise ValueError("length CVs must be non-negative")
+        if self.arrival not in ("poisson", "bursty"):
+            raise ValueError("arrival must be 'poisson' or 'bursty'")
+        if not 0 < self.burst_fraction < 1 or self.burst_factor <= 1:
+            raise ValueError("need 0 < burst_fraction < 1 and burst_factor > 1")
+
+
+def _lognormal_lengths(
+    rng: np.random.Generator, mean: int, cv: float, n: int
+) -> np.ndarray:
+    if cv == 0:
+        return np.full(n, mean, dtype=np.int64)
+    sigma2 = math.log1p(cv * cv)
+    mu = math.log(mean) - sigma2 / 2.0
+    draws = rng.lognormal(mean=mu, sigma=math.sqrt(sigma2), size=n)
+    return np.maximum(1, np.rint(draws)).astype(np.int64)
+
+
+def _interarrival_gaps(rng: np.random.Generator, spec: WorkloadSpec) -> np.ndarray:
+    n = spec.num_requests
+    if spec.arrival == "poisson":
+        return rng.exponential(1.0 / spec.request_rate, size=n)
+    # Hyperexponential: fraction p of gaps at rate k*r_slow, the rest at
+    # r_slow, with r_slow chosen so the mixture mean is 1/request_rate.
+    p, k = spec.burst_fraction, spec.burst_factor
+    rate_slow = spec.request_rate * (p / k + (1.0 - p))
+    fast = rng.uniform(size=n) < p
+    gaps = rng.exponential(1.0 / rate_slow, size=n)
+    gaps[fast] /= k
+    return gaps
+
+
+def generate_requests(spec: WorkloadSpec, rng: np.random.Generator) -> list[Request]:
+    """Sample the request stream (sorted by arrival time)."""
+    arrivals = np.cumsum(_interarrival_gaps(rng, spec))
+    prompts = _lognormal_lengths(rng, spec.prompt_mean, spec.prompt_cv, spec.num_requests)
+    outputs = _lognormal_lengths(rng, spec.output_mean, spec.output_cv, spec.num_requests)
+    return [
+        Request(
+            rid=i,
+            arrival=float(arrivals[i]),
+            prompt_tokens=int(prompts[i]),
+            output_tokens=int(outputs[i]),
+        )
+        for i in range(spec.num_requests)
+    ]

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.rng import seeded_generator
+
 
 @dataclass(frozen=True)
 class SyntheticCorpus:
@@ -72,7 +74,7 @@ def markov_corpus(
         raise ValueError("concentration must be positive")
     if order < 1:
         raise ValueError("order must be at least 1")
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
     num_states = vocab_size**order
     transition_full = rng.dirichlet([concentration] * vocab_size, size=num_states)
     tokens = np.empty(length, dtype=np.int64)
@@ -105,7 +107,7 @@ def batch_iterator(
     """Yield ``num_batches`` random [batch, seq_len] windows."""
     if seq_len >= corpus.tokens.shape[0]:
         raise ValueError("seq_len must be shorter than the corpus")
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed, "batches")
     max_start = corpus.tokens.shape[0] - seq_len
     for _ in range(num_batches):
         starts = rng.integers(0, max_start, size=batch_size)

@@ -42,6 +42,8 @@ def test_parameter_table_drops_empty_components():
         ["table5"],
         ["tpot"],
         ["budget", "--tokens", "1.0"],
+        ["serve-sim", "--smoke"],
+        ["serve-sim", "--smoke", "--mode", "colocated", "--mtp", "--arrival", "bursty"],
     ],
 )
 def test_cli_commands_run(argv, capsys):
@@ -55,6 +57,21 @@ def test_cli_table1_values(capsys):
     out = capsys.readouterr().out
     assert "70.272" in out
     assert "4.66x" in out
+
+
+def test_cli_serve_sim_smoke_is_seeded(capsys):
+    main(["serve-sim", "--smoke", "--seed", "3"])
+    first = capsys.readouterr().out
+    main(["serve-sim", "--smoke", "--seed", "3"])
+    second = capsys.readouterr().out
+    assert first == second
+    assert "completed 40" in first
+    assert "TPOT" in first and "goodput" in first
+
+
+def test_cli_serve_sim_rejects_unknown_mode():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve-sim", "--mode", "hybrid"])
 
 
 def test_cli_rejects_unknown_command():

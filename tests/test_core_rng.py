@@ -1,0 +1,25 @@
+"""Shared seeded-RNG factory (repro.core.rng)."""
+
+import numpy as np
+
+from repro.core.rng import seeded_generator
+
+
+def test_root_stream_matches_default_rng():
+    a = seeded_generator(42).uniform(size=8)
+    b = np.random.default_rng(42).uniform(size=8)
+    assert np.array_equal(a, b)
+
+
+def test_same_seed_and_stream_reproduce():
+    a = seeded_generator(7, "arrivals").uniform(size=8)
+    b = seeded_generator(7, "arrivals").uniform(size=8)
+    assert np.array_equal(a, b)
+
+
+def test_streams_are_decorrelated():
+    a = seeded_generator(7, "arrivals").uniform(size=8)
+    b = seeded_generator(7, "mtp").uniform(size=8)
+    c = seeded_generator(8, "arrivals").uniform(size=8)
+    assert not np.array_equal(a, b)
+    assert not np.array_equal(a, c)

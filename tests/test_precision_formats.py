@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.rng import seeded_generator
 from repro.precision import (
     BF16,
     E4M3,
@@ -83,12 +84,12 @@ def test_subnormal_handling():
 
 
 def test_fp32_format_is_nearly_lossless_for_float32():
-    x = np.random.default_rng(0).normal(size=1000).astype(np.float32)
+    x = seeded_generator(0).normal(size=1000).astype(np.float32)
     assert np.allclose(FP32.quantize(x), x, rtol=1e-7)
 
 
 def test_higher_mantissa_lower_error():
-    x = np.random.default_rng(1).normal(size=4096)
+    x = seeded_generator(1).normal(size=4096)
     errs = [f.quantization_error(x) for f in (E5M2, E4M3, E5M6, BF16)]
     # E4M3 beats E5M2 on unit-scale data; more mantissa keeps improving.
     assert errs[1] < errs[0]

@@ -16,7 +16,7 @@ from repro.precision import (
     tensor_core_partial,
 )
 
-RNG = np.random.default_rng
+from repro.core.rng import seeded_generator as RNG
 
 
 def _case(m=32, k=512, n=32, seed=0):

@@ -19,7 +19,7 @@ from repro.precision import (
 )
 from repro.precision.logfmt import MAX_LOG_RANGE
 
-RNG = np.random.default_rng
+from repro.core.rng import seeded_generator as RNG
 
 
 def _activations(shape=(32, 256), seed=0):

@@ -13,7 +13,7 @@ from repro.precision import (
     E4M3,
 )
 
-RNG = np.random.default_rng
+from repro.core.rng import seeded_generator as RNG
 
 
 def _activations(seed=0, shape=(16, 512)):

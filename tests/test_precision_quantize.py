@@ -13,7 +13,7 @@ from repro.precision import (
     relative_error,
 )
 
-RNG = np.random.default_rng
+from repro.core.rng import seeded_generator as RNG
 
 
 def test_tile_quantize_roundtrip_close():

@@ -1,0 +1,301 @@
+"""Request-level serving simulator (repro.serving)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.rng import seeded_generator
+from repro.inference.serving import ServingConfig, serving_point
+from repro.serving import (
+    COLOCATED,
+    DISAGGREGATED,
+    KVPoolConfig,
+    MTPConfig,
+    PagedKVPool,
+    SchedulerConfig,
+    ServingSimulator,
+    SimConfig,
+    StepCostModel,
+    WorkloadSpec,
+    kv_pool_blocks,
+)
+
+
+def _smoke_config(**overrides) -> SimConfig:
+    workload = overrides.pop(
+        "workload",
+        WorkloadSpec(
+            request_rate=4.0,
+            num_requests=40,
+            prompt_mean=256,
+            prompt_cv=0.3,
+            output_mean=64,
+            output_cv=0.3,
+        ),
+    )
+    return SimConfig(workload=workload, **overrides)
+
+
+# -- workload generation --------------------------------------------------
+
+
+def test_poisson_arrivals_match_rate():
+    spec = WorkloadSpec(request_rate=5.0, num_requests=4000)
+    from repro.serving import generate_requests
+
+    requests = generate_requests(spec, seeded_generator(0))
+    gaps = np.diff([0.0] + [r.arrival for r in requests])
+    assert np.mean(gaps) == pytest.approx(1 / 5.0, rel=0.1)
+
+
+def test_bursty_arrivals_have_higher_cv():
+    from repro.serving import generate_requests
+
+    poisson = WorkloadSpec(request_rate=5.0, num_requests=4000)
+    bursty = WorkloadSpec(request_rate=5.0, num_requests=4000, arrival="bursty")
+    gap_cv = []
+    for spec in (poisson, bursty):
+        requests = generate_requests(spec, seeded_generator(0))
+        gaps = np.diff([0.0] + [r.arrival for r in requests])
+        gap_cv.append(np.std(gaps) / np.mean(gaps))
+    assert gap_cv[0] == pytest.approx(1.0, rel=0.1)  # Poisson: CV 1
+    assert gap_cv[1] > 1.5  # hyperexponential burstiness
+
+    # Mean rate is preserved by the mixture.
+    mean_gap = np.mean(np.diff([r.arrival for r in generate_requests(bursty, seeded_generator(1))]))
+    assert mean_gap == pytest.approx(1 / 5.0, rel=0.15)
+
+
+def test_fixed_lengths_with_zero_cv():
+    from repro.serving import generate_requests
+
+    spec = WorkloadSpec(num_requests=10, prompt_mean=100, prompt_cv=0.0, output_mean=7, output_cv=0.0)
+    for r in generate_requests(spec, seeded_generator(0)):
+        assert r.prompt_tokens == 100
+        assert r.output_tokens == 7
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(request_rate=0.0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(arrival="adversarial")
+    with pytest.raises(ValueError):
+        WorkloadSpec(burst_factor=0.5, arrival="bursty")
+
+
+# -- paged KV pool --------------------------------------------------------
+
+
+def test_paged_pool_allocate_extend_free():
+    pool = PagedKVPool(KVPoolConfig(total_blocks=10, block_tokens=16))
+    assert pool.allocate(1, 33)  # 3 blocks
+    assert pool.used_blocks == 3
+    assert pool.extend(1, 48)  # still 3 blocks
+    assert pool.used_blocks == 3
+    assert pool.extend(1, 49)  # 4th block
+    assert pool.used_blocks == 4
+    assert not pool.allocate(2, 16 * 7)  # 7 blocks > 6 free
+    assert pool.allocate(2, 16 * 6)
+    assert not pool.extend(1, 65)  # pool exhausted
+    pool.free(2)
+    assert pool.extend(1, 65)
+    pool.free(1)
+    assert pool.used_blocks == 0
+    assert pool.peak_used == 10
+
+
+def test_paged_pool_errors():
+    pool = PagedKVPool(KVPoolConfig(total_blocks=4))
+    pool.allocate(1, 10)
+    with pytest.raises(ValueError):
+        pool.allocate(1, 10)
+    with pytest.raises(KeyError):
+        pool.extend(2, 10)
+    with pytest.raises(KeyError):
+        pool.free(2)
+
+
+def test_kv_pool_sizing_tracks_table1():
+    from repro.model.config import DEEPSEEK_V3
+    from repro.model.kvcache import kv_cache_bytes_per_token
+    from repro.core.hardware import H800
+
+    cfg = kv_pool_blocks(DEEPSEEK_V3, H800, num_gpus=2, ep_degree=256, block_tokens=64)
+    tokens = cfg.total_blocks * cfg.block_tokens
+    # Capacity in bytes stays below the 2-GPU HBM budget but above half
+    # of it (KV dominates once weights shard over EP256).
+    cap = tokens * kv_cache_bytes_per_token(DEEPSEEK_V3)
+    assert cap < 2 * H800.hbm_bytes
+    assert cap > H800.hbm_bytes
+
+
+# -- determinism ----------------------------------------------------------
+
+
+def test_same_seed_identical_reports():
+    config = _smoke_config(mode=DISAGGREGATED, seed=7)
+    first = ServingSimulator(config).run()
+    second = ServingSimulator(config).run()
+    assert first == second
+
+
+def test_different_seeds_differ():
+    first = ServingSimulator(_smoke_config(seed=1)).run()
+    second = ServingSimulator(_smoke_config(seed=2)).run()
+    assert first != second
+
+
+# -- calibration against the closed forms ---------------------------------
+
+
+def test_steady_state_tpot_matches_analytic():
+    """The pinned contract: a saturated decode pool at fixed batch
+    reproduces ``inference.serving``'s analytic TPOT within 5%."""
+    decode_gpus = 1
+    streams = 16  # = 2 micro-batches x per-device batch 4 x (1+1) GPUs
+    workload = WorkloadSpec(
+        request_rate=1000.0,  # everyone arrives at once: saturated pool
+        num_requests=streams,
+        prompt_mean=256,
+        prompt_cv=0.0,
+        output_mean=128,
+        output_cv=0.0,
+    )
+    serving = ServingConfig(context_tokens=512)
+    config = SimConfig(
+        workload=workload,
+        costs=StepCostModel(serving=serving),
+        mode=COLOCATED,
+        prefill_gpus=1,
+        decode_gpus=decode_gpus,
+        scheduler=SchedulerConfig(max_concurrent_per_gpu=2 * 4),
+        context_bucket=512,
+        seed=3,
+    )
+    simulator = ServingSimulator(config)
+    report = simulator.run()
+    assert report.completed == streams
+
+    pool_gpus = 1 + decode_gpus
+    per_device = math.ceil(streams / (2 * pool_gpus))
+    analytic = serving_point(serving, per_device).tpot
+    full_batch = [e for e in simulator.decode_batch_profile if e[0] == streams]
+    assert full_batch, f"no full-batch steps in {simulator.decode_batch_profile}"
+    _, steps, mean_step = full_batch[0]
+    assert steps > 100
+    assert abs(mean_step - analytic) / analytic < 0.05
+    # Per-request TPOT sees the same steady state.
+    assert abs(report.tpot.p50 - analytic) / analytic < 0.05
+
+
+def test_mtp_speeds_up_decode():
+    base = _smoke_config(seed=5)
+    mtp = _smoke_config(
+        costs=StepCostModel(mtp=MTPConfig(enabled=True, acceptance_rate=0.85)), seed=5
+    )
+    plain = ServingSimulator(base).run()
+    spec = ServingSimulator(mtp).run()
+    assert spec.tpot.p50 < plain.tpot.p50 / 1.5  # ~1.8x from §2.3.3
+    assert spec.mtp_acceptance_measured == pytest.approx(0.85, abs=0.08)
+    assert spec.tokens_generated == plain.tokens_generated  # same outputs
+
+
+# -- KV pressure and preemption -------------------------------------------
+
+
+def test_kv_exhaustion_preempts_and_recovers():
+    workload = WorkloadSpec(
+        request_rate=50.0,
+        num_requests=24,
+        prompt_mean=192,
+        prompt_cv=0.0,
+        output_mean=96,
+        output_cv=0.0,
+    )
+    config = _smoke_config(
+        workload=workload,
+        kv_blocks_per_gpu=12,  # 8 GPUs x 12 blocks x 64 tokens: tight
+        seed=11,
+    )
+    simulator = ServingSimulator(config)
+    report = simulator.run()
+    assert report.completed == 24
+    assert report.preemptions > 0
+    assert report.peak_kv_occupancy > 0.9
+    assert not simulator.dropped
+    # Preempted requests re-ran prefill yet still produced full outputs.
+    assert report.tokens_generated == 24 * 96
+
+
+def test_oversized_request_dropped_not_deadlocked():
+    workload = WorkloadSpec(
+        request_rate=10.0,
+        num_requests=5,
+        prompt_mean=10_000,
+        prompt_cv=0.0,
+        output_mean=8,
+        output_cv=0.0,
+    )
+    config = _smoke_config(workload=workload, kv_blocks_per_gpu=4, block_tokens=64, seed=0)
+    simulator = ServingSimulator(config)
+    report = simulator.run()
+    assert report.completed == 0
+    assert len(simulator.dropped) == 5
+
+
+# -- disaggregation -------------------------------------------------------
+
+
+def test_disaggregation_cuts_decode_tail_at_equal_hardware():
+    workload = WorkloadSpec(
+        request_rate=6.0,
+        num_requests=80,
+        prompt_mean=1024,
+        prompt_cv=0.5,
+        output_mean=128,
+        output_cv=0.5,
+        arrival="bursty",
+    )
+    colocated = ServingSimulator(
+        _smoke_config(workload=workload, mode=COLOCATED, seed=2)
+    ).run()
+    disaggregated = ServingSimulator(
+        _smoke_config(workload=workload, mode=DISAGGREGATED, seed=2)
+    ).run()
+    assert colocated.completed == disaggregated.completed == 80
+    assert disaggregated.tpot.p99 < colocated.tpot.p99
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SimConfig(mode="hybrid")
+    with pytest.raises(ValueError):
+        SimConfig(prefill_gpus=0)
+    with pytest.raises(ValueError):
+        SimConfig(kv_blocks_per_gpu=0)
+    with pytest.raises(ValueError):
+        MTPConfig(acceptance_rate=1.5)
+    with pytest.raises(ValueError):
+        SchedulerConfig(max_prefill_tokens=0)
+    with pytest.raises(ValueError):
+        StepCostModel(prefill_efficiency=0.0)
+
+
+# -- report surface -------------------------------------------------------
+
+
+def test_report_traces_and_rates_consistent():
+    report = ServingSimulator(_smoke_config(seed=9)).run()
+    assert report.completed == 40
+    assert report.duration > 0
+    assert report.throughput_tokens_per_s == pytest.approx(
+        report.tokens_generated / report.duration
+    )
+    assert 0 <= report.slo_attainment <= 1
+    assert report.queue_depth_trace and report.kv_occupancy_trace
+    times = [t for t, _ in report.queue_depth_trace]
+    assert times == sorted(times)
+    assert all(0 <= v <= 1 for _, v in report.kv_occupancy_trace)
+    assert report.ttft.p50 <= report.ttft.p99 <= report.ttft.max
