@@ -3,48 +3,57 @@
 Every bench prints a paper-vs-measured table through these helpers so
 the console output of ``pytest benchmarks/ --benchmark-only -s`` reads
 as a faithful regeneration of the paper's tables and figures.
+
+:func:`print_table` is re-exported from :mod:`repro.obs.summary` — the
+bench harness and the ``repro trace`` CLI share one formatter.
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
 from pathlib import Path
 
+from repro.obs.summary import print_table
 
-def write_json(name: str, payload: dict) -> Path:
+__all__ = ["default_meta", "paper_vs_measured", "print_table", "write_json"]
+
+
+def default_meta(**extra: object) -> dict:
+    """A self-description block for :func:`write_json`: the git SHA of
+    the working tree (``"unknown"`` outside a repo) plus any bench
+    configuration passed as keyword arguments."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        sha = "unknown"
+    return {"git_sha": sha, **extra}
+
+
+def write_json(name: str, payload: dict, meta: dict | None = None) -> Path:
     """Record a bench's results as ``benchmarks/BENCH_<name>.json``.
 
     The committed file is the baseline: re-running the bench rewrites
     it, and a diff shows how a change moved the measured numbers.
+
+    Args:
+        name: Baseline name (file stem suffix).
+        payload: The measured numbers.
+        meta: Optional self-description (git SHA, bench config — see
+            :func:`default_meta`), recorded under a ``"_meta"`` key so
+            a committed baseline says what produced it.
     """
+    if meta is not None:
+        payload = {"_meta": meta, **payload}
     path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
-
-
-def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
-    """Print a fixed-width table."""
-    widths = [len(h) for h in headers]
-    cells = [[_fmt(v) for v in row] for row in rows]
-    for row in cells:
-        for i, value in enumerate(row):
-            widths[i] = max(widths[i], len(value))
-    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
-    print(f"\n== {title} ==")
-    print(line)
-    print("-" * len(line))
-    for row in cells:
-        print("  ".join(v.ljust(w) for v, w in zip(row, widths)))
-
-
-def _fmt(value: object) -> str:
-    if isinstance(value, float):
-        if value == 0:
-            return "0"
-        if abs(value) >= 1000 or abs(value) < 0.01:
-            return f"{value:.4g}"
-        return f"{value:.3f}".rstrip("0").rstrip(".")
-    return str(value)
 
 
 def paper_vs_measured(

@@ -14,7 +14,7 @@ Results are recorded as ``BENCH_serving_sim.json`` via
 :func:`_report.write_json`; the committed file is the baseline.
 """
 
-from _report import print_table, write_json
+from _report import default_meta, print_table, write_json
 
 from repro.serving import (
     COLOCATED,
@@ -96,7 +96,15 @@ def bench_serving_sim_ablation(benchmark):
         ["deployment", "TTFT p50", "TTFT p99", "TPOT p50", "TPOT p99", "tok/s", "SLO"],
         [_row(name, report) for name, report in reports.items()],
     )
-    write_json("serving_sim", {name: _record(name, r) for name, r in reports.items()})
+    write_json(
+        "serving_sim",
+        {name: _record(name, r) for name, r in reports.items()},
+        meta=default_meta(
+            workload="bursty 150 req @ 6/s, prompt~1024, output~128",
+            gpus="2 prefill + 6 decode",
+            seed=0,
+        ),
+    )
 
     colo, disagg = reports["colocated"], reports["disaggregated"]
     mtp = reports["disaggregated+mtp"]

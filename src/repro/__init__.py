@@ -13,6 +13,8 @@ Subpackages:
 * :mod:`repro.inference` - decode rooflines, TPOT limits, speculative decoding.
 * :mod:`repro.serving` - request-level discrete-event serving simulator.
 * :mod:`repro.reliability` - failure injection, SDC detection, checkpointing.
+* :mod:`repro.obs` - unified tracing (Chrome trace-event export) and
+  metrics (counters, gauges, streaming histograms) for the simulators.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

@@ -13,12 +13,18 @@ Commands:
 * ``table5`` — link-layer latency comparison.
 * ``tpot`` — §2.3.2 inference speed limits.
 * ``budget [--tokens T]`` — training GPU-hour/dollar budget.
-* ``serve-sim`` — request-level serving simulation (§2.3.1–§2.3.3).
+* ``serve-sim`` — request-level serving simulation (§2.3.1–§2.3.3);
+  ``--json`` dumps the full ``SimReport`` as machine-readable JSON.
+* ``trace`` — run a simulator scenario with the observability layer
+  on, write a Chrome trace-event file (chrome://tracing / Perfetto)
+  and print a top-K span/metric summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
 from .model import (
@@ -107,14 +113,9 @@ def _cmd_budget(args: argparse.Namespace) -> None:
     print(f"cost @ $2/GPU-hour: ${training_cost_usd(report, tokens) / 1e6:.2f} M")
 
 
-def _cmd_serve_sim(args: argparse.Namespace) -> None:
-    from .serving import (
-        MTPConfig,
-        ServingSimulator,
-        SimConfig,
-        StepCostModel,
-        WorkloadSpec,
-    )
+def _serving_config(args: argparse.Namespace):
+    """Build the ``SimConfig`` shared by ``serve-sim`` and ``trace``."""
+    from .serving import MTPConfig, SimConfig, StepCostModel, WorkloadSpec
 
     if args.smoke:
         workload = WorkloadSpec(
@@ -132,7 +133,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> None:
             num_requests=args.requests,
             arrival=args.arrival,
         )
-    config = SimConfig(
+    return SimConfig(
         workload=workload,
         costs=StepCostModel(mtp=MTPConfig(enabled=args.mtp)),
         mode=args.mode,
@@ -140,8 +141,16 @@ def _cmd_serve_sim(args: argparse.Namespace) -> None:
         decode_gpus=args.decode_gpus,
         seed=args.seed,
     )
-    simulator = ServingSimulator(config)
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> None:
+    from .serving import ServingSimulator
+
+    simulator = ServingSimulator(_serving_config(args))
     report = simulator.run()
+    if args.json:
+        print(json.dumps(dataclasses.asdict(report), indent=2, sort_keys=True))
+        return
     ms = 1e3
     print(
         f"mode {args.mode}  gpus {args.prefill_gpus}+{args.decode_gpus}  "
@@ -171,6 +180,69 @@ def _cmd_serve_sim(args: argparse.Namespace) -> None:
     )
     if args.mtp:
         print(f"MTP acceptance (measured) {report.mtp_acceptance_measured:.1%}")
+
+
+def _trace_serving(args: argparse.Namespace, tracer, metrics) -> str:
+    from .serving import ServingSimulator
+
+    report = ServingSimulator(_serving_config(args), tracer=tracer, metrics=metrics).run()
+    return (
+        f"serving: {report.completed} requests, {report.preemptions} preemptions, "
+        f"TPOT p99 {report.tpot.p99 * 1e3:.2f} ms over {report.duration:.2f} s"
+    )
+
+
+def _trace_network(args: argparse.Namespace, tracer, metrics) -> str:
+    from .network import FlowSimulator, two_layer_fat_tree
+    from .network.routing import RoutingPolicy, route_flow
+
+    topo = two_layer_fat_tree(num_leaves=4, hosts_per_leaf=4, num_spines=4)
+    hosts = topo.hosts
+    shifts = range(1, 4 if args.smoke else len(hosts))
+    size = 64e6 if args.smoke else 1e9
+    flows = []
+    for shift in shifts:
+        for i, src in enumerate(hosts):
+            dst = hosts[(i + shift) % len(hosts)]
+            flows.extend(
+                route_flow(topo, src, dst, size, RoutingPolicy.ECMP, tag=f"shift{shift}")
+            )
+    sim = FlowSimulator(topo, tracer=tracer, metrics=metrics)
+    result = sim.simulate(flows)
+    return (
+        f"network: {len(flows)} flows over {topo.name}, "
+        f"makespan {result.makespan * 1e3:.2f} ms"
+    )
+
+
+def _trace_training(args: argparse.Namespace, tracer, metrics) -> str:
+    from .model.config import TINY_MLA_MOE
+    from .training import TrainableTransformer, markov_corpus, train
+
+    steps = 5 if args.smoke else 50
+    corpus = markov_corpus(TINY_MLA_MOE.vocab_size, 2_000, seed=args.seed)
+    model = TrainableTransformer(TINY_MLA_MOE, seed=args.seed)
+    result = train(model, corpus, steps, tracer=tracer, metrics=metrics)
+    return f"training: {steps} steps, final loss {result.final_loss:.4f}"
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from .obs import MetricsRegistry, Tracer, print_trace_summary
+
+    runners = {
+        "serving": _trace_serving,
+        "network": _trace_network,
+        "training": _trace_training,
+    }
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    headline = runners[args.scenario](args, tracer, metrics)
+    out = args.out or f"{args.scenario}.trace.json"
+    path = tracer.write(out)
+    print(headline)
+    print(f"trace: {len(tracer.events)} events -> {path}")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    print_trace_summary(tracer, metrics, top_k=args.top)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -212,7 +284,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mtp", action="store_true", help="enable MTP speculative decoding")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--smoke", action="store_true", help="small fast workload")
+    p.add_argument(
+        "--json", action="store_true",
+        help="dump the full SimReport as machine-readable JSON",
+    )
     p.set_defaults(func=_cmd_serve_sim)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a simulator with tracing on and write Chrome trace-event JSON",
+    )
+    p.add_argument(
+        "--scenario", choices=["serving", "network", "training"], default="serving"
+    )
+    p.add_argument("--smoke", action="store_true", help="small fast scenario")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="output path (default <scenario>.trace.json)")
+    p.add_argument("--top", type=int, default=10, help="span kinds to list in the summary")
+    # Serving-scenario knobs shared with serve-sim (fixed to its defaults).
+    p.set_defaults(
+        func=_cmd_trace,
+        mode="disaggregated",
+        rate=2.0,
+        requests=200,
+        arrival="poisson",
+        mtp=False,
+        prefill_gpus=2,
+        decode_gpus=6,
+    )
     return parser
 
 

@@ -17,7 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from .topology import Topology
+
+#: Trace process id for the fabric (flows are tracks inside it).
+_FABRIC_PID = 1
 
 
 @dataclass
@@ -126,14 +130,77 @@ def max_min_rates(
 
 
 class FlowSimulator:
-    """Event-driven max-min fair flow simulator over a topology."""
+    """Event-driven max-min fair flow simulator over a topology.
 
-    def __init__(self, topology: Topology) -> None:
+    Args:
+        topology: The fabric.
+        tracer: Optional :class:`repro.obs.Tracer`; each flow becomes a
+            span (track = flow index) in a "network" trace process and
+            link utilization is sampled as counter events at every
+            allocation re-solve.  Defaults to the zero-cost null tracer.
+        metrics: Optional registry; each ``simulate`` records flow-time
+            histograms, per-solve link-utilization series, and a flow
+            counter into it (fresh per call when not supplied, exposed
+            as ``self.metrics``).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.topology = topology
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._metrics_arg = metrics
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.capacities: dict[tuple[str, str], float] = {}
         for a, b, data in topology.graph.edges(data=True):
             self.capacities[(a, b)] = data["bandwidth"]
             self.capacities[(b, a)] = data["bandwidth"]
+
+    def _sample_utilization(
+        self, now: float, active: dict[int, Flow], rates: dict[int, float]
+    ) -> None:
+        """Record mean/max utilization across links carrying traffic."""
+        load: dict[tuple[str, str], float] = {}
+        for idx, flow in active.items():
+            rate = rates.get(idx, 0.0)
+            if rate == float("inf"):
+                continue
+            for edge in flow.edges:
+                load[edge] = load.get(edge, 0.0) + rate
+        if not load:
+            return
+        utils = [min(1.0, load[e] / self.capacities[e]) for e in load]
+        mean_util = sum(utils) / len(utils)
+        max_util = max(utils)
+        self.metrics.series("network.link_utilization.mean").record(now, mean_util)
+        self.metrics.series("network.link_utilization.max").record(now, max_util)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "link_utilization", _FABRIC_PID, now,
+                {"mean": mean_util, "max": max_util, "links": float(len(load))},
+            )
+
+    def _record_flows(self, flows: list[Flow], completion: dict[int, float]) -> None:
+        """Emit per-flow spans and completion-time metrics."""
+        times = self.metrics.histogram("network.flow_time_s")
+        self.metrics.counter("network.flows").inc(len(flows))
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.process(_FABRIC_PID, "network")
+        for idx, flow in enumerate(flows):
+            t = completion.get(idx)
+            if t is None or t == float("inf"):
+                continue
+            times.observe(t)
+            if tracer.enabled:
+                name = flow.tag or f"{flow.src}->{flow.dst}"
+                tracer.complete(
+                    name, "flow", _FABRIC_PID, idx, 0.0, t,
+                    args={"bytes": flow.size, "hops": len(flow.edges)},
+                )
 
     def simulate(
         self,
@@ -166,6 +233,9 @@ class FlowSimulator:
         """
         if mode not in ("event", "fixed", "drain"):
             raise ValueError(f"unknown mode {mode!r}")
+        self.metrics = (
+            self._metrics_arg if self._metrics_arg is not None else MetricsRegistry()
+        )
         remaining = {i: f.size for i, f in enumerate(flows) if f.size > 0}
         if mode == "drain":
             traffic: dict[tuple[str, str], float] = {}
@@ -183,14 +253,17 @@ class FlowSimulator:
                 own = max((traffic[e] / self.capacities[e] for e in f.edges), default=0.0)
                 completion[i] = f.latency + (own if f.size > 0 else 0.0)
             makespan = drain + max((f.latency for f in flows), default=0.0)
+            self._record_flows(flows, completion)
             return FlowResult(completion=completion, makespan=makespan, rates={})
         if mode == "fixed":
             rates = max_min_rates({i: flows[i] for i in remaining}, self.capacities)
+            self._sample_utilization(0.0, {i: flows[i] for i in remaining}, rates)
             completion = {}
             for i, f in enumerate(flows):
                 transfer = remaining[i] / rates[i] if i in remaining else 0.0
                 completion[i] = f.latency + transfer
             makespan = max(completion.values(), default=0.0)
+            self._record_flows(flows, completion)
             return FlowResult(completion=completion, makespan=makespan, rates=rates)
         completion = {i: flows[i].latency for i, f in enumerate(flows) if f.size == 0}
         initial_rates: dict[int, float] = {}
@@ -199,6 +272,7 @@ class FlowSimulator:
         while remaining:
             active = {i: flows[i] for i in remaining}
             rates = max_min_rates(active, self.capacities)
+            self._sample_utilization(now, active, rates)
             if first:
                 initial_rates = dict(rates)
                 first = False
@@ -212,4 +286,5 @@ class FlowSimulator:
                 completion[i] = now + flows[i].latency
                 del remaining[i]
         makespan = max(completion.values(), default=0.0)
+        self._record_flows(flows, completion)
         return FlowResult(completion=completion, makespan=makespan, rates=initial_rates)

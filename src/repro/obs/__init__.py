@@ -1,0 +1,42 @@
+"""Unified tracing + metrics for the simulators (observability layer).
+
+The paper's co-design arguments are about *where time goes* — decode
+steps stuck behind prefill bursts (§2.3.1), all-to-all dominating the
+decode slot (§2.3.2), links saturating under routing collisions (§4.3).
+This package makes those visible: every simulator accepts an optional
+:class:`Tracer` (span events on the simulated clock, exported as Chrome
+trace-event JSON for ``chrome://tracing``/Perfetto) and keeps its
+quantitative channels in a :class:`MetricsRegistry` (counters, gauges,
+time series, streaming-percentile histograms).
+
+Instrumentation defaults to :data:`NULL_TRACER`, a null object whose
+recording methods are no-ops, so an uninstrumented run pays ~nothing.
+``repro trace --scenario serving|network|training`` runs a scenario
+with tracing on, writes the ``.trace.json`` and prints a span/metric
+summary.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    TimeSeries,
+)
+from .summary import print_table, print_trace_summary
+from .trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "TimeSeries",
+    "print_table",
+    "print_trace_summary",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+]

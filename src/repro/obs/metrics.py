@@ -1,0 +1,247 @@
+"""Counters, gauges, time series and streaming histograms.
+
+The simulators in this repository produce *distributions* (tail
+latency is the whole point of §2.3.1's disaggregation argument), but
+storing every sample does not scale to long runs.  :class:`Histogram`
+keeps geometric buckets — ``growth`` controls the relative resolution —
+so p50/p95/p99 come out within a known relative error bound of the
+exact percentiles at O(buckets) memory, independent of sample count.
+
+Everything lives in a :class:`MetricsRegistry`: a flat, lazily-created
+namespace of instruments.  Instruments are plain Python objects with
+O(1) updates, cheap enough to leave permanently wired into simulator
+hot paths; :meth:`MetricsRegistry.snapshot` renders the whole registry
+as a JSON-friendly dict for reports and baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class Counter:
+    """Monotonically increasing count (events, tokens, preemptions)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value of an instantaneous quantity."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class TimeSeries:
+    """Recorded ``(time, value)`` samples of one channel.
+
+    This is the generic replacement for the simulator's original
+    hard-coded ``queue_depth_trace``/``kv_occupancy_trace`` lists: any
+    subsystem can open a channel by name and sample it on its own
+    clock.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    @property
+    def values(self) -> list[float]:
+        return [v for _, v in self.samples]
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Percentile summary of a histogram (same shape as LatencyStats)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+
+class Histogram:
+    """Streaming histogram with geometric buckets.
+
+    Positive samples land in bucket ``floor(log(v) / log(growth))``;
+    a percentile estimate returns the geometric midpoint of the bucket
+    holding that rank, so its relative error is bounded by
+    ``sqrt(growth) - 1`` (≈1% at the default ``growth=1.02``) — without
+    retaining any samples.  Non-positive samples are counted in a
+    dedicated underflow bucket reported as 0.0 (latencies and sizes are
+    non-negative; an exact zero is meaningful, e.g. zero queueing).
+    """
+
+    __slots__ = ("name", "growth", "_log_growth", "_buckets", "_zero", "count", "total", "_min", "_max")
+
+    def __init__(self, name: str, growth: float = 1.02) -> None:
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        self.name = name
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: dict[int, int] = {}
+        self._zero = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if value <= 0.0:
+            self._zero += 1
+            return
+        index = math.floor(math.log(value) / self._log_growth)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``).
+
+        Uses the nearest-rank definition over bucket counts; the exact
+        observed min/max are returned at the extremes so the estimate
+        never leaves the sample range.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        if rank <= self._zero:
+            return 0.0
+        seen = self._zero
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                # Geometric midpoint of [growth^i, growth^(i+1)).
+                mid = self.growth ** (index + 0.5)
+                return min(max(mid, self._min), self._max)
+        return self._max
+
+    def summary(self) -> HistogramSummary:
+        return HistogramSummary(
+            count=self.count,
+            mean=self.mean,
+            p50=self.percentile(50),
+            p95=self.percentile(95),
+            p99=self.percentile(99),
+            max=self.max,
+        )
+
+
+class MetricsRegistry:
+    """Flat namespace of instruments, created on first use.
+
+    A name is bound to exactly one instrument kind for the lifetime of
+    the registry — asking for ``counter("x")`` after ``gauge("x")`` is
+    a bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, factory, kind: type):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"{name!r} is already a {type(instrument).__name__}, not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def series(self, name: str) -> TimeSeries:
+        return self._get(name, TimeSeries, TimeSeries)
+
+    def histogram(self, name: str, growth: float = 1.02) -> Histogram:
+        return self._get(name, lambda n: Histogram(n, growth=growth), Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self):
+        return iter(sorted(self._instruments.items()))
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-friendly dump of every instrument, sorted by name."""
+        out: dict[str, object] = {}
+        for name, instrument in self:
+            if isinstance(instrument, (Counter, Gauge)):
+                out[name] = instrument.value
+            elif isinstance(instrument, TimeSeries):
+                out[name] = [[t, v] for t, v in instrument.samples]
+            elif isinstance(instrument, Histogram):
+                s = instrument.summary()
+                out[name] = {
+                    "count": s.count,
+                    "mean": s.mean,
+                    "p50": s.p50,
+                    "p95": s.p95,
+                    "p99": s.p99,
+                    "max": s.max,
+                }
+        return out
+
+    def rows(self) -> list[list[object]]:
+        """Table rows (name, kind, value summary) for human output."""
+        rows: list[list[object]] = []
+        for name, instrument in self:
+            if isinstance(instrument, Counter):
+                rows.append([name, "counter", instrument.value])
+            elif isinstance(instrument, Gauge):
+                rows.append([name, "gauge", instrument.value])
+            elif isinstance(instrument, TimeSeries):
+                rows.append([name, "series", f"{len(instrument.samples)} samples"])
+            elif isinstance(instrument, Histogram):
+                s = instrument.summary()
+                rows.append(
+                    [name, "histogram", f"n={s.count} p50={s.p50:.4g} p99={s.p99:.4g}"]
+                )
+        return rows

@@ -1,0 +1,50 @@
+"""Human-readable rendering of traces and metrics.
+
+:func:`print_table` is the canonical fixed-width table printer — the
+benchmark harness (``benchmarks/_report.py``) re-exports it so bench
+output and ``repro trace`` summaries share one formatter.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print a fixed-width table."""
+    widths = [len(h) for h in headers]
+    cells = [[_fmt(v) for v in row] for row in rows]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in cells:
+        print("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.4g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def print_trace_summary(tracer: Tracer, metrics: MetricsRegistry, top_k: int = 10) -> None:
+    """Print the top-``top_k`` span kinds and every registry metric."""
+    span_rows = tracer.span_rows(top_k)
+    if span_rows:
+        print_table(
+            f"top {len(span_rows)} span kinds by total time",
+            ["span", "count", "total s", "mean s", "max s"],
+            span_rows,
+        )
+    metric_rows = metrics.rows()
+    if metric_rows:
+        print_table("metrics", ["metric", "kind", "value"], metric_rows)

@@ -1,0 +1,166 @@
+"""Span tracer exporting Chrome trace-event JSON.
+
+Events are recorded on the *simulated* clock (seconds) and exported in
+the Trace Event Format understood by ``chrome://tracing`` and Perfetto:
+a JSON array of ``{name, cat, ph, ts, pid, tid, ...}`` dicts with
+timestamps in microseconds.  The convention used across this repo:
+
+* **processes (pid)** are pools / fabrics / trainers — one lane group
+  per hardware entity (named via :meth:`Tracer.process`);
+* **tracks (tid)** are requests / flows / step streams inside it;
+* ``ph="X"`` complete events are spans (queued, prefill, decode,
+  kv_transfer, flow, step), ``ph="C"`` counter events are sampled
+  gauges (queue depth, KV occupancy, link utilization), ``ph="i"``
+  instants mark point events (preemptions, drops).
+
+Everything is appended in simulation order and serialized with sorted
+keys, so a seeded simulation produces a byte-identical trace file —
+pinned by ``tests/test_obs.py``.
+
+:class:`NullTracer` is the null object: the same surface compiled down
+to ``pass``, so instrumentation left in hot paths costs one attribute
+lookup and a no-op call when tracing is off.  Code should accept an
+optional tracer and default to :data:`NULL_TRACER`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Simulated seconds -> trace microseconds (the Chrome ts unit).
+_US = 1e6
+
+
+class Tracer:
+    """Collects trace events; the enabled half of the null-object pair."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    # -- metadata --------------------------------------------------------
+
+    def process(self, pid: int, name: str) -> None:
+        """Name a process lane (a pool, the fabric, a trainer)."""
+        self.events.append(
+            {"name": "process_name", "ph": "M", "ts": 0.0, "pid": pid, "tid": 0,
+             "args": {"name": name}}
+        )
+
+    def thread(self, pid: int, tid: int, name: str) -> None:
+        """Name a track inside a process (a request, a flow)."""
+        self.events.append(
+            {"name": "thread_name", "ph": "M", "ts": 0.0, "pid": pid, "tid": tid,
+             "args": {"name": name}}
+        )
+
+    # -- events ----------------------------------------------------------
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        pid: int,
+        tid: int,
+        start: float,
+        duration: float,
+        args: dict | None = None,
+    ) -> None:
+        """A span: ``start``/``duration`` in simulated seconds."""
+        event = {
+            "name": name, "cat": cat, "ph": "X",
+            "ts": start * _US, "dur": duration * _US,
+            "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(
+        self, name: str, cat: str, pid: int, tid: int, ts: float,
+        args: dict | None = None,
+    ) -> None:
+        """A point event (thread-scoped)."""
+        event = {
+            "name": name, "cat": cat, "ph": "i", "s": "t",
+            "ts": ts * _US, "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(self, name: str, pid: int, ts: float, values: dict[str, float]) -> None:
+        """A sampled gauge; ``values`` maps series label -> value."""
+        self.events.append(
+            {"name": name, "ph": "C", "ts": ts * _US, "pid": pid, "tid": 0,
+             "args": dict(values)}
+        )
+
+    # -- export ----------------------------------------------------------
+
+    def export(self) -> list[dict]:
+        """The Chrome trace-event list (JSON-array flavor)."""
+        return list(self.events)
+
+    def to_json(self) -> str:
+        """Deterministic serialization: sorted keys, compact separators."""
+        return json.dumps(self.events, sort_keys=True, separators=(",", ":")) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        """Write the trace; load the file in chrome://tracing or Perfetto."""
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    def span_rows(self, top_k: int = 10) -> list[list[object]]:
+        """Top-``top_k`` span kinds by total duration (table rows:
+        name, count, total s, mean s, max s)."""
+        agg: dict[str, list[float]] = {}
+        for event in self.events:
+            if event.get("ph") != "X":
+                continue
+            dur = event.get("dur", 0.0) / _US
+            entry = agg.setdefault(event["name"], [0.0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += dur
+            entry[2] = max(entry[2], dur)
+        ranked = sorted(agg.items(), key=lambda kv: (-kv[1][1], kv[0]))[:top_k]
+        return [
+            [name, int(count), total, total / count, peak]
+            for name, (count, total, peak) in ranked
+        ]
+
+
+class NullTracer(Tracer):
+    """No-op tracer: every recording method is a single ``pass``.
+
+    Shares the :class:`Tracer` surface so instrumented code never
+    branches on whether tracing is on; ``enabled`` is the one switch
+    for callers that must avoid *computing* expensive event arguments.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.events = []
+
+    def process(self, pid, name):
+        pass
+
+    def thread(self, pid, tid, name):
+        pass
+
+    def complete(self, name, cat, pid, tid, start, duration, args=None):
+        pass
+
+    def instant(self, name, cat, pid, tid, ts, args=None):
+        pass
+
+    def counter(self, name, pid, ts, values):
+        pass
+
+
+#: Shared default instance — stateless, safe to reuse everywhere.
+NULL_TRACER = NullTracer()

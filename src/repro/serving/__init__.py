@@ -20,7 +20,14 @@ from .scheduler import (
     pick_preemption_victim,
     select_decode_batch,
 )
-from .simulator import COLOCATED, DISAGGREGATED, ServingSimulator, SimConfig
+from .simulator import (
+    COLOCATED,
+    DISAGGREGATED,
+    KV_OCCUPANCY,
+    QUEUE_DEPTH,
+    ServingSimulator,
+    SimConfig,
+)
 from .workload import Request, WorkloadSpec, generate_requests
 
 __all__ = [
@@ -39,6 +46,8 @@ __all__ = [
     "select_decode_batch",
     "COLOCATED",
     "DISAGGREGATED",
+    "KV_OCCUPANCY",
+    "QUEUE_DEPTH",
     "ServingSimulator",
     "SimConfig",
     "Request",

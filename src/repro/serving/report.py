@@ -53,8 +53,17 @@ class SLO:
     tpot: float = 0.1
 
     def met_by(self, request: Request) -> bool:
-        """Whether a completed request satisfied both objectives."""
-        return request.ttft <= self.ttft and request.tpot <= self.tpot
+        """Whether a completed request satisfied both objectives.
+
+        Degenerate requests — a single generated token, so no
+        inter-token gaps (``request.has_tpot`` is False) — have no
+        TPOT to judge: the TPOT objective is vacuously met and only
+        TTFT decides.  This is the explicit form of the previous
+        accidental behavior (TPOT defaulted to 0.0, which always
+        passed) and is pinned by ``tests/test_serving_report.py``.
+        """
+        tpot_ok = request.tpot <= self.tpot if request.has_tpot else True
+        return request.ttft <= self.ttft and tpot_ok
 
 
 @dataclass(frozen=True)
@@ -99,7 +108,14 @@ def build_report(
     queue_trace: list[tuple[float, int]],
     kv_trace: list[tuple[float, float]],
 ) -> SimReport:
-    """Aggregate per-request records into a :class:`SimReport`."""
+    """Aggregate per-request records into a :class:`SimReport`.
+
+    The TPOT distribution is built only from requests where TPOT is
+    defined (two or more generated tokens); degenerate single-token
+    requests would otherwise pull the percentiles toward an artificial
+    0.0.  They still count toward completion, TTFT/E2E and goodput
+    (see :meth:`SLO.met_by`).
+    """
     finished = sorted(finished, key=lambda r: r.rid)
     tokens = sum(r.generated for r in finished)
     slo_met = sum(1 for r in finished if slo.met_by(r))
@@ -111,7 +127,7 @@ def build_report(
         duration=duration,
         tokens_generated=tokens,
         ttft=LatencyStats.from_samples([r.ttft for r in finished]),
-        tpot=LatencyStats.from_samples([r.tpot for r in finished]),
+        tpot=LatencyStats.from_samples([r.tpot for r in finished if r.has_tpot]),
         e2e=LatencyStats.from_samples([r.e2e for r in finished]),
         throughput_tokens_per_s=tokens / duration if duration > 0 else 0.0,
         goodput_requests_per_s=slo_met / duration if duration > 0 else 0.0,

@@ -13,12 +13,21 @@ All stochastic choices (arrivals, lengths, MTP acceptance) come from
 named streams of :func:`repro.core.rng.seeded_generator`, and the event
 heap breaks time ties with a monotone sequence number, so a seed fully
 determines the run: two simulations with the same config produce
-``SimReport``s that compare equal.
+``SimReport``s that compare equal — and, with a
+:class:`repro.obs.Tracer` attached, byte-identical trace files.
 
 Step costs come from :class:`repro.serving.costmodel.StepCostModel`,
 which is calibrated against the analytic rooflines — the simulator
 adds queueing, batching, KV-capacity and tail-latency dynamics on top
 of the closed forms, it does not re-derive the per-step physics.
+
+Observability: quantitative channels (queue depth, KV occupancy,
+counters) live in a :class:`repro.obs.MetricsRegistry`; span-level
+structure (request lifecycle queued → prefill → [kv_transfer] →
+decode → finish, per-pool step batches, preemption instants) goes to
+the tracer, which defaults to the zero-cost
+:data:`repro.obs.NULL_TRACER`.  Pools are trace *processes*; requests
+are *tracks* in a dedicated "requests" process.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..core.rng import seeded_generator
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from .costmodel import StepCostModel
 from .kvpool import KVPoolConfig, PagedKVPool, kv_pool_blocks
 from .report import SLO, SimReport, build_report
@@ -48,6 +58,10 @@ DISAGGREGATED = "disaggregated"
 _ARRIVAL = 0
 _DECODE_ENTER = 1
 _STEP_DONE = 2
+
+#: Registry channel names the report is built from.
+QUEUE_DEPTH = "serving.queue_depth"
+KV_OCCUPANCY = "serving.kv_occupancy"
 
 
 @dataclass(frozen=True)
@@ -101,12 +115,14 @@ class _Pool:
     def __init__(
         self,
         name: str,
+        pid: int,
         num_gpus: int,
         kv: PagedKVPool,
         does_prefill: bool,
         does_decode: bool,
     ) -> None:
         self.name = name
+        self.pid = pid  # trace process id
         self.num_gpus = num_gpus
         self.kv = kv
         self.does_prefill = does_prefill
@@ -117,6 +133,7 @@ class _Pool:
         self.busy = False
         self.current_kind: str | None = None
         self.current_batch: list[Request] = []
+        self.step_start = 0.0
 
     @property
     def decode_cap(self) -> int:
@@ -128,10 +145,27 @@ class _Pool:
 
 
 class ServingSimulator:
-    """Seeded, deterministic request-level serving simulation."""
+    """Seeded, deterministic request-level serving simulation.
 
-    def __init__(self, config: SimConfig) -> None:
+    Args:
+        config: The scenario.
+        tracer: Optional span tracer; defaults to the no-op
+            :data:`repro.obs.NULL_TRACER`.  Use one tracer per ``run``.
+        metrics: Optional metrics registry; a fresh one is created per
+            ``run`` when not supplied, and is available afterwards as
+            ``self.metrics``.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.config = config
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._metrics_arg = metrics
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._mtp_rng = seeded_generator(config.seed, "mtp")
 
     def _make_pools(self) -> tuple[_Pool, ...]:
@@ -158,12 +192,12 @@ class ServingSimulator:
 
         if cfg.mode == COLOCATED:
             gpus = cfg.prefill_gpus + cfg.decode_gpus
-            pool = _Pool("pool", gpus, kv_for(gpus), True, True)
+            pool = _Pool("pool", 1, gpus, kv_for(gpus), True, True)
             pool.set_cap(sched.max_concurrent_per_gpu * gpus)
             return (pool,)
-        prefill = _Pool("prefill", cfg.prefill_gpus, kv_for(cfg.prefill_gpus), True, False)
+        prefill = _Pool("prefill", 1, cfg.prefill_gpus, kv_for(cfg.prefill_gpus), True, False)
         prefill.set_cap(0)
-        decode = _Pool("decode", cfg.decode_gpus, kv_for(cfg.decode_gpus), False, True)
+        decode = _Pool("decode", 2, cfg.decode_gpus, kv_for(cfg.decode_gpus), False, True)
         decode.set_cap(sched.max_concurrent_per_gpu * cfg.decode_gpus)
         return (prefill, decode)
 
@@ -172,9 +206,17 @@ class ServingSimulator:
     def run(self) -> SimReport:
         """Simulate the whole workload and aggregate the report."""
         cfg = self.config
+        tracer = self.tracer
+        metrics = self._metrics_arg if self._metrics_arg is not None else MetricsRegistry()
+        self.metrics = metrics
         pools = self._make_pools()
         prefill_pool = pools[0]
         decode_pool = pools[-1]
+        self._requests_pid = len(pools) + 1
+        for pool in pools:
+            tracer.process(pool.pid, f"pool:{pool.name}")
+            tracer.thread(pool.pid, 0, "steps")
+        tracer.process(self._requests_pid, "requests")
 
         heap: list[tuple[float, int, int, object]] = []
         seq = 0
@@ -190,36 +232,53 @@ class ServingSimulator:
 
         finished: list[Request] = []
         dropped: list[Request] = []
-        self._preemptions = 0
-        self._decode_steps = 0
-        self._prefill_batches = 0
-        self._draft_attempts = 0
-        self._draft_accepted = 0
+        self._counters = {
+            name: metrics.counter(name)
+            for name in (
+                "serving.preemptions",
+                "serving.decode_steps",
+                "serving.prefill_batches",
+                "serving.mtp_draft_attempts",
+                "serving.mtp_draft_accepted",
+                "serving.requests_completed",
+                "serving.requests_dropped",
+            )
+        }
         self._batch_profile: dict[int, tuple[int, float]] = {}
-        queue_trace: list[tuple[float, int]] = []
-        kv_trace: list[tuple[float, float]] = []
+        queue_series = metrics.series(QUEUE_DEPTH)
+        kv_series = metrics.series(KV_OCCUPANCY)
         now = 0.0
 
-        def sample_traces(t: float) -> None:
+        def sample_channels(t: float) -> None:
             depth = sum(len(p.prefill_queue) + len(p.entry_queue) for p in pools)
             occ = sum(p.kv.used_blocks for p in pools) / sum(
                 p.kv.config.total_blocks for p in pools
             )
-            queue_trace.append((t, depth))
-            kv_trace.append((t, occ))
+            queue_series.record(t, depth)
+            kv_series.record(t, occ)
+            if tracer.enabled:
+                for p in pools:
+                    pool_depth = len(p.prefill_queue) + len(p.entry_queue)
+                    pool_occ = p.kv.used_blocks / p.kv.config.total_blocks
+                    tracer.counter("queue_depth", p.pid, t, {"requests": pool_depth})
+                    tracer.counter("kv_occupancy", p.pid, t, {"fraction": pool_occ})
+                    tracer.counter("active_streams", p.pid, t, {"requests": len(p.active)})
 
         while heap:
             now, kind, _, payload = heapq.heappop(heap)
             if kind == _ARRIVAL:
                 assert isinstance(payload, Request)
+                payload.queued_since = now
                 prefill_pool.prefill_queue.append(payload)
+                if tracer.enabled:
+                    tracer.thread(self._requests_pid, payload.rid, f"req{payload.rid}")
             elif kind == _DECODE_ENTER:
                 assert isinstance(payload, Request)
                 decode_pool.entry_queue.append(payload)
             else:
                 assert isinstance(payload, _Pool)
                 self._finish_step(payload, now, pools, finished, push)
-                sample_traces(now)
+                sample_channels(now)
             for pool in pools:
                 self._try_start(pool, now, pools, dropped, push)
 
@@ -228,13 +287,13 @@ class ServingSimulator:
             finished,
             cfg.slo,
             duration,
-            self._preemptions,
-            self._decode_steps,
-            self._prefill_batches,
-            self._draft_attempts,
-            self._draft_accepted,
-            queue_trace,
-            kv_trace,
+            int(self._counters["serving.preemptions"].value),
+            int(self._counters["serving.decode_steps"].value),
+            int(self._counters["serving.prefill_batches"].value),
+            int(self._counters["serving.mtp_draft_attempts"].value),
+            int(self._counters["serving.mtp_draft_accepted"].value),
+            queue_series.samples,
+            kv_series.samples,
         )
         self.decode_batch_profile = tuple(
             (batch, count, total / count)
@@ -242,6 +301,23 @@ class ServingSimulator:
         )
         self.dropped = tuple(r.rid for r in dropped)
         return report
+
+    # -- per-request trace helpers ---------------------------------------
+
+    def _span(self, name: str, request: Request, start: float, end: float, **args) -> None:
+        self.tracer.complete(
+            name, "request", self._requests_pid, request.rid, start, end - start,
+            args=args or None,
+        )
+
+    def _drop(self, request: Request, now: float, dropped: list[Request]) -> None:
+        dropped.append(request)
+        self._counters["serving.requests_dropped"].inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "drop", "request", self._requests_pid, request.rid, now,
+                args={"context_tokens": request.context_tokens},
+            )
 
     # -- scheduling ------------------------------------------------------
 
@@ -256,7 +332,8 @@ class ServingSimulator:
         if pool.busy:
             return
         cfg = self.config
-        self._admit_entrants(pool, dropped)
+        tracer = self.tracer
+        self._admit_entrants(pool, now, dropped)
         if pool.does_prefill and pool.prefill_queue:
             decode_pool = pools[-1]
             inflight = len(decode_pool.active) + len(decode_pool.entry_queue)
@@ -267,7 +344,7 @@ class ServingSimulator:
                 head = pool.prefill_queue[0]
                 if pool.kv.blocks_for(head.context_tokens + 1) > pool.kv.config.total_blocks:
                     # Larger than the whole pool: can never fit, drop it.
-                    dropped.append(pool.prefill_queue.popleft())
+                    self._drop(pool.prefill_queue.popleft(), now, dropped)
                     return self._try_start(pool, now, pools, dropped, push)
             if batch:
                 tokens = sum(r.context_tokens for r in batch)
@@ -275,7 +352,11 @@ class ServingSimulator:
                 pool.busy = True
                 pool.current_kind = "prefill"
                 pool.current_batch = batch
-                self._prefill_batches += 1
+                pool.step_start = now
+                self._counters["serving.prefill_batches"].inc()
+                if tracer.enabled:
+                    for request in batch:
+                        self._span("queued", request, request.queued_since, now)
                 push(now + duration, _STEP_DONE, pool)
                 return
         if pool.does_decode and pool.active:
@@ -287,20 +368,22 @@ class ServingSimulator:
             pool.busy = True
             pool.current_kind = "decode"
             pool.current_batch = batch
-            self._decode_steps += 1
+            pool.step_start = now
+            self._counters["serving.decode_steps"].inc()
             count, total = self._batch_profile.get(len(batch), (0, 0.0))
             self._batch_profile[len(batch)] = (count + 1, total + duration)
             push(now + duration, _STEP_DONE, pool)
 
-    def _admit_entrants(self, pool: _Pool, dropped: list[Request]) -> None:
+    def _admit_entrants(self, pool: _Pool, now: float, dropped: list[Request]) -> None:
         while pool.entry_queue and len(pool.active) < pool.decode_cap:
             head = pool.entry_queue[0]
             if not pool.kv.allocate(head.rid, head.context_tokens + 1):
                 if pool.kv.blocks_for(head.context_tokens + 1) > pool.kv.config.total_blocks:
-                    dropped.append(pool.entry_queue.popleft())
+                    self._drop(pool.entry_queue.popleft(), now, dropped)
                     continue
                 break
             pool.entry_queue.popleft()
+            head.decode_since = now
             pool.active.append(head)
 
     # -- step completion -------------------------------------------------
@@ -314,50 +397,104 @@ class ServingSimulator:
         push,
     ) -> None:
         cfg = self.config
+        tracer = self.tracer
         batch, kind = pool.current_batch, pool.current_kind
+        start = pool.step_start
         pool.busy = False
         pool.current_batch, pool.current_kind = [], None
         if kind == "prefill":
+            if tracer.enabled:
+                tracer.complete(
+                    "prefill", "step", pool.pid, 0, start, now - start,
+                    args={
+                        "requests": len(batch),
+                        "tokens": sum(r.context_tokens for r in batch),
+                    },
+                )
             for request in batch:
                 request.prefill_runs += 1
+                if tracer.enabled:
+                    self._span(
+                        "prefill", request, start, now, tokens=request.prompt_tokens
+                    )
                 if request.generated == 0:
                     request.first_token_time = now
                     request.generated = 1
                 if request.generated >= request.output_tokens:
-                    request.finish_time = now
-                    pool.kv.free(request.rid)
-                    finished.append(request)
+                    self._finish_request(request, now, pool, finished, from_active=False)
                 elif cfg.mode == COLOCATED:
+                    request.decode_since = now
                     pool.active.append(request)
                 else:
                     pool.kv.free(request.rid)  # cache migrates to decode pool
                     delay = cfg.costs.kv_transfer_time(request.context_tokens)
+                    if tracer.enabled:
+                        self._span(
+                            "kv_transfer", request, now, now + delay,
+                            tokens=request.context_tokens,
+                        )
                     push(now + delay, _DECODE_ENTER, request)
             return
         # Decode step: emit tokens, grow KV, preempt on exhaustion.
+        if tracer.enabled:
+            tracer.complete(
+                "decode_step", "step", pool.pid, 0, start, now - start,
+                args={"batch": len(batch)},
+            )
         mtp = cfg.costs.mtp
         for request in sorted(batch, key=lambda r: r.rid):
             if request not in pool.active:
                 continue  # preempted earlier in this loop
             emit = 1
             if mtp.enabled and request.generated + 1 < request.output_tokens:
-                self._draft_attempts += 1
+                self._counters["serving.mtp_draft_attempts"].inc()
                 if self._mtp_rng.uniform() < mtp.acceptance_rate:
-                    self._draft_accepted += 1
+                    self._counters["serving.mtp_draft_accepted"].inc()
                     emit = 2
             request.generated = min(request.output_tokens, request.generated + emit)
             if request.generated >= request.output_tokens:
-                request.finish_time = now
-                pool.kv.free(request.rid)
                 pool.active.remove(request)
-                finished.append(request)
+                self._finish_request(request, now, pool, finished, from_active=True)
                 continue
             while not pool.kv.extend(request.rid, request.context_tokens + 1):
                 victim = pick_preemption_victim(pool.active)
                 pool.kv.free(victim.rid)
                 pool.active.remove(victim)
-                self._preemptions += 1
+                self._counters["serving.preemptions"].inc()
+                if tracer.enabled:
+                    self._span(
+                        "decode", victim, victim.decode_since, now,
+                        tokens=victim.generated, preempted=True,
+                    )
+                    tracer.instant(
+                        "preempt", "request", self._requests_pid, victim.rid, now,
+                        args={"generated": victim.generated},
+                    )
                 target = pools[0]  # recompute re-runs prefill (front of queue)
+                victim.queued_since = now
                 target.prefill_queue.appendleft(victim)
                 if victim is request:
                     break
+
+    def _finish_request(
+        self,
+        request: Request,
+        now: float,
+        pool: _Pool,
+        finished: list[Request],
+        from_active: bool,
+    ) -> None:
+        request.finish_time = now
+        pool.kv.free(request.rid)
+        finished.append(request)
+        self._counters["serving.requests_completed"].inc()
+        if self.tracer.enabled:
+            if from_active and request.decode_since >= 0:
+                self._span(
+                    "decode", request, request.decode_since, now,
+                    tokens=request.generated,
+                )
+            self.tracer.instant(
+                "finish", "request", self._requests_pid, request.rid, now,
+                args={"generated": request.generated},
+            )

@@ -39,6 +39,8 @@ class Request:
     finish_time: float = -1.0
     generated: int = 0
     prefill_runs: int = 0  # >1 means the request was preempted and recomputed
+    queued_since: float = -1.0  # start of the current wait (arrival or requeue)
+    decode_since: float = -1.0  # when the request last entered a decode pool
 
     @property
     def ttft(self) -> float:
@@ -51,9 +53,22 @@ class Request:
         return self.finish_time - self.arrival
 
     @property
+    def has_tpot(self) -> bool:
+        """Whether TPOT is defined: a request with fewer than two
+        generated tokens has no inter-token gaps to average."""
+        return self.generated >= 2
+
+    @property
     def tpot(self) -> float:
-        """Mean time per output token after the first (valid once done)."""
-        return (self.finish_time - self.first_token_time) / max(1, self.generated - 1)
+        """Mean time per output token after the first (valid once done).
+
+        Degenerate single-token requests (``has_tpot`` is False) return
+        0.0 by definition; reports exclude them from TPOT distributions
+        and treat the TPOT objective as vacuously met.
+        """
+        if not self.has_tpot:
+            return 0.0
+        return (self.finish_time - self.first_token_time) / (self.generated - 1)
 
     @property
     def context_tokens(self) -> int:

@@ -11,11 +11,13 @@ differs; the deliverable is the relative loss gap.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..autograd.optim import AdamW
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..model.config import ModelConfig, TINY_MLA_MOE
 from .data import SyntheticCorpus, batch_iterator, markov_corpus
 from .model import TrainableTransformer
@@ -28,6 +30,7 @@ class TrainResult:
 
     policy_name: str
     losses: list[float] = field(default_factory=list)
+    metrics: MetricsRegistry | None = field(default=None, repr=False, compare=False)
 
     @property
     def final_loss(self) -> float:
@@ -46,18 +49,50 @@ def train(
     seq_len: int = 32,
     lr: float = 3e-3,
     data_seed: int = 0,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> TrainResult:
-    """Train ``model`` on ``corpus`` and record the loss curve."""
+    """Train ``model`` on ``corpus`` and record the loss curve.
+
+    With a tracer attached, each optimizer step becomes a span in a
+    "trainer" trace process on the *step-index* clock (1 simulated
+    second per step — deterministic, unlike wall time) with the loss as
+    a counter track.  The registry records per-step wall-clock timing
+    (``train.step_seconds`` histogram), the loss curve as a series and
+    token/step counters.
+    """
     if steps < 1:
         raise ValueError("steps must be positive")
+    tracer = NULL_TRACER if tracer is None else tracer
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    tracer.process(1, f"trainer:{model.policy.name}")
+    step_counter = metrics.counter("train.steps")
+    token_counter = metrics.counter("train.tokens")
+    step_seconds = metrics.histogram("train.step_seconds")
+    loss_series = metrics.series("train.loss")
     optimizer = AdamW(model.parameters(), lr=lr, weight_decay=0.01)
     result = TrainResult(policy_name=model.policy.name)
-    for batch in batch_iterator(corpus, batch_size, seq_len, steps, seed=data_seed):
+    result.metrics = metrics
+    for step, batch in enumerate(
+        batch_iterator(corpus, batch_size, seq_len, steps, seed=data_seed)
+    ):
+        wall_start = time.perf_counter()
         breakdown = model.loss(batch)
         optimizer.zero_grad()
         breakdown.total.backward()
         optimizer.step()
-        result.losses.append(float(breakdown.total.data))
+        loss = float(breakdown.total.data)
+        result.losses.append(loss)
+        step_counter.inc()
+        token_counter.inc(batch_size * seq_len)
+        step_seconds.observe(time.perf_counter() - wall_start)
+        loss_series.record(float(step), loss)
+        if tracer.enabled:
+            tracer.complete(
+                "step", "train", 1, 0, float(step), 1.0,
+                args={"loss": loss, "step": step},
+            )
+            tracer.counter("loss", 1, float(step), {"loss": loss})
     return result
 
 

@@ -44,6 +44,7 @@ def test_parameter_table_drops_empty_components():
         ["budget", "--tokens", "1.0"],
         ["serve-sim", "--smoke"],
         ["serve-sim", "--smoke", "--mode", "colocated", "--mtp", "--arrival", "bursty"],
+        ["serve-sim", "--smoke", "--json"],
     ],
 )
 def test_cli_commands_run(argv, capsys):

@@ -1,0 +1,55 @@
+"""CLI: ``repro trace`` and ``serve-sim --json``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_trace_serving_writes_valid_deterministic_chrome_trace(tmp_path, capsys):
+    paths = [tmp_path / "a.trace.json", tmp_path / "b.trace.json"]
+    for path in paths:
+        assert main(["trace", "--scenario", "serving", "--smoke", "--out", str(path)]) == 0
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+    events = json.loads(paths[0].read_text())
+    assert isinstance(events, list) and events
+    for event in events:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+    assert any(e["ph"] == "X" for e in events)
+    out = capsys.readouterr().out
+    assert "span" in out and "metrics" in out
+    assert "chrome://tracing" in out
+
+
+@pytest.mark.parametrize("scenario", ["network", "training"])
+def test_trace_other_scenarios_smoke(scenario, tmp_path, capsys):
+    path = tmp_path / f"{scenario}.trace.json"
+    assert main(["trace", "--scenario", scenario, "--smoke", "--out", str(path)]) == 0
+    events = json.loads(path.read_text())
+    assert any(e["ph"] == "X" for e in events)
+    assert scenario in capsys.readouterr().out
+
+
+def test_trace_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["trace", "--scenario", "quantum"])
+
+
+def test_serve_sim_json_is_machine_readable(capsys):
+    assert main(["serve-sim", "--smoke", "--json", "--seed", "3"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["completed"] == 40
+    assert set(report["ttft"]) == {"mean", "p50", "p95", "p99", "max"}
+    assert report["throughput_tokens_per_s"] > 0
+    # Traces serialize as JSON arrays of [time, value] pairs.
+    assert isinstance(report["queue_depth_trace"], list)
+    assert len(report["queue_depth_trace"][0]) == 2
+
+
+def test_serve_sim_json_matches_table_run(capsys):
+    assert main(["serve-sim", "--smoke", "--json", "--seed", "3"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(["serve-sim", "--smoke", "--json", "--seed", "3"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert first == second

@@ -1,0 +1,292 @@
+"""Observability layer (repro.obs): metrics, tracer, simulator wiring."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.network import ENDPOINT_LINK, Flow, FlowSimulator, Topology
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+)
+from repro.serving import KV_OCCUPANCY, QUEUE_DEPTH, ServingSimulator, SimConfig, WorkloadSpec
+
+
+def _smoke_config(**overrides) -> SimConfig:
+    workload = overrides.pop(
+        "workload",
+        WorkloadSpec(
+            request_rate=4.0,
+            num_requests=40,
+            prompt_mean=256,
+            prompt_cv=0.3,
+            output_mean=64,
+            output_cv=0.3,
+        ),
+    )
+    return SimConfig(workload=workload, **overrides)
+
+
+# -- metrics registry ------------------------------------------------------
+
+
+def test_counter_gauge_series_basics():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.counter("c").inc(2.5)
+    registry.gauge("g").set(7)
+    registry.series("s").record(0.0, 1.0)
+    registry.series("s").record(1.0, 3.0)
+    snap = registry.snapshot()
+    assert snap["c"] == 3.5
+    assert snap["g"] == 7.0
+    assert snap["s"] == [[0.0, 1.0], [1.0, 3.0]]
+    assert "c" in registry and "missing" not in registry
+
+
+def test_counter_rejects_decrement():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1)
+
+
+def test_registry_rejects_kind_change():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_registry_rows_and_snapshot_cover_all_kinds():
+    registry = MetricsRegistry()
+    registry.counter("a").inc()
+    registry.gauge("b").set(1.0)
+    registry.series("c").record(0.0, 0.0)
+    registry.histogram("d").observe(1.0)
+    rows = registry.rows()
+    assert [r[1] for r in rows] == ["counter", "gauge", "series", "histogram"]
+    assert set(registry.snapshot()) == {"a", "b", "c", "d"}
+
+
+# -- streaming histogram ---------------------------------------------------
+
+
+@pytest.mark.parametrize("dist", ["lognormal", "uniform", "exponential"])
+def test_histogram_percentiles_match_numpy(dist):
+    rng = np.random.default_rng(42)
+    samples = {
+        "lognormal": rng.lognormal(mean=-2.0, sigma=1.2, size=20_000),
+        "uniform": rng.uniform(0.5, 50.0, size=20_000),
+        "exponential": rng.exponential(3.0, size=20_000),
+    }[dist]
+    hist = Histogram("h", growth=1.02)
+    for value in samples:
+        hist.observe(float(value))
+    for q in (50, 90, 95, 99):
+        exact = float(np.percentile(samples, q))
+        estimate = hist.percentile(q)
+        # Geometric buckets bound the relative error by ~sqrt(growth)-1;
+        # allow 2% for rank discretization on top.
+        assert abs(estimate - exact) / exact < 0.02, (q, estimate, exact)
+    assert hist.count == len(samples)
+    assert hist.mean == pytest.approx(float(np.mean(samples)))
+    assert hist.max == pytest.approx(float(np.max(samples)))
+
+
+def test_histogram_zero_and_extremes():
+    hist = Histogram("h")
+    assert hist.percentile(50) == 0.0  # empty
+    for _ in range(90):
+        hist.observe(0.0)
+    for _ in range(10):
+        hist.observe(5.0)
+    assert hist.percentile(50) == 0.0
+    assert hist.percentile(99) == pytest.approx(5.0, rel=0.02)
+    assert hist.min == 0.0 and hist.max == 5.0
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+    with pytest.raises(ValueError):
+        Histogram("h", growth=1.0)
+
+
+def test_histogram_summary_is_ordered():
+    hist = Histogram("h")
+    rng = np.random.default_rng(0)
+    for value in rng.exponential(1.0, size=5_000):
+        hist.observe(float(value))
+    s = hist.summary()
+    assert 0 < s.p50 <= s.p95 <= s.p99 <= s.max
+    assert s.count == 5_000
+
+
+# -- tracer ----------------------------------------------------------------
+
+
+def test_tracer_events_are_valid_chrome_trace(tmp_path):
+    tracer = Tracer()
+    tracer.process(1, "pool")
+    tracer.thread(1, 0, "steps")
+    tracer.complete("work", "step", 1, 0, 0.5, 0.25, args={"batch": 3})
+    tracer.instant("mark", "step", 1, 0, 1.0)
+    tracer.counter("depth", 1, 1.0, {"requests": 2})
+    path = tracer.write(tmp_path / "t.trace.json")
+    events = json.loads(path.read_text())
+    assert isinstance(events, list) and len(events) == 5
+    for event in events:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+    spans = [e for e in events if e["ph"] == "X"]
+    assert spans[0]["ts"] == pytest.approx(0.5e6)  # seconds -> microseconds
+    assert spans[0]["dur"] == pytest.approx(0.25e6)
+
+
+def test_tracer_span_rows_rank_by_total_time():
+    tracer = Tracer()
+    for _ in range(3):
+        tracer.complete("short", "c", 1, 0, 0.0, 1.0)
+    tracer.complete("long", "c", 1, 0, 0.0, 10.0)
+    rows = tracer.span_rows(top_k=1)
+    assert rows == [["long", 1, 10.0, 10.0, 10.0]]
+    rows = tracer.span_rows()
+    assert [r[0] for r in rows] == ["long", "short"]
+    assert rows[1][1:] == [3, 3.0, 1.0, 1.0]
+
+
+def test_null_tracer_records_nothing():
+    tracer = NullTracer()
+    assert not tracer.enabled and NULL_TRACER.enabled is False
+    tracer.process(1, "p")
+    tracer.thread(1, 0, "t")
+    tracer.complete("a", "b", 1, 0, 0.0, 1.0)
+    tracer.instant("a", "b", 1, 0, 0.0)
+    tracer.counter("a", 1, 0.0, {"v": 1})
+    assert tracer.events == []
+    assert tracer.export() == []
+    assert tracer.span_rows() == []
+
+
+# -- serving simulator wiring ---------------------------------------------
+
+
+def test_serving_trace_is_deterministic(tmp_path):
+    paths = []
+    for i in (1, 2):
+        tracer = Tracer()
+        ServingSimulator(_smoke_config(mode="disaggregated", seed=7), tracer=tracer).run()
+        paths.append(tracer.write(tmp_path / f"run{i}.trace.json"))
+    first, second = (p.read_bytes() for p in paths)
+    assert first == second
+    events = json.loads(first)
+    assert {"name", "ph", "ts", "pid", "tid"} <= set(events[0])
+    names = {e["name"] for e in events}
+    assert {"queued", "prefill", "kv_transfer", "decode", "decode_step", "finish"} <= names
+    pools = {
+        e["args"]["name"] for e in events if e["name"] == "process_name"
+    }
+    assert pools == {"pool:prefill", "pool:decode", "requests"}
+
+
+def test_instrumentation_does_not_perturb_simulation():
+    config = _smoke_config(seed=3)
+    plain = ServingSimulator(config).run()
+    traced = ServingSimulator(config, tracer=Tracer()).run()
+    assert plain == traced
+
+
+def test_simulator_metrics_registry_matches_report():
+    simulator = ServingSimulator(_smoke_config(seed=9))
+    report = simulator.run()
+    snap = simulator.metrics.snapshot()
+    assert snap["serving.requests_completed"] == report.completed
+    assert snap["serving.decode_steps"] == report.decode_steps
+    assert snap["serving.prefill_batches"] == report.prefill_batches
+    assert snap["serving.preemptions"] == report.preemptions
+    # The report's traces are the registry's generic channels.
+    assert [tuple(s) for s in snap[QUEUE_DEPTH]] == list(report.queue_depth_trace)
+    assert [tuple(s) for s in snap[KV_OCCUPANCY]] == list(report.kv_occupancy_trace)
+
+
+def test_preemption_emits_instants():
+    workload = WorkloadSpec(
+        request_rate=50.0,
+        num_requests=24,
+        prompt_mean=192,
+        prompt_cv=0.0,
+        output_mean=96,
+        output_cv=0.0,
+    )
+    tracer = Tracer()
+    report = ServingSimulator(
+        _smoke_config(workload=workload, kv_blocks_per_gpu=12, seed=11), tracer=tracer
+    ).run()
+    assert report.preemptions > 0
+    preempts = [e for e in tracer.events if e["name"] == "preempt"]
+    assert len(preempts) == report.preemptions
+
+
+# -- network simulator wiring ---------------------------------------------
+
+
+def _line_topology(bandwidths):
+    topo = Topology("line")
+    topo.add_host("a")
+    topo.add_switch("s0")
+    topo.add_switch("s1")
+    topo.add_host("b")
+    names = ["a", "s0", "s1", "b"]
+    for (x, y), bw in zip(zip(names[:-1], names[1:]), bandwidths):
+        topo.add_link(x, y, bw, ENDPOINT_LINK)
+    return topo
+
+
+def test_flowsim_emits_flow_spans_and_utilization():
+    topo = _line_topology([10e9, 10e9, 10e9])
+    tracer = Tracer()
+    sim = FlowSimulator(topo, tracer=tracer)
+    flows = [
+        Flow("a", "b", 10e9, ["a", "s0", "s1", "b"], tag="big"),
+        Flow("a", "b", 5e9, ["a", "s0", "s1", "b"]),
+    ]
+    result = sim.simulate(flows)
+    spans = {e["name"]: e for e in tracer.events if e["ph"] == "X"}
+    assert set(spans) == {"big", "a->b"}
+    assert spans["big"]["dur"] == pytest.approx(result.completion[0] * 1e6)
+    snap = sim.metrics.snapshot()
+    assert snap["network.flows"] == 2
+    assert snap["network.flow_time_s"]["count"] == 2
+    # Two equal-demand flows saturate the shared links: utilization 1.
+    assert snap["network.link_utilization.mean"][0][1] == pytest.approx(1.0)
+    utils = [e for e in tracer.events if e["name"] == "link_utilization"]
+    assert utils and utils[0]["args"]["max"] == pytest.approx(1.0)
+
+
+def test_flowsim_metrics_fresh_per_simulate():
+    topo = _line_topology([10e9, 10e9, 10e9])
+    sim = FlowSimulator(topo)
+    flow = [Flow("a", "b", 1e9, ["a", "s0", "s1", "b"])]
+    sim.simulate(flow)
+    sim.simulate(flow)
+    assert sim.metrics.snapshot()["network.flows"] == 1
+
+
+# -- trainer wiring --------------------------------------------------------
+
+
+def test_trainer_records_steps_and_losses():
+    from repro.model.config import TINY_MLA_MOE
+    from repro.training import TrainableTransformer, markov_corpus, train
+
+    corpus = markov_corpus(TINY_MLA_MOE.vocab_size, 1_000, seed=0)
+    model = TrainableTransformer(TINY_MLA_MOE, seed=0)
+    tracer = Tracer()
+    result = train(model, corpus, steps=3, tracer=tracer)
+    snap = result.metrics.snapshot()
+    assert snap["train.steps"] == 3
+    assert snap["train.step_seconds"]["count"] == 3
+    assert [v for _, v in snap["train.loss"]] == result.losses
+    steps = [e for e in tracer.events if e["ph"] == "X" and e["name"] == "step"]
+    assert len(steps) == 3
+    assert steps[0]["args"]["loss"] == pytest.approx(result.losses[0])

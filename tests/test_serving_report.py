@@ -1,0 +1,88 @@
+"""Report semantics: degenerate (single-token) requests, SLO rules."""
+
+import pytest
+
+from repro.serving import SLO, ServingSimulator, SimConfig, WorkloadSpec, build_report
+from repro.serving.workload import Request
+
+
+def _completed(rid, arrival, first_token, finish, generated) -> Request:
+    return Request(
+        rid=rid,
+        arrival=arrival,
+        prompt_tokens=64,
+        output_tokens=generated,
+        first_token_time=first_token,
+        finish_time=finish,
+        generated=generated,
+    )
+
+
+def test_single_token_request_has_no_tpot():
+    request = _completed(0, 0.0, 1.0, 1.0, generated=1)
+    assert not request.has_tpot
+    assert request.tpot == 0.0
+    assert request.ttft == 1.0
+
+
+def test_slo_tpot_is_vacuous_for_degenerate_requests():
+    slo = SLO(ttft=2.0, tpot=0.1)
+    # One generated token, fast TTFT: counts as SLO-met (TTFT decides).
+    assert slo.met_by(_completed(0, 0.0, 1.0, 1.0, generated=1))
+    # One generated token, slow TTFT: TTFT still gates it.
+    assert not slo.met_by(_completed(1, 0.0, 3.0, 3.0, generated=1))
+    # Multi-token requests are judged on both objectives.
+    assert slo.met_by(_completed(2, 0.0, 1.0, 1.5, generated=11))  # tpot 0.05
+    assert not slo.met_by(_completed(3, 0.0, 1.0, 3.0, generated=11))  # tpot 0.2
+
+
+def test_report_excludes_degenerate_requests_from_tpot_stats():
+    finished = [
+        _completed(0, 0.0, 1.0, 1.0, generated=1),  # degenerate
+        _completed(1, 0.0, 1.0, 2.0, generated=21),  # tpot 0.05
+        _completed(2, 0.0, 1.0, 3.0, generated=21),  # tpot 0.1
+    ]
+    report = build_report(finished, SLO(), 10.0, 0, 0, 0, 0, 0, [], [])
+    assert report.completed == 3
+    # Without the degenerate request pulling in an artificial 0.0:
+    assert report.tpot.p50 == pytest.approx(0.075)
+    assert report.tpot.mean == pytest.approx(0.075)
+    # TTFT/E2E still cover every completion.
+    assert report.ttft.max == pytest.approx(1.0)
+    assert report.e2e.max == pytest.approx(3.0)
+    # All three met the SLO (the degenerate one via fast TTFT).
+    assert report.slo_attainment == 1.0
+    assert report.goodput_requests_per_s == pytest.approx(0.3)
+
+
+def test_report_all_degenerate_requests():
+    finished = [_completed(i, 0.0, 0.5, 0.5, generated=1) for i in range(4)]
+    report = build_report(finished, SLO(), 2.0, 0, 0, 0, 0, 0, [], [])
+    assert report.completed == 4
+    assert report.tpot.p99 == 0.0  # empty TPOT distribution, defined as zeros
+    assert report.slo_attainment == 1.0
+
+
+def test_zero_duration_rates_are_zero():
+    report = build_report([], SLO(), 0.0, 0, 0, 0, 0, 0, [], [])
+    assert report.throughput_tokens_per_s == 0.0
+    assert report.goodput_requests_per_s == 0.0
+    assert report.slo_attainment == 0.0
+
+
+def test_simulated_single_token_workload():
+    """End to end: a whole workload of single-token outputs completes
+    and reports a zero TPOT distribution, not a crash or fake goodput."""
+    workload = WorkloadSpec(
+        request_rate=4.0,
+        num_requests=20,
+        prompt_mean=128,
+        prompt_cv=0.0,
+        output_mean=1,
+        output_cv=0.0,
+    )
+    report = ServingSimulator(SimConfig(workload=workload)).run()
+    assert report.completed == 20
+    assert report.tokens_generated == 20
+    assert report.tpot.p99 == 0.0
+    assert 0 <= report.slo_attainment <= 1
