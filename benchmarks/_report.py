@@ -16,7 +16,7 @@ from pathlib import Path
 
 from repro.obs.summary import print_table
 
-__all__ = ["default_meta", "paper_vs_measured", "print_table", "write_json"]
+__all__ = ["compare", "default_meta", "paper_vs_measured", "print_table", "write_json"]
 
 
 def default_meta(**extra: object) -> dict:
@@ -54,6 +54,51 @@ def write_json(name: str, payload: dict, meta: dict | None = None) -> Path:
     path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def compare(current: dict, baseline: dict, rtol: float = 0.5) -> list[str]:
+    """Diff ``current`` against a committed ``baseline`` payload.
+
+    Walks the baseline recursively (skipping the ``"_meta"`` block):
+    every numeric leaf must satisfy ``|cur - base| <= rtol * |base|``,
+    every other leaf must match exactly, and every baseline key must be
+    present.  Returns human-readable drift messages — empty means the
+    run is within tolerance of the baseline.
+    """
+    drifts: list[str] = []
+    _compare_into(current, baseline, rtol, "", drifts)
+    return drifts
+
+
+def _compare_into(
+    current: object, baseline: object, rtol: float, path: str, drifts: list[str]
+) -> None:
+    label = path or "<root>"
+    if isinstance(baseline, dict):
+        if not isinstance(current, dict):
+            drifts.append(f"{label}: expected mapping, got {type(current).__name__}")
+            return
+        for key in sorted(baseline):
+            if key == "_meta":
+                continue
+            child = f"{path}.{key}" if path else str(key)
+            if key not in current:
+                drifts.append(f"{child}: missing from current results")
+            else:
+                _compare_into(current[key], baseline[key], rtol, child, drifts)
+        return
+    numeric = isinstance(baseline, (int, float)) and not isinstance(baseline, bool)
+    if not numeric:
+        if current != baseline:
+            drifts.append(f"{label}: {current!r} != baseline {baseline!r}")
+        return
+    if not isinstance(current, (int, float)) or isinstance(current, bool):
+        drifts.append(f"{label}: expected number, got {current!r}")
+        return
+    if abs(current - baseline) > rtol * abs(baseline):
+        drifts.append(
+            f"{label}: {current:g} outside +-{rtol:g} rtol of baseline {baseline:g}"
+        )
 
 
 def paper_vs_measured(

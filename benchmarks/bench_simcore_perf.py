@@ -1,0 +1,161 @@
+"""Perf baseline for the two discrete-event hot loops.
+
+Times the simulation cores themselves — not the modeled systems — on
+two fixed scenarios sized so the pre-optimization code took ~10 s each:
+
+* serving: 8k requests through the disaggregated prefill/decode
+  simulator (the §2.3.1 configuration at a saturating arrival rate);
+* flowsim: node-limited EP dispatch traffic (§4.3) — all-to-all within
+  every leaf of an 8-leaf fat-tree, 1920 flows in 8 independent
+  sharing components, the shape the incremental solver exploits.
+
+Default run rewrites ``BENCH_simcore_perf.json`` (the committed file is
+the baseline).  ``--check`` instead re-runs both scenarios and exits
+nonzero if any metric drifts outside ``--rtol`` of the baseline — the
+CI perf-smoke gate.  The default tolerance is deliberately generous
+(0.9 ⇒ elapsed may vary ~10x across machines before tripping): the
+gate exists to catch order-of-magnitude algorithmic regressions, not
+machine-to-machine noise.  Behavioral exactness is pinned separately by
+``tests/test_simcore_golden.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+from _report import compare, default_meta, print_table, write_json
+
+from repro.network import Flow, FlowSimulator, two_layer_fat_tree
+from repro.obs import MetricsRegistry
+from repro.serving import ServingSimulator, SimConfig, WorkloadSpec
+
+SERVING_REQUESTS = 8000
+FLOWSIM_LEAVES = 8
+FLOWSIM_HOSTS_PER_LEAF = 16
+
+
+def run_serving(num_requests: int = SERVING_REQUESTS) -> dict:
+    """8k-request disaggregated serving run; returns perf metrics."""
+    config = SimConfig(
+        workload=WorkloadSpec(request_rate=40.0, num_requests=num_requests),
+        mode="disaggregated",
+        prefill_gpus=2,
+        decode_gpus=6,
+        seed=0,
+    )
+    metrics = MetricsRegistry()
+    simulator = ServingSimulator(config, metrics=metrics)
+    start = time.perf_counter()
+    report = simulator.run()
+    elapsed = time.perf_counter() - start
+    steps = metrics.counter("serving.decode_steps").value
+    steps += metrics.counter("serving.prefill_batches").value
+    return {
+        "requests": report.completed,
+        "sim_steps": steps,
+        "elapsed_s": elapsed,
+        "requests_per_s": report.completed / elapsed,
+        "steps_per_s": steps / elapsed,
+    }
+
+
+def run_flowsim(
+    num_leaves: int = FLOWSIM_LEAVES, hosts_per_leaf: int = FLOWSIM_HOSTS_PER_LEAF
+) -> dict:
+    """Leaf-local all-to-all event simulation; returns perf metrics."""
+    topo = two_layer_fat_tree(
+        num_leaves=num_leaves, hosts_per_leaf=hosts_per_leaf, num_spines=4
+    )
+    rng = np.random.default_rng(0)
+    flows = []
+    for leaf in range(num_leaves):
+        hosts = [f"h{leaf * hosts_per_leaf + i}" for i in range(hosts_per_leaf)]
+        for src in hosts:
+            for dst in hosts:
+                if src != dst:
+                    flows.append(
+                        Flow(
+                            src,
+                            dst,
+                            float(rng.uniform(64e6, 512e6)),
+                            [src, f"FT2/leaf{leaf}", dst],
+                            tag=f"leaf{leaf}",
+                        )
+                    )
+    simulator = FlowSimulator(topo)
+    start = time.perf_counter()
+    result = simulator.simulate(flows)
+    elapsed = time.perf_counter() - start
+    return {
+        "flows": len(flows),
+        "elapsed_s": elapsed,
+        "flows_per_s": len(flows) / elapsed,
+        "makespan_ms": result.makespan * 1e3,
+    }
+
+
+def _rows(payload: dict) -> list[list[object]]:
+    rows = []
+    for core, record in payload.items():
+        if core == "_meta":
+            continue
+        for key, value in record.items():
+            rows.append([core, key, round(value, 3)])
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=0.9,
+        help="relative drift tolerance for --check (default: 0.9)",
+    )
+    args = parser.parse_args(argv)
+
+    current = {"serving": run_serving(), "flowsim": run_flowsim()}
+    print_table(
+        "simulation-core performance", ["core", "metric", "value"], _rows(current)
+    )
+
+    if args.check:
+        path = Path(__file__).resolve().parent / "BENCH_simcore_perf.json"
+        baseline = json.loads(path.read_text())
+        drifts = compare(current, baseline, rtol=args.rtol)
+        if drifts:
+            print(f"\nperf drift vs {path.name} (rtol {args.rtol}):")
+            for message in drifts:
+                print(f"  {message}")
+            return 1
+        print(f"\nwithin {args.rtol} rtol of {path.name}")
+        return 0
+
+    write_json(
+        "simcore_perf",
+        current,
+        meta=default_meta(
+            serving=f"{SERVING_REQUESTS} req @ 40/s, disaggregated 2+6, seed 0",
+            flowsim=(
+                f"leaf-local all-to-all, {FLOWSIM_LEAVES} leaves x "
+                f"{FLOWSIM_HOSTS_PER_LEAF} hosts, seed 0"
+            ),
+        ),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

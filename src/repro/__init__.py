@@ -17,4 +17,4 @@ Subpackages:
   metrics (counters, gauges, streaming histograms) for the simulators.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"

@@ -18,6 +18,9 @@ Commands:
 * ``trace`` — run a simulator scenario with the observability layer
   on, write a Chrome trace-event file (chrome://tracing / Perfetto)
   and print a top-K span/metric summary.
+
+Both simulator commands accept ``--profile`` to run under cProfile and
+print the hottest functions as a table (``--profile-top`` rows).
 """
 
 from __future__ import annotations
@@ -113,6 +116,38 @@ def _cmd_budget(args: argparse.Namespace) -> None:
     print(f"cost @ $2/GPU-hour: ${training_cost_usd(report, tokens) / 1e6:.2f} M")
 
 
+def _run_profiled(args: argparse.Namespace, thunk):
+    """Run ``thunk``, under cProfile when ``--profile`` is set.
+
+    The profile is rendered with the same fixed-width table formatter
+    the trace summaries use, so ``--profile`` output slots into the
+    existing observability report style.
+    """
+    if not getattr(args, "profile", False):
+        return thunk()
+    import cProfile
+    import pstats
+
+    from .obs.summary import print_table
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(thunk)
+    stats = pstats.Stats(profiler)
+    rows = []
+    ordered = sorted(stats.stats.items(), key=lambda kv: kv[1][3], reverse=True)
+    for (filename, lineno, name), (_cc, ncalls, tottime, cumtime, _callers) in ordered:
+        if len(rows) >= args.profile_top:
+            break
+        where = f"{filename.rsplit('/', 1)[-1]}:{lineno}"
+        rows.append([name, where, ncalls, round(tottime, 4), round(cumtime, 4)])
+    print_table(
+        f"profile: top {len(rows)} functions by cumulative time",
+        ["function", "where", "calls", "tottime s", "cumtime s"],
+        rows,
+    )
+    return result
+
+
 def _serving_config(args: argparse.Namespace):
     """Build the ``SimConfig`` shared by ``serve-sim`` and ``trace``."""
     from .serving import MTPConfig, SimConfig, StepCostModel, WorkloadSpec
@@ -147,7 +182,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> None:
     from .serving import ServingSimulator
 
     simulator = ServingSimulator(_serving_config(args))
-    report = simulator.run()
+    report = _run_profiled(args, simulator.run)
     if args.json:
         print(json.dumps(dataclasses.asdict(report), indent=2, sort_keys=True))
         return
@@ -236,7 +271,7 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     }
     tracer = Tracer()
     metrics = MetricsRegistry()
-    headline = runners[args.scenario](args, tracer, metrics)
+    headline = _run_profiled(args, lambda: runners[args.scenario](args, tracer, metrics))
     out = args.out or f"{args.scenario}.trace.json"
     path = tracer.write(out)
     print(headline)
@@ -288,6 +323,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="dump the full SimReport as machine-readable JSON",
     )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the hottest functions",
+    )
+    p.add_argument(
+        "--profile-top", type=int, default=15, help="functions to list with --profile"
+    )
     p.set_defaults(func=_cmd_serve_sim)
 
     p = sub.add_parser(
@@ -301,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="output path (default <scenario>.trace.json)")
     p.add_argument("--top", type=int, default=10, help="span kinds to list in the summary")
+    p.add_argument(
+        "--profile", action="store_true",
+        help="run the scenario under cProfile and print the hottest functions",
+    )
+    p.add_argument(
+        "--profile-top", type=int, default=15, help="functions to list with --profile"
+    )
     # Serving-scenario knobs shared with serve-sim (fixed to its defaults).
     p.set_defaults(
         func=_cmd_trace,

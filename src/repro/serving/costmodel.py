@@ -70,6 +70,7 @@ class StepCostModel:
         if self.kv_transfer_bandwidth <= 0:
             raise ValueError("kv_transfer_bandwidth must be positive")
         self._decode_cache: dict[tuple[int, int], float] = {}
+        self._kv_bytes_per_token: float | None = None
 
     def decode_step_time(self, per_device_batch: int, context_tokens: int) -> float:
         """One decode iteration (one token per request) at this load.
@@ -106,5 +107,8 @@ class StepCostModel:
 
     def kv_transfer_time(self, context_tokens: int) -> float:
         """Migrate one request's KV cache from prefill to decode pool."""
-        kv_bytes = kv_cache_bytes_per_token(self.serving.model, self.kv_dtype)
+        kv_bytes = self._kv_bytes_per_token
+        if kv_bytes is None:
+            kv_bytes = kv_cache_bytes_per_token(self.serving.model, self.kv_dtype)
+            self._kv_bytes_per_token = kv_bytes
         return context_tokens * kv_bytes / self.kv_transfer_bandwidth

@@ -17,7 +17,6 @@ the same calibration as Table 1.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..core.hardware import GpuSpec
@@ -75,12 +74,23 @@ def kv_pool_blocks(
 
 
 class PagedKVPool:
-    """Block-granular KV allocator with per-request accounting."""
+    """Block-granular KV allocator with per-request accounting.
+
+    Every operation is O(1): block counts come from pure integer
+    arithmetic (no float ``ceil`` on the hot path) and per-request
+    holdings live in one dict keyed by ``rid``.  The simulator caches
+    each request's covered-token cursor (``capacity_tokens``) so the
+    common decode step — the new token still fits in the last block —
+    does not even reach the allocator.
+    """
+
+    __slots__ = ("_config", "_free", "_held", "_block_tokens", "peak_used")
 
     def __init__(self, config: KVPoolConfig) -> None:
         self._config = config
         self._free = config.total_blocks
         self._held: dict[int, int] = {}  # rid -> blocks held
+        self._block_tokens = config.block_tokens
         self.peak_used = 0
 
     @property
@@ -100,7 +110,14 @@ class PagedKVPool:
 
     def blocks_for(self, tokens: int) -> int:
         """Blocks needed to hold ``tokens`` of context."""
-        return max(1, math.ceil(tokens / self._config.block_tokens))
+        blocks = -(-tokens // self._block_tokens)  # exact integer ceil
+        return blocks if blocks > 1 else 1
+
+    def capacity_tokens(self, rid: int) -> int:
+        """Context tokens the request's current blocks can hold (0 when
+        the request holds none) — the cursor the simulator caches to
+        skip :meth:`extend` while the next token still fits."""
+        return self._held.get(rid, 0) * self._block_tokens
 
     def can_allocate(self, tokens: int) -> bool:
         """Whether a fresh allocation of ``tokens`` would succeed."""
@@ -115,7 +132,9 @@ class PagedKVPool:
             return False
         self._free -= need
         self._held[rid] = need
-        self.peak_used = max(self.peak_used, self.used_blocks)
+        used = self._config.total_blocks - self._free
+        if used > self.peak_used:
+            self.peak_used = used
         return True
 
     def extend(self, rid: int, tokens: int) -> bool:
@@ -134,7 +153,9 @@ class PagedKVPool:
             return False
         self._free -= need - held
         self._held[rid] = need
-        self.peak_used = max(self.peak_used, self.used_blocks)
+        used = self._config.total_blocks - self._free
+        if used > self.peak_used:
+            self.peak_used = used
         return True
 
     def free(self, rid: int) -> None:

@@ -73,20 +73,31 @@ def form_prefill_batch(
             break
         queue.popleft()
         kv.allocate(head.rid, need)
+        head.kv_tokens = kv.capacity_tokens(head.rid)  # decode-step cursor
         batch.append(head)
         tokens += head.prompt_tokens
     return batch
 
 
 def select_decode_batch(active: list[Request], cap: int) -> list[Request]:
-    """The step's decode batch: oldest ``cap`` admitted requests."""
+    """The step's decode batch: oldest ``cap`` admitted requests.
+
+    This is the *policy definition*; the simulator keeps each pool's
+    active list pre-sorted by ``(arrival, rid)`` so the same batch is a
+    plain prefix slice on the hot path (see ``_Pool.select_batch``).
+    """
     if len(active) <= cap:
         return list(active)
     return sorted(active, key=lambda r: (r.arrival, r.rid))[:cap]
 
 
 def pick_preemption_victim(active: list[Request]) -> Request:
-    """Latest-arrival victim (ties broken by rid for determinism)."""
+    """Latest-arrival victim (ties broken by rid for determinism).
+
+    With the pool's active list pre-sorted by ``(arrival, rid)`` the
+    victim is simply the last element; this function states the policy
+    for callers holding an unsorted list.
+    """
     if not active:
         raise ValueError("no active request to preempt")
     return max(active, key=lambda r: (r.arrival, r.rid))

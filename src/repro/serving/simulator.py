@@ -28,26 +28,40 @@ decode → finish, per-pool step batches, preemption instants) goes to
 the tracer, which defaults to the zero-cost
 :data:`repro.obs.NULL_TRACER`.  Pools are trace *processes*; requests
 are *tracks* in a dedicated "requests" process.
+
+Hot-path design (pinned bit-for-bit by ``tests/test_simcore_golden.py``):
+
+* Requests have identity semantics (``eq=False``), so membership and
+  removal never run field-wise dataclass comparison.
+* Each pool keeps its active set pre-sorted by ``(arrival, rid)`` and
+  carries a running integer sum of context tokens, so decode-batch
+  selection is a prefix slice, the preemption victim is ``active[-1]``
+  and the batch's mean context needs no per-step re-summation.  All
+  maintained aggregates are integers, so they equal the from-scratch
+  sums exactly.
+* Requests cache the token capacity of their held KV blocks
+  (``Request.kv_tokens``); a decode step only calls into the allocator
+  when the next token actually crosses a block boundary.
+* Event counters accumulate in plain ints and flush into the
+  :class:`MetricsRegistry` once per run, so tracing-off runs pay no
+  per-event instrument overhead.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass, field
+from operator import attrgetter
 
 from ..core.rng import seeded_generator
 from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from .costmodel import StepCostModel
 from .kvpool import KVPoolConfig, PagedKVPool, kv_pool_blocks
 from .report import SLO, SimReport, build_report
-from .scheduler import (
-    SchedulerConfig,
-    form_prefill_batch,
-    pick_preemption_victim,
-    select_decode_batch,
-)
+from .scheduler import SchedulerConfig, form_prefill_batch
 from .workload import Request, WorkloadSpec, generate_requests
 
 COLOCATED = "colocated"
@@ -62,6 +76,10 @@ _STEP_DONE = 2
 #: Registry channel names the report is built from.
 QUEUE_DEPTH = "serving.queue_depth"
 KV_OCCUPANCY = "serving.kv_occupancy"
+
+#: Scheduler order: oldest-first with rid tie-break (see scheduler.py).
+_BY_ARRIVAL = attrgetter("arrival", "rid")
+_BY_RID = attrgetter("rid")
 
 
 @dataclass(frozen=True)
@@ -110,7 +128,21 @@ class SimConfig:
 
 
 class _Pool:
-    """Runtime state of one GPU pool."""
+    """Runtime state of one GPU pool.
+
+    ``active`` is kept sorted by ``(arrival, rid)`` — the scheduler
+    order of :func:`repro.serving.scheduler.select_decode_batch` — and
+    ``active_ctx`` is the running integer sum of its members' context
+    tokens (prompt + generated).  Both are maintained incrementally at
+    every admission, emission, preemption and completion, so per-step
+    scheduling is O(batch) with no sorting or re-summation.
+    """
+
+    __slots__ = (
+        "name", "pid", "num_gpus", "kv", "does_prefill", "does_decode",
+        "prefill_queue", "entry_queue", "active", "active_ctx", "busy",
+        "current_kind", "current_batch", "step_start", "_concurrent_cap",
+    )
 
     def __init__(
         self,
@@ -129,7 +161,8 @@ class _Pool:
         self.does_decode = does_decode
         self.prefill_queue: deque[Request] = deque()
         self.entry_queue: deque[Request] = deque()  # awaiting KV admission
-        self.active: list[Request] = []
+        self.active: list[Request] = []  # sorted by (arrival, rid)
+        self.active_ctx = 0  # sum of context tokens over `active`
         self.busy = False
         self.current_kind: str | None = None
         self.current_batch: list[Request] = []
@@ -142,6 +175,35 @@ class _Pool:
 
     def set_cap(self, cap: int) -> None:
         self._concurrent_cap = cap
+
+    def add_active(self, request: Request) -> None:
+        """Admit a request to the decode set, preserving scheduler order."""
+        insort(self.active, request, key=_BY_ARRIVAL)
+        self.active_ctx += request.prompt_tokens + request.generated
+        request.decoding = True
+
+    def remove_active(self, request: Request) -> None:
+        """Drop a request from the decode set (O(log n) index lookup)."""
+        index = bisect_left(self.active, _BY_ARRIVAL(request), key=_BY_ARRIVAL)
+        del self.active[index]
+        self.active_ctx -= request.prompt_tokens + request.generated
+        request.decoding = False
+
+    def select_batch(self, cap: int) -> tuple[list[Request], int]:
+        """The step's decode batch and its total context tokens.
+
+        Equivalent to ``select_decode_batch(self.active, cap)`` plus a
+        fresh context-token sum, but O(batch): the active list is
+        already in scheduler order and the full-set sum is maintained.
+        """
+        active = self.active
+        if len(active) <= cap:
+            return active.copy(), self.active_ctx
+        batch = active[:cap]
+        tokens = 0
+        for r in batch:
+            tokens += r.prompt_tokens + r.generated
+        return batch, tokens
 
 
 class ServingSimulator:
@@ -232,30 +294,32 @@ class ServingSimulator:
 
         finished: list[Request] = []
         dropped: list[Request] = []
-        self._counters = {
-            name: metrics.counter(name)
-            for name in (
-                "serving.preemptions",
-                "serving.decode_steps",
-                "serving.prefill_batches",
-                "serving.mtp_draft_attempts",
-                "serving.mtp_draft_accepted",
-                "serving.requests_completed",
-                "serving.requests_dropped",
-            )
-        }
-        self._batch_profile: dict[int, tuple[int, float]] = {}
+        # Event counters accumulate in plain ints; they flush into the
+        # registry once at the end of the run (nothing reads them
+        # mid-run, and per-event Counter.inc() calls are pure overhead).
+        self._n_preemptions = 0
+        self._n_decode_steps = 0
+        self._n_prefill_batches = 0
+        self._n_draft_attempts = 0
+        self._n_draft_accepted = 0
+        self._n_completed = 0
+        self._n_dropped = 0
+        self._batch_profile: dict[int, list] = {}
         queue_series = metrics.series(QUEUE_DEPTH)
         kv_series = metrics.series(KV_OCCUPANCY)
+        queue_append = queue_series.samples.append
+        kv_append = kv_series.samples.append
+        total_blocks = sum(p.kv.config.total_blocks for p in pools)
         now = 0.0
 
         def sample_channels(t: float) -> None:
-            depth = sum(len(p.prefill_queue) + len(p.entry_queue) for p in pools)
-            occ = sum(p.kv.used_blocks for p in pools) / sum(
-                p.kv.config.total_blocks for p in pools
-            )
-            queue_series.record(t, depth)
-            kv_series.record(t, occ)
+            depth = 0
+            used = 0
+            for p in pools:
+                depth += len(p.prefill_queue) + len(p.entry_queue)
+                used += p.kv.used_blocks
+            queue_append((t, depth))
+            kv_append((t, used / total_blocks))
             if tracer.enabled:
                 for p in pools:
                     pool_depth = len(p.prefill_queue) + len(p.entry_queue)
@@ -283,15 +347,25 @@ class ServingSimulator:
                 self._try_start(pool, now, pools, dropped, push)
 
         duration = now
+        for name, value in (
+            ("serving.preemptions", self._n_preemptions),
+            ("serving.decode_steps", self._n_decode_steps),
+            ("serving.prefill_batches", self._n_prefill_batches),
+            ("serving.mtp_draft_attempts", self._n_draft_attempts),
+            ("serving.mtp_draft_accepted", self._n_draft_accepted),
+            ("serving.requests_completed", self._n_completed),
+            ("serving.requests_dropped", self._n_dropped),
+        ):
+            metrics.counter(name).inc(value)
         report = build_report(
             finished,
             cfg.slo,
             duration,
-            int(self._counters["serving.preemptions"].value),
-            int(self._counters["serving.decode_steps"].value),
-            int(self._counters["serving.prefill_batches"].value),
-            int(self._counters["serving.mtp_draft_attempts"].value),
-            int(self._counters["serving.mtp_draft_accepted"].value),
+            self._n_preemptions,
+            self._n_decode_steps,
+            self._n_prefill_batches,
+            self._n_draft_attempts,
+            self._n_draft_accepted,
             queue_series.samples,
             kv_series.samples,
         )
@@ -312,7 +386,7 @@ class ServingSimulator:
 
     def _drop(self, request: Request, now: float, dropped: list[Request]) -> None:
         dropped.append(request)
-        self._counters["serving.requests_dropped"].inc()
+        self._n_dropped += 1
         if self.tracer.enabled:
             self.tracer.instant(
                 "drop", "request", self._requests_pid, request.rid, now,
@@ -347,44 +421,50 @@ class ServingSimulator:
                     self._drop(pool.prefill_queue.popleft(), now, dropped)
                     return self._try_start(pool, now, pools, dropped, push)
             if batch:
-                tokens = sum(r.context_tokens for r in batch)
+                tokens = sum(r.prompt_tokens + r.generated for r in batch)
                 duration = cfg.costs.prefill_time(tokens, pool.num_gpus)
                 pool.busy = True
                 pool.current_kind = "prefill"
                 pool.current_batch = batch
                 pool.step_start = now
-                self._counters["serving.prefill_batches"].inc()
+                self._n_prefill_batches += 1
                 if tracer.enabled:
                     for request in batch:
                         self._span("queued", request, request.queued_since, now)
                 push(now + duration, _STEP_DONE, pool)
                 return
         if pool.does_decode and pool.active:
-            batch = select_decode_batch(pool.active, pool.decode_cap)
+            batch, context_tokens = pool.select_batch(pool.decode_cap)
             per_device = max(1, math.ceil(len(batch) / (2 * pool.num_gpus)))
-            mean_ctx = sum(r.context_tokens for r in batch) / len(batch)
+            mean_ctx = context_tokens / len(batch)
             bucket = max(1, math.ceil(mean_ctx / cfg.context_bucket)) * cfg.context_bucket
             duration = cfg.costs.decode_step_time(per_device, bucket)
             pool.busy = True
             pool.current_kind = "decode"
             pool.current_batch = batch
             pool.step_start = now
-            self._counters["serving.decode_steps"].inc()
-            count, total = self._batch_profile.get(len(batch), (0, 0.0))
-            self._batch_profile[len(batch)] = (count + 1, total + duration)
+            self._n_decode_steps += 1
+            profile = self._batch_profile.get(len(batch))
+            if profile is None:
+                self._batch_profile[len(batch)] = [1, duration]
+            else:
+                profile[0] += 1
+                profile[1] += duration
             push(now + duration, _STEP_DONE, pool)
 
     def _admit_entrants(self, pool: _Pool, now: float, dropped: list[Request]) -> None:
+        kv = pool.kv
         while pool.entry_queue and len(pool.active) < pool.decode_cap:
             head = pool.entry_queue[0]
-            if not pool.kv.allocate(head.rid, head.context_tokens + 1):
-                if pool.kv.blocks_for(head.context_tokens + 1) > pool.kv.config.total_blocks:
+            if not kv.allocate(head.rid, head.context_tokens + 1):
+                if kv.blocks_for(head.context_tokens + 1) > kv.config.total_blocks:
                     self._drop(pool.entry_queue.popleft(), now, dropped)
                     continue
                 break
             pool.entry_queue.popleft()
+            head.kv_tokens = kv.capacity_tokens(head.rid)
             head.decode_since = now
-            pool.active.append(head)
+            pool.add_active(head)
 
     # -- step completion -------------------------------------------------
 
@@ -408,7 +488,7 @@ class ServingSimulator:
                     "prefill", "step", pool.pid, 0, start, now - start,
                     args={
                         "requests": len(batch),
-                        "tokens": sum(r.context_tokens for r in batch),
+                        "tokens": sum(r.prompt_tokens + r.generated for r in batch),
                     },
                 )
             for request in batch:
@@ -424,9 +504,10 @@ class ServingSimulator:
                     self._finish_request(request, now, pool, finished, from_active=False)
                 elif cfg.mode == COLOCATED:
                     request.decode_since = now
-                    pool.active.append(request)
+                    pool.add_active(request)
                 else:
                     pool.kv.free(request.rid)  # cache migrates to decode pool
+                    request.kv_tokens = 0
                     delay = cfg.costs.kv_transfer_time(request.context_tokens)
                     if tracer.enabled:
                         self._span(
@@ -442,25 +523,44 @@ class ServingSimulator:
                 args={"batch": len(batch)},
             )
         mtp = cfg.costs.mtp
-        for request in sorted(batch, key=lambda r: r.rid):
-            if request not in pool.active:
+        mtp_enabled = mtp.enabled
+        acceptance = mtp.acceptance_rate
+        uniform = self._mtp_rng.uniform
+        kv = pool.kv
+        block_tokens = kv.config.block_tokens
+        active = pool.active
+        batch.sort(key=_BY_RID)  # rid order fixes the MTP draw sequence
+        for request in batch:
+            if not request.decoding:
                 continue  # preempted earlier in this loop
+            generated = request.generated
+            output_tokens = request.output_tokens
             emit = 1
-            if mtp.enabled and request.generated + 1 < request.output_tokens:
-                self._counters["serving.mtp_draft_attempts"].inc()
-                if self._mtp_rng.uniform() < mtp.acceptance_rate:
-                    self._counters["serving.mtp_draft_accepted"].inc()
+            if mtp_enabled and generated + 1 < output_tokens:
+                self._n_draft_attempts += 1
+                if uniform() < acceptance:
+                    self._n_draft_accepted += 1
                     emit = 2
-            request.generated = min(request.output_tokens, request.generated + emit)
-            if request.generated >= request.output_tokens:
-                pool.active.remove(request)
+            new_generated = generated + emit
+            if new_generated > output_tokens:
+                new_generated = output_tokens
+            pool.active_ctx += new_generated - generated
+            request.generated = new_generated
+            if new_generated >= output_tokens:
+                pool.remove_active(request)
                 self._finish_request(request, now, pool, finished, from_active=True)
                 continue
-            while not pool.kv.extend(request.rid, request.context_tokens + 1):
-                victim = pick_preemption_victim(pool.active)
-                pool.kv.free(victim.rid)
-                pool.active.remove(victim)
-                self._counters["serving.preemptions"].inc()
+            need = request.prompt_tokens + new_generated + 1
+            if need <= request.kv_tokens:
+                continue  # next token still fits in the held blocks
+            while not kv.extend(request.rid, need):
+                victim = active[-1]  # pick_preemption_victim: newest first
+                kv.free(victim.rid)
+                victim.kv_tokens = 0
+                active.pop()
+                pool.active_ctx -= victim.prompt_tokens + victim.generated
+                victim.decoding = False
+                self._n_preemptions += 1
                 if tracer.enabled:
                     self._span(
                         "decode", victim, victim.decode_since, now,
@@ -475,6 +575,8 @@ class ServingSimulator:
                 target.prefill_queue.appendleft(victim)
                 if victim is request:
                     break
+            else:
+                request.kv_tokens = -(-need // block_tokens) * block_tokens
 
     def _finish_request(
         self,
@@ -486,8 +588,9 @@ class ServingSimulator:
     ) -> None:
         request.finish_time = now
         pool.kv.free(request.rid)
+        request.kv_tokens = 0
         finished.append(request)
-        self._counters["serving.requests_completed"].inc()
+        self._n_completed += 1
         if self.tracer.enabled:
             if from_active and request.decode_since >= 0:
                 self._span(

@@ -22,12 +22,19 @@ from dataclasses import dataclass
 import numpy as np
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class Request:
     """One request moving through the simulated serving system.
 
     The first three fields are the workload; the rest is runtime state
     mutated by the simulator.
+
+    Requests have *identity* semantics (``eq=False``): batch membership
+    and removal compare object identity instead of every dataclass
+    field, which keeps the simulator's per-step bookkeeping O(1) per
+    request — field-wise ``__eq__`` was the single hottest function in
+    profiles of large runs.  Two requests are equal iff they are the
+    same object; ``rid`` is the stable key for reports and traces.
     """
 
     rid: int
@@ -41,6 +48,9 @@ class Request:
     prefill_runs: int = 0  # >1 means the request was preempted and recomputed
     queued_since: float = -1.0  # start of the current wait (arrival or requeue)
     decode_since: float = -1.0  # when the request last entered a decode pool
+    # -- hot-path caches (owned by the pool the request sits in) --------
+    kv_tokens: int = 0  # context tokens covered by currently held KV blocks
+    decoding: bool = False  # member of a pool's active decode set
 
     @property
     def ttft(self) -> float:

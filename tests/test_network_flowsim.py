@@ -143,6 +143,61 @@ def test_drain_mode_matches_event_for_symmetric_traffic():
     assert drain.makespan == pytest.approx(event.makespan, rel=0.05)
 
 
+def test_event_initial_rates_match_reference_solver():
+    """The vectorized engine agrees with the dict-based definition."""
+    import numpy as np
+
+    rng = np.random.default_rng(11)
+    topo = two_layer_fat_tree(2, 6, 2, link_bandwidth=25e9)
+    hosts = topo.hosts
+    flows = []
+    for _ in range(40):
+        s, d = rng.choice(hosts, size=2, replace=False)
+        path = min(topo.shortest_paths(s, d), key=len)
+        flows.append(Flow(s, d, float(rng.uniform(1e8, 1e9)), path))
+    sim = FlowSimulator(topo)
+    result = sim.simulate(flows)
+    reference = max_min_rates(dict(enumerate(flows)), sim.capacities)
+    assert set(result.rates) == set(reference)
+    for idx, rate in reference.items():
+        assert result.rates[idx] == pytest.approx(rate)
+
+
+def test_large_all_to_all_wall_clock_regression():
+    """500 flows across the fabric must simulate in seconds, not minutes.
+
+    Before the incremental engine, every completion event re-solved the
+    full allocation from dicts of sets — O(flows x links) per event,
+    quadratic end to end — and the finished-flow rescan added another
+    O(flows) pass per event.  The ceiling is deliberately generous (only
+    a catastrophic regression trips it) but the pre-optimization code
+    missed it by an order of magnitude.
+    """
+    import time
+
+    import numpy as np
+
+    rng = np.random.default_rng(2)
+    topo = two_layer_fat_tree(4, 8, 4, link_bandwidth=40e9)
+    hosts = topo.hosts
+    flows = []
+    for _ in range(500):
+        s, d = rng.choice(hosts, size=2, replace=False)
+        path = min(topo.shortest_paths(s, d), key=len)
+        flows.append(Flow(s, d, float(rng.uniform(1e8, 1e9)), path))
+    sim = FlowSimulator(topo)
+    start = time.perf_counter()
+    first = sim.simulate(flows)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 10.0, f"event mode took {elapsed:.1f}s for 500 flows"
+    assert len(first.completion) == len(flows)
+    # Determinism: a fresh simulator reproduces the run exactly.
+    second = FlowSimulator(topo).simulate(flows)
+    assert second.makespan == first.makespan
+    assert second.completion == first.completion
+    assert second.rates == first.rates
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     sizes=st.lists(st.floats(1e6, 1e9), min_size=1, max_size=6),
