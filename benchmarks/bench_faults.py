@@ -1,0 +1,209 @@
+"""Fault-injection ablation across the three discrete-event simulators.
+
+Runs each simulator fault-free and under injected failures, recording
+what the outage costs — completed/dropped/shed requests and goodput for
+serving, stall and reroute makespans for the network, goodput versus
+the Young-Daly closed form for checkpointed training.
+
+Unlike the perf bench, every number here is **deterministic** (seeded
+simulations, no wall-clock measurements), so the committed
+``BENCH_faults.json`` is an exact behavioral baseline: ``--check``
+re-runs the ablation and exits nonzero on any drift beyond a tiny
+float tolerance — the CI fault-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _report import compare, default_meta, print_table, write_json
+
+from repro.faults import (
+    FaultEvent,
+    FaultSchedule,
+    RecoveryPolicy,
+    cluster_reroute,
+    expand_plane_schedule,
+)
+from repro.network import Flow, FlowSimulator, build_mpft_cluster, pxn_path
+from repro.reliability import goodput_fraction, optimal_checkpoint_interval
+from repro.serving import ServingSimulator, SimConfig, WorkloadSpec
+from repro.training import simulate_checkpointed_training
+
+SEED = 7
+
+
+def _serving_config(faults: FaultSchedule | None) -> SimConfig:
+    return SimConfig(
+        workload=WorkloadSpec(
+            request_rate=10.0,
+            num_requests=300,
+            prompt_mean=512,
+            output_mean=128,
+            arrival="bursty",
+        ),
+        mode="colocated",
+        prefill_gpus=2,
+        decode_gpus=8,
+        kv_blocks_per_gpu=40,
+        seed=SEED,
+        faults=faults,
+        recovery=RecoveryPolicy(retry_budget=2, degraded_queue_limit=24),
+    )
+
+
+def _serving_record(faults: FaultSchedule | None) -> dict:
+    report = ServingSimulator(_serving_config(faults)).run()
+    record = {
+        "completed": report.completed,
+        "goodput_rps": round(report.goodput_requests_per_s, 6),
+        "slo_attainment": round(report.slo_attainment, 6),
+    }
+    d = report.degradation
+    if d is not None:
+        record.update(
+            dropped=d.dropped,
+            shed=d.shed,
+            retries=d.retries,
+            evicted=d.evicted,
+            unserved=d.unserved,
+            lost_tokens=d.lost_tokens,
+            accounted=d.accounted,
+        )
+    return record
+
+
+def run_serving() -> dict:
+    """Fault-free vs single-node-failure vs MTBF-sampled serving."""
+    node_fault = FaultSchedule(
+        events=(FaultEvent(time=5.0, kind="node", target="pool", mttr=10.0),)
+    )
+    sampled = FaultSchedule.sampled(
+        mtbf=15.0, horizon=40.0, seed=SEED, kind="gpu", targets=("pool",), mttr=5.0
+    )
+    return {
+        "fault_free": _serving_record(None),
+        "node_failure": _serving_record(node_fault),
+        "mtbf_sampled": _serving_record(sampled),
+    }
+
+
+def run_network() -> dict:
+    """Plane-outage ablation: stall vs reroute vs repair (§5.1.1)."""
+    cluster = build_mpft_cluster(4)
+    flows = [
+        Flow(f"n0g{p}", f"n1g{p}", 1e9, pxn_path(cluster, f"n0g{p}", f"n1g{p}"), tag=f"p{p}")
+        for p in range(4)
+    ]
+    sim = FlowSimulator(cluster.topology)
+    base = sim.simulate(flows)
+
+    def plane_outage(mttr: float) -> FaultSchedule:
+        return expand_plane_schedule(
+            cluster,
+            FaultSchedule(
+                events=(FaultEvent(time=0.001, kind="plane", target="0", mttr=mttr),)
+            ),
+        )
+
+    permanent = plane_outage(float("inf"))
+    stalled = sim.simulate(flows, faults=permanent)
+    stall_report = sim.fault_report
+    rerouted = sim.simulate(flows, faults=permanent, reroute=cluster_reroute(cluster))
+    repaired = sim.simulate(flows, faults=plane_outage(0.02))
+    return {
+        "fault_free_ms": round(base.makespan * 1e3, 6),
+        "stall_unfinished": len(stall_report.unfinished),
+        "stall_survivor_ms": round(stalled.makespan * 1e3, 6),
+        "reroute_ms": round(rerouted.makespan * 1e3, 6),
+        "repair_ms": round(repaired.makespan * 1e3, 6),
+    }
+
+
+def run_training() -> dict:
+    """Checkpoint-interval ablation against the Young-Daly optimum."""
+    mtbf, ckpt, restart = 7200.0, 60.0, 900.0
+    optimal = optimal_checkpoint_interval(ckpt, mtbf)
+    work = 100 * mtbf
+
+    def goodput(interval: float) -> float:
+        report = simulate_checkpointed_training(
+            work, interval, ckpt, restart, mtbf=mtbf, seed=42
+        )
+        return round(report.goodput, 6)
+
+    return {
+        "predicted_optimal": round(goodput_fraction(ckpt, restart, mtbf, optimal), 6),
+        "optimal_interval": goodput(optimal),
+        "half_interval": goodput(optimal / 2),
+        "double_interval": goodput(optimal * 2),
+    }
+
+
+def _rows(payload: dict) -> list[list[object]]:
+    rows = []
+    for sim, record in payload.items():
+        if sim == "_meta":
+            continue
+        for key, value in record.items():
+            if isinstance(value, dict):
+                for sub, subval in value.items():
+                    rows.append([sim, f"{key}.{sub}", subval])
+            else:
+                rows.append([sim, key, value])
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=1e-6,
+        help="relative drift tolerance for --check (deterministic payload)",
+    )
+    args = parser.parse_args(argv)
+
+    current = {
+        "serving": run_serving(),
+        "network": run_network(),
+        "training": run_training(),
+    }
+    print_table("fault-injection ablation", ["simulator", "metric", "value"], _rows(current))
+
+    if args.check:
+        path = Path(__file__).resolve().parent / "BENCH_faults.json"
+        baseline = json.loads(path.read_text())
+        drifts = compare(current, baseline, rtol=args.rtol)
+        if drifts:
+            print(f"\nfault-ablation drift vs {path.name} (rtol {args.rtol}):")
+            for message in drifts:
+                print(f"  {message}")
+            return 1
+        print(f"\nwithin {args.rtol} rtol of {path.name}")
+        return 0
+
+    write_json(
+        "faults",
+        current,
+        meta=default_meta(
+            serving=f"300 req @ 10/s bursty, colocated 2+8, kv 40/GPU, seed {SEED}",
+            network="MPFT 4 nodes, 4x1GB pxn flows, plane-0 outage at t=1ms",
+            training="mtbf 7200s, ckpt 60s, restart 900s, 720ks work, seed 42",
+        ),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ Subpackages:
 * :mod:`repro.reliability` - failure injection, SDC detection, checkpointing.
 * :mod:`repro.obs` - unified tracing (Chrome trace-event export) and
   metrics (counters, gauges, streaming histograms) for the simulators.
+* :mod:`repro.faults` - seeded fault schedules, injection and recovery
+  for the serving, network-flow and training simulators.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"

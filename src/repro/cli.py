@@ -20,13 +20,19 @@ Commands:
   and print a top-K span/metric summary.
 
 Both simulator commands accept ``--profile`` to run under cProfile and
-print the hottest functions as a table (``--profile-top`` rows).
+print the hottest functions as a table (``--profile-top`` rows), and
+``--faults`` to inject failures mid-run: either a schedule JSON file
+(``repro.faults.FaultSchedule.to_json``) or ``mtbf:MTBF[:MTTR[:HORIZON]]``
+for seeded Poisson sampling.  ``serve-sim --faults`` appends the
+degradation section (goodput before/during/after each outage, retry and
+lost-work totals); ``trace --scenario network --faults`` fails
+inter-switch links under the flow simulation; ``trace --scenario
+training --faults`` runs the checkpoint/restart goodput simulation.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
 
@@ -168,6 +174,17 @@ def _serving_config(args: argparse.Namespace):
             num_requests=args.requests,
             arrival=args.arrival,
         )
+    faults = None
+    if getattr(args, "faults", None):
+        from .faults import parse_faults_arg
+
+        # Sampled schedules need a horizon: twice the mean arrival span
+        # comfortably covers the decode tail of the workload.
+        horizon = 2.0 * workload.num_requests / workload.request_rate
+        targets = ("pool",) if args.mode == "colocated" else ("prefill", "decode")
+        faults = parse_faults_arg(
+            args.faults, horizon=horizon, seed=args.seed, kind="gpu", targets=targets
+        )
     return SimConfig(
         workload=workload,
         costs=StepCostModel(mtp=MTPConfig(enabled=args.mtp)),
@@ -175,16 +192,40 @@ def _serving_config(args: argparse.Namespace):
         prefill_gpus=args.prefill_gpus,
         decode_gpus=args.decode_gpus,
         seed=args.seed,
+        faults=faults,
     )
 
 
+def _print_degradation(degradation) -> None:
+    from .faults import NEVER
+
+    print(
+        f"faults: admitted {degradation.admitted} = finished {degradation.finished}"
+        f" + dropped {degradation.dropped} + unserved {degradation.unserved}"
+        f"  (identity {'holds' if degradation.accounted else 'VIOLATED'})"
+    )
+    print(
+        f"  shed {degradation.shed}  retries {degradation.retries}  "
+        f"retry-dropped {degradation.retry_dropped}  evicted {degradation.evicted}  "
+        f"steps aborted {degradation.steps_aborted}  lost tokens {degradation.lost_tokens}"
+    )
+    for w in degradation.windows:
+        end = "never" if w.end == NEVER else f"{w.end:.1f}s"
+        print(
+            f"  {w.kind} fault on '{w.target}' at {w.start:.1f}s (repair {end}, "
+            f"-{w.gpus_lost} GPUs): goodput {w.goodput_before:.2f} -> "
+            f"{w.goodput_during:.2f} -> {w.goodput_after:.2f} req/s, "
+            f"SLO {w.slo_before:.0%} -> {w.slo_during:.0%} -> {w.slo_after:.0%}"
+        )
+
+
 def _cmd_serve_sim(args: argparse.Namespace) -> None:
-    from .serving import ServingSimulator
+    from .serving import ServingSimulator, report_asdict
 
     simulator = ServingSimulator(_serving_config(args))
     report = _run_profiled(args, simulator.run)
     if args.json:
-        print(json.dumps(dataclasses.asdict(report), indent=2, sort_keys=True))
+        print(json.dumps(report_asdict(report), indent=2, sort_keys=True))
         return
     ms = 1e3
     print(
@@ -215,6 +256,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> None:
     )
     if args.mtp:
         print(f"MTP acceptance (measured) {report.mtp_acceptance_measured:.1%}")
+    if report.degradation is not None:
+        _print_degradation(report.degradation)
 
 
 def _trace_serving(args: argparse.Namespace, tracer, metrics) -> str:
@@ -243,16 +286,64 @@ def _trace_network(args: argparse.Namespace, tracer, metrics) -> str:
                 route_flow(topo, src, dst, size, RoutingPolicy.ECMP, tag=f"shift{shift}")
             )
     sim = FlowSimulator(topo, tracer=tracer, metrics=metrics)
-    result = sim.simulate(flows)
-    return (
+    faults = None
+    if getattr(args, "faults", None):
+        from .faults import link_target, parse_faults_arg
+        from .network import INTERSWITCH_LINK
+
+        links = tuple(
+            link_target(a, b)
+            for a, b, data in topo.graph.edges(data=True)
+            if data["kind"] == INTERSWITCH_LINK
+        )
+        faults = parse_faults_arg(
+            args.faults, horizon=1.0, seed=args.seed, kind="link", targets=links
+        )
+    result = sim.simulate(flows, faults=faults)
+    headline = (
         f"network: {len(flows)} flows over {topo.name}, "
         f"makespan {result.makespan * 1e3:.2f} ms"
     )
+    fault_report = getattr(sim, "fault_report", None)
+    if fault_report is not None:
+        headline += (
+            f"; faults: {fault_report.events} events, "
+            f"{len(fault_report.rerouted)} rerouted, "
+            f"{len(fault_report.stalled)} stalled, "
+            f"{len(fault_report.unfinished)} unfinished, "
+            f"stall time {fault_report.stall_time * 1e3:.2f} ms"
+        )
+    return headline
 
 
 def _trace_training(args: argparse.Namespace, tracer, metrics) -> str:
     from .model.config import TINY_MLA_MOE
     from .training import TrainableTransformer, markov_corpus, train
+
+    if getattr(args, "faults", None):
+        from .faults import parse_faults_arg
+        from .reliability import optimal_checkpoint_interval
+        from .training import simulate_checkpointed_training
+
+        work = 4 * 3600.0 if args.smoke else 48 * 3600.0
+        checkpoint_cost, restart_cost = 60.0, 300.0
+        schedule = parse_faults_arg(
+            args.faults, horizon=3 * work, seed=args.seed, kind="step", targets=("trainer",)
+        )
+        if args.faults.startswith("mtbf:"):
+            mtbf = float(args.faults.split(":")[1])
+            interval = optimal_checkpoint_interval(checkpoint_cost, mtbf)
+        else:
+            interval = work / 48
+        report = simulate_checkpointed_training(
+            work, interval, checkpoint_cost, restart_cost,
+            faults=schedule, seed=args.seed, tracer=tracer, metrics=metrics,
+        )
+        return (
+            f"training: checkpointed goodput sim, {report.failures} failures, "
+            f"{report.checkpoints} checkpoints, goodput {report.goodput:.1%} "
+            f"(work {work / 3600:.0f} h, interval {interval:.0f} s)"
+        )
 
     steps = 5 if args.smoke else 50
     corpus = markov_corpus(TINY_MLA_MOE.vocab_size, 2_000, seed=args.seed)
@@ -324,6 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump the full SimReport as machine-readable JSON",
     )
     p.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject failures: schedule JSON path or mtbf:MTBF[:MTTR[:HORIZON]]",
+    )
+    p.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the hottest functions",
     )
@@ -343,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="output path (default <scenario>.trace.json)")
     p.add_argument("--top", type=int, default=10, help="span kinds to list in the summary")
+    p.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject failures: schedule JSON path or mtbf:MTBF[:MTTR[:HORIZON]]",
+    )
     p.add_argument(
         "--profile", action="store_true",
         help="run the scenario under cProfile and print the hottest functions",

@@ -353,6 +353,9 @@ class FlowSimulator:
         self.tracer = NULL_TRACER if tracer is None else tracer
         self._metrics_arg = metrics
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: :class:`repro.faults.NetworkFaultReport` of the last faulty
+        #: run; None after a fault-free one.
+        self.fault_report = None
         self.capacities: dict[tuple[str, str], float] = {}
         for a, b, data in topology.graph.edges(data=True):
             self.capacities[(a, b)] = data["bandwidth"]
@@ -420,6 +423,8 @@ class FlowSimulator:
         flows: list[Flow],
         time_epsilon: float = 1e-9,
         mode: str = "event",
+        faults=None,
+        reroute=None,
     ) -> FlowResult:
         """Run all flows to completion.
 
@@ -440,12 +445,34 @@ class FlowSimulator:
                 latency; exact whenever the bottleneck link stays busy
                 to the end, which holds for the saturated symmetric
                 collectives the benches run.
+            faults: Optional :class:`repro.faults.FaultSchedule` of
+                ``link``/``switch`` events (event mode only).  A
+                non-empty schedule hands the run to the fault-timeline
+                runner in :mod:`repro.faults.network`, which also sets
+                ``self.fault_report``; ``None`` or an empty schedule
+                leaves this method byte-identical to the fault-free
+                simulation.
+            reroute: Optional reroute policy for flows whose path lost
+                an edge (see :func:`repro.faults.cluster_reroute`);
+                without one, broken flows stall until repair.
 
         Returns:
             Completion times, makespan and the initial fair rates.
         """
         if mode not in ("event", "fixed", "drain"):
             raise ValueError(f"unknown mode {mode!r}")
+        self.fault_report = None  # stale reports must not outlive their run
+        if faults:
+            if mode != "event":
+                raise ValueError("fault injection requires event mode")
+            from ..faults.network import run_flows_with_faults
+
+            self.metrics = (
+                self._metrics_arg if self._metrics_arg is not None else MetricsRegistry()
+            )
+            return run_flows_with_faults(
+                self, flows, faults, reroute=reroute, time_epsilon=time_epsilon
+            )
         self.metrics = (
             self._metrics_arg if self._metrics_arg is not None else MetricsRegistry()
         )

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.hardware import H800_NODE, NodeSpec
-from .topology import ENDPOINT_LINK, INTERSWITCH_LINK, NVLINK_LINK, Topology
+from .topology import ENDPOINT_LINK, INTERSWITCH_LINK, NVLINK_LINK, SWITCH, Topology
 
 
 def gpu_name(node: int, gpu: int) -> str:
@@ -230,3 +230,20 @@ def direct_path(cluster: ClusterNetwork, src: str, dst: str) -> list[str]:
     if src == dst:
         raise ValueError("src and dst must differ")
     return min(cluster.topology.shortest_paths(src, dst), key=len)
+
+
+def planes_used(cluster: ClusterNetwork, path: list[str]) -> set[int]:
+    """Planes/rails whose switches a path traverses.
+
+    Only network switches count: hosts and NVLink switches are skipped,
+    so a pure-NVLink hop uses no plane at all.  The fault tests use
+    this to show a rerouted flow really escaped its dead plane.
+    """
+    nodes = cluster.topology.graph.nodes
+    return {
+        nodes[hop]["plane"]
+        for hop in path
+        if hop in nodes
+        and nodes[hop].get("kind") == SWITCH
+        and nodes[hop].get("plane") is not None
+    }

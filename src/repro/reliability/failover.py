@@ -8,7 +8,9 @@ inject link/switch failures into a topology and evaluate what survives.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 import networkx as nx
 
@@ -16,18 +18,82 @@ from ..network.multiplane import ClusterNetwork
 from ..network.topology import SWITCH, Topology
 
 
-def fail_link(topology: Topology, a: str, b: str) -> None:
-    """Remove a link (cable failure)."""
+def fail_link(topology: Topology, a: str, b: str) -> dict:
+    """Remove a link (cable failure).
+
+    Returns the removed edge's attributes so :func:`restore_link` can
+    reinstall it exactly (repair after MTTR, or scoped injection via
+    :func:`failed`).
+    """
     if not topology.graph.has_edge(a, b):
         raise KeyError(f"no link {a} -- {b}")
+    attrs = dict(topology.graph.edges[a, b])
     topology.graph.remove_edge(a, b)
+    return attrs
 
 
-def fail_switch(topology: Topology, switch: str) -> None:
-    """Remove a switch and all of its links."""
+def restore_link(topology: Topology, a: str, b: str, attrs: dict) -> None:
+    """Reinstall a failed link with its original attributes."""
+    if topology.graph.has_edge(a, b):
+        raise KeyError(f"link {a} -- {b} is already up")
+    topology.graph.add_edge(a, b, **attrs)
+
+
+def fail_switch(topology: Topology, switch: str) -> tuple[dict, list[tuple[str, dict]]]:
+    """Remove a switch and all of its links.
+
+    Returns ``(node_attrs, [(neighbor, edge_attrs), ...])`` — the state
+    :func:`restore_switch` needs to undo the failure.
+    """
     if switch not in topology.graph or topology.graph.nodes[switch]["kind"] != SWITCH:
         raise KeyError(f"{switch} is not a switch")
+    node_attrs = dict(topology.graph.nodes[switch])
+    links = [
+        (neighbor, dict(data))
+        for neighbor, data in topology.graph.adj[switch].items()
+    ]
     topology.graph.remove_node(switch)
+    return node_attrs, links
+
+
+def restore_switch(
+    topology: Topology,
+    switch: str,
+    node_attrs: dict,
+    links: list[tuple[str, dict]],
+) -> None:
+    """Reinstall a failed switch and the links it carried."""
+    if switch in topology.graph:
+        raise KeyError(f"switch {switch} is already up")
+    topology.graph.add_node(switch, **node_attrs)
+    for neighbor, attrs in links:
+        topology.graph.add_edge(switch, neighbor, **attrs)
+
+
+@contextmanager
+def failed(
+    topology: Topology,
+    links: tuple[tuple[str, str], ...] = (),
+    switches: tuple[str, ...] = (),
+) -> Iterator[Topology]:
+    """Scoped damage: fail the given links and switches, heal on exit.
+
+    The topology is mutated in place (the yielded value is the same
+    object, for convenience) and restored even when the body raises, so
+    tests and the fault engine can probe a damaged fabric without
+    rebuilding the cluster.
+    """
+    failed_links = [(a, b, fail_link(topology, a, b)) for a, b in links]
+    failed_switches = []
+    try:
+        for switch in switches:
+            failed_switches.append((switch, *fail_switch(topology, switch)))
+        yield topology
+    finally:
+        for switch, node_attrs, switch_links in reversed(failed_switches):
+            restore_switch(topology, switch, node_attrs, switch_links)
+        for a, b, attrs in reversed(failed_links):
+            restore_link(topology, a, b, attrs)
 
 
 def hosts_reachable(topology: Topology, src: str, dst: str) -> bool:

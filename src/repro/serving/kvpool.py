@@ -99,6 +99,16 @@ class PagedKVPool:
         return self._config
 
     @property
+    def free_blocks(self) -> int:
+        """Blocks currently unallocated.
+
+        Negative after a shrinking :meth:`resize` that left the pool
+        over-committed — live reservations exceed the new capacity and
+        the caller must evict until this is non-negative.
+        """
+        return self._free
+
+    @property
     def used_blocks(self) -> int:
         """Blocks currently allocated."""
         return self._config.total_blocks - self._free
@@ -161,3 +171,20 @@ class PagedKVPool:
     def free(self, rid: int) -> None:
         """Release all blocks of a finished or preempted request."""
         self._free += self._held.pop(rid)
+
+    def resize(self, total_blocks: int) -> None:
+        """Re-size the pool in place (fault injection / repair).
+
+        Existing reservations are untouched; only the capacity moves.
+        Shrinking below the blocks currently held leaves ``free_blocks``
+        negative — an over-committed pool — and the fault engine evicts
+        requests until the deficit clears.  ``peak_used`` keeps its
+        high-water meaning across the resize.
+        """
+        if total_blocks < 1:
+            raise ValueError("total_blocks must be positive")
+        delta = total_blocks - self._config.total_blocks
+        self._config = KVPoolConfig(
+            total_blocks=total_blocks, block_tokens=self._block_tokens
+        )
+        self._free += delta

@@ -12,11 +12,15 @@ seeded simulator can be compared with ``==`` to assert determinism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .workload import Request
+
+if TYPE_CHECKING:  # circular at runtime: repro.faults builds on this module
+    from ..faults.report import DegradationReport
 
 
 @dataclass(frozen=True)
@@ -94,6 +98,21 @@ class SimReport:
     # -- traces (time, value) pairs; tuples so the report hashes/compares
     queue_depth_trace: tuple[tuple[float, int], ...]
     kv_occupancy_trace: tuple[tuple[float, float], ...]
+    # -- fault injection (None unless a fault schedule touched the run) --
+    degradation: "DegradationReport | None" = None
+
+
+def report_asdict(report: SimReport) -> dict:
+    """``dataclasses.asdict`` with the fault-free shape preserved.
+
+    A run without faults has ``degradation is None``; stripping the key
+    keeps the serialized report byte-identical to pre-fault-engine
+    goldens (and to CLI ``--json`` consumers that predate the field).
+    """
+    payload = asdict(report)
+    if payload.get("degradation") is None:
+        payload.pop("degradation", None)
+    return payload
 
 
 def build_report(
@@ -107,6 +126,7 @@ def build_report(
     draft_accepted: int,
     queue_trace: list[tuple[float, int]],
     kv_trace: list[tuple[float, float]],
+    degradation: "DegradationReport | None" = None,
 ) -> SimReport:
     """Aggregate per-request records into a :class:`SimReport`.
 
@@ -141,4 +161,5 @@ def build_report(
         mtp_acceptance_measured=draft_accepted / draft_attempts if draft_attempts else 0.0,
         queue_depth_trace=tuple(queue_trace),
         kv_occupancy_trace=tuple(kv_trace),
+        degradation=degradation,
     )

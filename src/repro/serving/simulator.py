@@ -57,6 +57,8 @@ from dataclasses import dataclass, field
 from operator import attrgetter
 
 from ..core.rng import seeded_generator
+from ..faults.report import build_degradation
+from ..faults.schedule import FaultEvent, FaultSchedule, RecoveryPolicy
 from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from .costmodel import StepCostModel
 from .kvpool import KVPoolConfig, PagedKVPool, kv_pool_blocks
@@ -68,10 +70,19 @@ COLOCATED = "colocated"
 DISAGGREGATED = "disaggregated"
 
 # Event kinds, in tie-breaking order: arrivals and transfers land
-# before step completions at the same instant.
+# before step completions at the same instant; fault/repair/retry land
+# after them (the new kinds extend the order so fault-free heaps sort
+# exactly as before).  At one instant a repair precedes a retry, so a
+# retried request sees restored capacity.
 _ARRIVAL = 0
 _DECODE_ENTER = 1
 _STEP_DONE = 2
+_FAULT = 3
+_REPAIR = 4
+_RETRY = 5
+
+#: Fault kinds the serving simulator consumes (see repro.faults).
+_SERVING_FAULT_KINDS = ("gpu", "node")
 
 #: Registry channel names the report is built from.
 QUEUE_DEPTH = "serving.queue_depth"
@@ -102,6 +113,11 @@ class SimConfig:
             cost-model cache while tracking context growth).
         slo: Goodput objectives.
         seed: Root seed for every stochastic stream.
+        faults: Optional fault schedule (``gpu``/``node`` events
+            targeting pool names; an empty target means the decode-side
+            pool).  ``None`` or an empty schedule leaves the run
+            bit-identical to a pre-fault-engine simulation.
+        recovery: Retry/backoff/shedding policy for fault survival.
     """
 
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
@@ -115,6 +131,8 @@ class SimConfig:
     context_bucket: int = 512
     slo: SLO = field(default_factory=SLO)
     seed: int = 0
+    faults: FaultSchedule | None = None
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
 
     def __post_init__(self) -> None:
         if self.mode not in (COLOCATED, DISAGGREGATED):
@@ -142,6 +160,7 @@ class _Pool:
         "name", "pid", "num_gpus", "kv", "does_prefill", "does_decode",
         "prefill_queue", "entry_queue", "active", "active_ctx", "busy",
         "current_kind", "current_batch", "step_start", "_concurrent_cap",
+        "base_gpus", "base_cap", "base_blocks", "step_epoch",
     )
 
     def __init__(
@@ -167,6 +186,13 @@ class _Pool:
         self.current_kind: str | None = None
         self.current_batch: list[Request] = []
         self.step_start = 0.0
+        # Fault-injection baseline: healthy capacity the fault engine
+        # scales from, and the epoch counter that invalidates the
+        # in-flight _STEP_DONE event when a fault aborts a step.
+        self.base_gpus = num_gpus
+        self.base_cap = 0
+        self.base_blocks = kv.config.total_blocks
+        self.step_epoch = 0
 
     @property
     def decode_cap(self) -> int:
@@ -256,11 +282,13 @@ class ServingSimulator:
             gpus = cfg.prefill_gpus + cfg.decode_gpus
             pool = _Pool("pool", 1, gpus, kv_for(gpus), True, True)
             pool.set_cap(sched.max_concurrent_per_gpu * gpus)
+            pool.base_cap = pool.decode_cap
             return (pool,)
         prefill = _Pool("prefill", 1, cfg.prefill_gpus, kv_for(cfg.prefill_gpus), True, False)
         prefill.set_cap(0)
         decode = _Pool("decode", 2, cfg.decode_gpus, kv_for(cfg.decode_gpus), False, True)
         decode.set_cap(sched.max_concurrent_per_gpu * cfg.decode_gpus)
+        decode.base_cap = decode.decode_cap
         return (prefill, decode)
 
     # -- event loop ------------------------------------------------------
@@ -291,6 +319,23 @@ class ServingSimulator:
         requests = generate_requests(cfg.workload, seeded_generator(cfg.seed, "workload"))
         for request in requests:
             push(request.arrival, _ARRIVAL, request)
+
+        # Fault schedule: serving-applicable events enter the same heap
+        # as ordinary simulation events.  An absent/empty schedule adds
+        # nothing, keeping the fault-free event sequence — and thus the
+        # golden outputs — bit-identical.
+        fault_events = (
+            cfg.faults.for_kinds(_SERVING_FAULT_KINDS) if cfg.faults else ()
+        )
+        for event in fault_events:
+            push(event.time, _FAULT, event)
+        self._active_faults = 0
+        self._n_retries = 0
+        self._n_retry_dropped = 0
+        self._n_shed = 0
+        self._n_evicted = 0
+        self._n_steps_aborted = 0
+        self._lost_tokens = 0
 
         finished: list[Request] = []
         dropped: list[Request] = []
@@ -332,6 +377,10 @@ class ServingSimulator:
             now, kind, _, payload = heapq.heappop(heap)
             if kind == _ARRIVAL:
                 assert isinstance(payload, Request)
+                if self._active_faults and self._shed_arrival(
+                    payload, now, pools, dropped
+                ):
+                    continue
                 payload.queued_since = now
                 prefill_pool.prefill_queue.append(payload)
                 if tracer.enabled:
@@ -339,10 +388,23 @@ class ServingSimulator:
             elif kind == _DECODE_ENTER:
                 assert isinstance(payload, Request)
                 decode_pool.entry_queue.append(payload)
-            else:
-                assert isinstance(payload, _Pool)
-                self._finish_step(payload, now, pools, finished, push)
+            elif kind == _STEP_DONE:
+                pool, epoch = payload
+                if epoch != pool.step_epoch:
+                    continue  # step was aborted by a fault; completion is stale
+                self._finish_step(pool, now, pools, finished, push)
                 sample_channels(now)
+            elif kind == _FAULT:
+                assert isinstance(payload, FaultEvent)
+                self._apply_fault(payload, now, pools, dropped, push)
+                sample_channels(now)
+            elif kind == _REPAIR:
+                self._apply_repair(payload, now)
+                sample_channels(now)
+            else:  # _RETRY: backoff elapsed, re-enter the prefill queue
+                assert isinstance(payload, Request)
+                payload.queued_since = now
+                prefill_pool.prefill_queue.append(payload)
             for pool in pools:
                 self._try_start(pool, now, pools, dropped, push)
 
@@ -357,6 +419,34 @@ class ServingSimulator:
             ("serving.requests_dropped", self._n_dropped),
         ):
             metrics.counter(name).inc(value)
+        degradation = None
+        if fault_events:
+            # Fault channels exist only on faulty runs, so fault-free
+            # registries (and their snapshots) are untouched.
+            for name, value in (
+                ("serving.fault_retries", self._n_retries),
+                ("serving.fault_retry_dropped", self._n_retry_dropped),
+                ("serving.fault_shed", self._n_shed),
+                ("serving.fault_evicted", self._n_evicted),
+                ("serving.fault_steps_aborted", self._n_steps_aborted),
+                ("serving.fault_lost_tokens", self._lost_tokens),
+            ):
+                metrics.counter(name).inc(value)
+            degradation = build_degradation(
+                requests,
+                fault_events,
+                cfg.slo,
+                horizon=duration,
+                admitted=len(requests),
+                finished=self._n_completed,
+                dropped=self._n_dropped,
+                shed=self._n_shed,
+                retry_dropped=self._n_retry_dropped,
+                retries=self._n_retries,
+                evicted=self._n_evicted,
+                steps_aborted=self._n_steps_aborted,
+                lost_tokens=self._lost_tokens,
+            )
         report = build_report(
             finished,
             cfg.slo,
@@ -368,6 +458,7 @@ class ServingSimulator:
             self._n_draft_accepted,
             queue_series.samples,
             kv_series.samples,
+            degradation=degradation,
         )
         self.decode_batch_profile = tuple(
             (batch, count, total / count)
@@ -393,6 +484,132 @@ class ServingSimulator:
                 args={"context_tokens": request.context_tokens},
             )
 
+    # -- fault injection (repro.faults) ----------------------------------
+
+    def _fault_pool(self, event: FaultEvent, pools: tuple[_Pool, ...]) -> _Pool:
+        """Resolve a fault's victim pool (empty target → decode side)."""
+        for pool in pools:
+            if pool.name == event.target:
+                return pool
+        return pools[-1]
+
+    def _emit_failed_gpus(self, pool: _Pool, now: float) -> None:
+        down = pool.base_gpus - pool.num_gpus
+        self.metrics.gauge(f"serving.failed_gpus.{pool.name}").set(down)
+        if self.tracer.enabled:
+            self.tracer.counter("failed_gpus", pool.pid, now, {"gpus": down})
+
+    def _apply_fault(
+        self,
+        event: FaultEvent,
+        now: float,
+        pools: tuple[_Pool, ...],
+        dropped: list[Request],
+        push,
+    ) -> None:
+        """Inject one gpu/node failure: abort the in-flight step, shrink
+        capacity and KV, evict what no longer fits, schedule repair."""
+        pool = self._fault_pool(event, pools)
+        lost = min(event.gpus_lost, pool.num_gpus)
+        prefill_pool = pools[0]
+        if pool.busy:
+            # The step dies with the hardware: its completion event is
+            # invalidated via the epoch counter and its work is lost.
+            batch, step_kind = pool.current_batch, pool.current_kind
+            pool.busy = False
+            pool.current_batch, pool.current_kind = [], None
+            pool.step_epoch += 1
+            self._n_steps_aborted += 1
+            if step_kind == "prefill":
+                # Partial prefill produced nothing durable: release the
+                # batch's KV and put it back at the head of the queue.
+                for request in reversed(batch):
+                    pool.kv.free(request.rid)
+                    request.kv_tokens = 0
+                    request.queued_since = now
+                    prefill_pool.prefill_queue.appendleft(request)
+            # An aborted decode step emitted no tokens; its requests
+            # stay active (their KV survives on the remaining GPUs) and
+            # the eviction pass below trims them to the shrunken pool.
+        if lost:
+            pool.num_gpus -= lost
+            pool.set_cap(pool.base_cap * pool.num_gpus // pool.base_gpus)
+            pool.kv.resize(max(1, pool.base_blocks * pool.num_gpus // pool.base_gpus))
+        # Evict newest-first until the survivors fit the degraded pool —
+        # the same victim order as KV preemption, but through the retry
+        # path (evicted work re-prefills after backoff).
+        active = pool.active
+        while active and (len(active) > pool.decode_cap or pool.kv.free_blocks < 0):
+            victim = active.pop()
+            pool.active_ctx -= victim.prompt_tokens + victim.generated
+            victim.decoding = False
+            pool.kv.free(victim.rid)
+            victim.kv_tokens = 0
+            self._fail_request(victim, now, dropped, push)
+        self._active_faults += 1
+        if math.isfinite(event.mttr):
+            push(event.time + event.mttr, _REPAIR, (pool, lost))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault", "fault", pool.pid, 0, now,
+                args={"kind": event.kind, "gpus_lost": lost},
+            )
+        self._emit_failed_gpus(pool, now)
+
+    def _apply_repair(self, payload: tuple[_Pool, int], now: float) -> None:
+        """Return repaired capacity to service after its MTTR."""
+        pool, lost = payload
+        pool.num_gpus += lost
+        pool.set_cap(pool.base_cap * pool.num_gpus // pool.base_gpus)
+        pool.kv.resize(max(1, pool.base_blocks * pool.num_gpus // pool.base_gpus))
+        self._active_faults -= 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "repair", "fault", pool.pid, 0, now, args={"gpus_restored": lost}
+            )
+        self._emit_failed_gpus(pool, now)
+
+    def _fail_request(
+        self, request: Request, now: float, dropped: list[Request], push
+    ) -> None:
+        """An in-flight request lost its GPU: retry with exponential
+        backoff until the budget runs out, then drop."""
+        policy = self.config.recovery
+        self._n_evicted += 1
+        self._lost_tokens += request.generated
+        request.retries += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "evict", "fault", self._requests_pid, request.rid, now,
+                args={"retries": request.retries, "generated": request.generated},
+            )
+        if request.retries > policy.retry_budget:
+            self._n_retry_dropped += 1
+            self._drop(request, now, dropped)
+            return
+        self._n_retries += 1
+        delay = policy.backoff_base * policy.backoff_factor ** (request.retries - 1)
+        push(now + delay, _RETRY, request)
+
+    def _shed_arrival(
+        self,
+        request: Request,
+        now: float,
+        pools: tuple[_Pool, ...],
+        dropped: list[Request],
+    ) -> bool:
+        """Degraded admission control: while a fault window is open,
+        arrivals beyond the queue limit are shed at the door (FCFS makes
+        the newest entrant the lowest-priority one)."""
+        depth = 0
+        for pool in pools:
+            depth += len(pool.prefill_queue) + len(pool.entry_queue)
+        if depth < self.config.recovery.degraded_queue_limit:
+            return False
+        self._n_shed += 1
+        self._drop(request, now, dropped)
+        return True
+
     # -- scheduling ------------------------------------------------------
 
     def _try_start(
@@ -403,7 +620,7 @@ class ServingSimulator:
         dropped: list[Request],
         push,
     ) -> None:
-        if pool.busy:
+        if pool.busy or pool.num_gpus < 1:
             return
         cfg = self.config
         tracer = self.tracer
@@ -416,8 +633,14 @@ class ServingSimulator:
             )
             if not batch:
                 head = pool.prefill_queue[0]
-                if pool.kv.blocks_for(head.context_tokens + 1) > pool.kv.config.total_blocks:
+                if (
+                    not self._active_faults
+                    and pool.kv.blocks_for(head.context_tokens + 1)
+                    > pool.kv.config.total_blocks
+                ):
                     # Larger than the whole pool: can never fit, drop it.
+                    # (While a fault window is open the pool is shrunk —
+                    # the head may fit again after repair, so it waits.)
                     self._drop(pool.prefill_queue.popleft(), now, dropped)
                     return self._try_start(pool, now, pools, dropped, push)
             if batch:
@@ -431,7 +654,7 @@ class ServingSimulator:
                 if tracer.enabled:
                     for request in batch:
                         self._span("queued", request, request.queued_since, now)
-                push(now + duration, _STEP_DONE, pool)
+                push(now + duration, _STEP_DONE, (pool, pool.step_epoch))
                 return
         if pool.does_decode and pool.active:
             batch, context_tokens = pool.select_batch(pool.decode_cap)
@@ -450,7 +673,7 @@ class ServingSimulator:
             else:
                 profile[0] += 1
                 profile[1] += duration
-            push(now + duration, _STEP_DONE, pool)
+            push(now + duration, _STEP_DONE, (pool, pool.step_epoch))
 
     def _admit_entrants(self, pool: _Pool, now: float, dropped: list[Request]) -> None:
         kv = pool.kv
@@ -458,6 +681,8 @@ class ServingSimulator:
             head = pool.entry_queue[0]
             if not kv.allocate(head.rid, head.context_tokens + 1):
                 if kv.blocks_for(head.context_tokens + 1) > kv.config.total_blocks:
+                    if self._active_faults:
+                        break  # pool is shrunk; may fit again after repair
                     self._drop(pool.entry_queue.popleft(), now, dropped)
                     continue
                 break

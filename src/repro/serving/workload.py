@@ -46,6 +46,7 @@ class Request:
     finish_time: float = -1.0
     generated: int = 0
     prefill_runs: int = 0  # >1 means the request was preempted and recomputed
+    retries: int = 0  # fault-eviction requeues consumed (bounded by the retry budget)
     queued_since: float = -1.0  # start of the current wait (arrival or requeue)
     decode_since: float = -1.0  # when the request last entered a decode pool
     # -- hot-path caches (owned by the pool the request sits in) --------

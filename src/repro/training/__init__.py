@@ -16,7 +16,14 @@ from .modules import (
     TrainableMoELayer,
 )
 from .mtp_eval import AcceptanceReport, measure_mtp_acceptance, sample_windows
-from .trainer import TrainResult, ValidationReport, train, validate_precision
+from .trainer import (
+    GoodputReport,
+    TrainResult,
+    ValidationReport,
+    simulate_checkpointed_training,
+    train,
+    validate_precision,
+)
 
 __all__ = [
     "SyntheticCorpus",
@@ -39,8 +46,10 @@ __all__ = [
     "AcceptanceReport",
     "measure_mtp_acceptance",
     "sample_windows",
+    "GoodputReport",
     "TrainResult",
     "ValidationReport",
+    "simulate_checkpointed_training",
     "train",
     "validate_precision",
 ]

@@ -45,6 +45,8 @@ def test_parameter_table_drops_empty_components():
         ["serve-sim", "--smoke"],
         ["serve-sim", "--smoke", "--mode", "colocated", "--mtp", "--arrival", "bursty"],
         ["serve-sim", "--smoke", "--json"],
+        ["serve-sim", "--smoke", "--faults", "mtbf:4:2"],
+        ["serve-sim", "--smoke", "--faults", "mtbf:4:2", "--json"],
     ],
 )
 def test_cli_commands_run(argv, capsys):
@@ -68,6 +70,32 @@ def test_cli_serve_sim_smoke_is_seeded(capsys):
     assert first == second
     assert "completed 40" in first
     assert "TPOT" in first and "goodput" in first
+
+
+def test_cli_serve_sim_faults_prints_degradation(capsys):
+    main(["serve-sim", "--smoke", "--seed", "7", "--faults", "mtbf:4:2"])
+    out = capsys.readouterr().out
+    assert "identity holds" in out
+    assert "fault on" in out
+
+
+def test_cli_trace_training_faults_runs_goodput_sim(tmp_path, capsys):
+    out_path = tmp_path / "train.trace.json"
+    main(
+        [
+            "trace",
+            "--scenario",
+            "training",
+            "--smoke",
+            "--faults",
+            "mtbf:7200",
+            "--out",
+            str(out_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "checkpointed goodput sim" in out
+    assert out_path.exists()
 
 
 def test_cli_serve_sim_rejects_unknown_mode():

@@ -1,0 +1,496 @@
+"""Tests for the fault injection & recovery engine (:mod:`repro.faults`).
+
+Covers the schedule layer (ordering, serialization, MTBF sampling, CLI
+parsing), the serving integration (seeded determinism, retry/backoff
+bounds, degraded admission, the request conservation identity), the
+network integration (plane isolation, reroute-or-stall, repair), the
+failover restore helpers, and the checkpoint/restart goodput simulation
+pinned against the Young-Daly closed form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import pytest
+
+from repro.faults import (
+    NEVER,
+    NODE_GPUS,
+    FaultEvent,
+    FaultSchedule,
+    RecoveryPolicy,
+    cluster_reroute,
+    expand_plane_schedule,
+    link_target,
+    parse_faults_arg,
+)
+from repro.network import Flow, FlowSimulator, build_mpft_cluster, planes_used, pxn_path
+from repro.obs import Tracer
+from repro.reliability import (
+    fail_link,
+    fail_switch,
+    failed,
+    goodput_fraction,
+    hosts_reachable,
+    optimal_checkpoint_interval,
+    restore_link,
+    restore_switch,
+)
+from repro.serving import (
+    KVPoolConfig,
+    PagedKVPool,
+    ServingSimulator,
+    SimConfig,
+    WorkloadSpec,
+    report_asdict,
+)
+from repro.training import simulate_checkpointed_training
+
+
+# -- schedules -----------------------------------------------------------
+
+
+class TestFaultSchedule:
+    def test_events_sort_by_time(self):
+        late = FaultEvent(time=9.0, kind="gpu")
+        early = FaultEvent(time=1.0, kind="node")
+        sched = FaultSchedule(events=(late, early))
+        assert sched.times() == (1.0, 9.0)
+        assert sched.events[0] is early
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=-1.0, kind="gpu")
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind="meteor")
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind="gpu", count=0)
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind="gpu", mttr=0.0)
+
+    def test_gpus_lost(self):
+        assert FaultEvent(time=0.0, kind="gpu", count=3).gpus_lost == 3
+        assert FaultEvent(time=0.0, kind="node", count=2).gpus_lost == 2 * NODE_GPUS
+
+    def test_empty_schedule_is_falsy(self):
+        assert not FaultSchedule()
+        assert FaultSchedule(events=(FaultEvent(time=0.0, kind="step"),))
+
+    def test_for_kinds_filters(self):
+        sched = FaultSchedule(
+            events=(
+                FaultEvent(time=1.0, kind="gpu", target="decode"),
+                FaultEvent(time=2.0, kind="link", target="a|b"),
+                FaultEvent(time=3.0, kind="step"),
+            )
+        )
+        assert [e.kind for e in sched.for_kinds(("gpu", "node"))] == ["gpu"]
+        assert sched.times(("step",)) == (3.0,)
+
+    def test_json_roundtrip(self, tmp_path):
+        sched = FaultSchedule(
+            events=(
+                FaultEvent(time=5.0, kind="node", target="pool", count=2, mttr=30.0),
+                FaultEvent(time=1.5, kind="link", target="a|b"),
+            )
+        )
+        # text, dict and file-path forms all reproduce the schedule
+        assert FaultSchedule.from_json(sched.to_json()) == sched
+        assert FaultSchedule.from_json({"events": [e.to_dict() for e in sched.events]}) == sched
+        path = tmp_path / "faults.json"
+        path.write_text(sched.to_json())
+        assert FaultSchedule.from_json(path) == sched
+
+    def test_infinite_mttr_survives_roundtrip(self):
+        sched = FaultSchedule(events=(FaultEvent(time=1.0, kind="gpu"),))
+        event = FaultSchedule.from_json(sched.to_json()).events[0]
+        assert event.mttr == math.inf
+
+    def test_sampled_is_seed_deterministic(self):
+        kwargs = dict(kind="node", targets=("prefill", "decode"), mttr=25.0)
+        a = FaultSchedule.sampled(100.0, 1000.0, seed=11, **kwargs)
+        b = FaultSchedule.sampled(100.0, 1000.0, seed=11, **kwargs)
+        c = FaultSchedule.sampled(100.0, 1000.0, seed=12, **kwargs)
+        assert a == b
+        assert a != c
+        assert a.events  # horizon of 10x MTBF: failures all but certain
+        assert all(0 <= e.time < 1000.0 for e in a.events)
+        assert all(e.target in ("prefill", "decode") for e in a.events)
+        assert all(e.mttr == 25.0 for e in a.events)
+
+    def test_sampled_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.sampled(0.0, 10.0, seed=0)
+        with pytest.raises(ValueError):
+            FaultSchedule.sampled(1.0, 10.0, seed=0, targets=())
+
+    def test_parse_mtbf_forms(self):
+        sched = parse_faults_arg("mtbf:50", horizon=500.0, seed=3)
+        assert all(e.mttr == 5.0 for e in sched.events)  # default MTBF/10
+        sched = parse_faults_arg("mtbf:50:2", horizon=500.0, seed=3)
+        assert all(e.mttr == 2.0 for e in sched.events)
+        sched = parse_faults_arg("mtbf:50:2:100", horizon=500.0, seed=3)
+        assert all(e.time < 100.0 for e in sched.events)  # explicit horizon wins
+        with pytest.raises(ValueError):
+            parse_faults_arg("mtbf:", horizon=10.0, seed=0)
+
+    def test_parse_json_path(self, tmp_path):
+        sched = FaultSchedule(events=(FaultEvent(time=2.0, kind="gpu", target="pool"),))
+        path = tmp_path / "sched.json"
+        path.write_text(sched.to_json())
+        assert parse_faults_arg(str(path), horizon=10.0, seed=0) == sched
+
+    def test_recovery_policy_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(retry_budget=-1)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(backoff_base=0.0)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(degraded_queue_limit=0)
+
+
+# -- serving integration -------------------------------------------------
+
+
+def _node_failure_config() -> SimConfig:
+    """A colocated pool under load that loses a node for 10 s at t=5."""
+    return SimConfig(
+        workload=WorkloadSpec(
+            request_rate=10.0,
+            num_requests=300,
+            prompt_mean=512,
+            output_mean=128,
+            arrival="bursty",
+        ),
+        mode="colocated",
+        prefill_gpus=2,
+        decode_gpus=8,
+        kv_blocks_per_gpu=40,
+        seed=7,
+        faults=FaultSchedule(
+            events=(FaultEvent(time=5.0, kind="node", target="pool", mttr=10.0),)
+        ),
+        recovery=RecoveryPolicy(retry_budget=2, degraded_queue_limit=24),
+    )
+
+
+class TestServingFaults:
+    def test_fault_free_run_has_no_degradation(self):
+        config = SimConfig(
+            workload=WorkloadSpec(request_rate=4.0, num_requests=40), seed=1
+        )
+        report = ServingSimulator(config).run()
+        assert report.degradation is None
+        assert "degradation" not in report_asdict(report)
+
+    def test_seeded_fault_run_is_reproducible(self, tmp_path):
+        digests, reports = [], []
+        for i in range(2):
+            tracer = Tracer()
+            report = ServingSimulator(_node_failure_config(), tracer=tracer).run()
+            path = tmp_path / f"run{i}.trace.json"
+            tracer.write(str(path))
+            digests.append(hashlib.sha256(path.read_bytes()).hexdigest())
+            reports.append(report)
+        assert reports[0] == reports[1]
+        assert digests[0] == digests[1]
+
+    def test_node_failure_accounting_and_recovery(self):
+        report = ServingSimulator(_node_failure_config()).run()
+        d = report.degradation
+        assert d is not None and len(d.windows) == 1
+        # The conservation identity: every arrival is accounted for.
+        assert d.accounted
+        assert d.admitted == 300
+        assert d.finished == report.completed
+        assert d.dropped >= d.shed + d.retry_dropped
+        # Goodput dips during the outage and recovers past it after repair.
+        w = d.windows[0]
+        assert w.gpus_lost == NODE_GPUS
+        assert w.goodput_during < w.goodput_before
+        assert w.goodput_after > w.goodput_during
+        # Degraded admission shed load; the step in flight was aborted.
+        assert d.shed > 0
+        assert d.steps_aborted >= 1
+        assert d.lost_tokens > 0
+        # Every eviction either retried or exhausted its budget.
+        assert d.evicted == d.retries + d.retry_dropped
+
+    def test_permanent_fault_strands_requests(self):
+        config = SimConfig(
+            workload=WorkloadSpec(request_rate=4.0, num_requests=60),
+            mode="colocated",
+            prefill_gpus=1,
+            decode_gpus=3,
+            seed=5,
+            faults=FaultSchedule(
+                events=(FaultEvent(time=2.0, kind="node", target="pool"),)
+            ),
+        )
+        report = ServingSimulator(config).run()
+        d = report.degradation
+        assert d is not None and d.accounted
+        # All four GPUs die and never return: later arrivals are stranded.
+        assert d.unserved > 0
+        w = d.windows[0]
+        assert w.end == NEVER
+        assert w.goodput_after == 0.0
+
+    def test_null_schedule_equals_no_schedule(self):
+        base = SimConfig(workload=WorkloadSpec(request_rate=4.0, num_requests=40), seed=2)
+        nulled = SimConfig(
+            workload=WorkloadSpec(request_rate=4.0, num_requests=40),
+            seed=2,
+            faults=FaultSchedule(),
+        )
+        assert ServingSimulator(base).run() == ServingSimulator(nulled).run()
+
+
+# -- paged KV pool resize ------------------------------------------------
+
+
+class TestKvPoolResize:
+    def test_grow_and_shrink(self):
+        pool = PagedKVPool(KVPoolConfig(total_blocks=10, block_tokens=64))
+        assert pool.allocate(1, 64 * 6)
+        assert pool.free_blocks == 4
+        pool.resize(16)
+        assert pool.free_blocks == 10
+        assert pool.config.total_blocks == 16
+        pool.resize(4)  # below the 6 blocks held: over-committed
+        assert pool.free_blocks == -2
+        pool.free(1)
+        assert pool.free_blocks == 4
+
+    def test_resize_validation(self):
+        pool = PagedKVPool(KVPoolConfig(total_blocks=4))
+        with pytest.raises(ValueError):
+            pool.resize(0)
+
+
+# -- failover restore helpers --------------------------------------------
+
+
+class TestFailoverRestore:
+    def test_link_roundtrip(self):
+        cluster = build_mpft_cluster(2)
+        topo = cluster.topology
+        a, b = "n0g0", "MPFT/p0/leaf0"
+        before = dict(topo.graph.edges[a, b])
+        attrs = fail_link(topo, a, b)
+        assert not topo.graph.has_edge(a, b)
+        restore_link(topo, a, b, attrs)
+        assert dict(topo.graph.edges[a, b]) == before
+        with pytest.raises(KeyError):
+            restore_link(topo, a, b, attrs)  # already up
+        with pytest.raises(KeyError):
+            fail_link(topo, a, "no-such-node")
+
+    def test_switch_roundtrip(self):
+        cluster = build_mpft_cluster(2)
+        topo = cluster.topology
+        switch = "MPFT/p1/leaf0"
+        degree = topo.graph.degree[switch]
+        node_attrs, links = fail_switch(topo, switch)
+        assert switch not in topo.graph
+        assert len(links) == degree
+        restore_switch(topo, switch, node_attrs, links)
+        assert topo.graph.degree[switch] == degree
+        assert topo.graph.nodes[switch]["plane"] == 1
+        with pytest.raises(KeyError):
+            restore_switch(topo, switch, node_attrs, links)
+        with pytest.raises(KeyError):
+            fail_switch(topo, "n0g0")  # hosts are not switches
+
+    def test_failed_context_manager_heals(self):
+        cluster = build_mpft_cluster(2)
+        topo = cluster.topology
+        edges_before = topo.graph.number_of_edges()
+        with failed(topo, links=(("n0g0", "MPFT/p0/leaf0"),), switches=("MPFT/p0/leaf0",)):
+            assert "MPFT/p0/leaf0" not in topo.graph
+            # Plane 0 is gone, but the NVLink detour keeps hosts reachable.
+            assert hosts_reachable(topo, "n0g0", "n1g0")
+        assert topo.graph.number_of_edges() == edges_before
+        assert topo.graph.has_edge("n0g0", "MPFT/p0/leaf0")
+
+    def test_failed_restores_on_exception(self):
+        cluster = build_mpft_cluster(2)
+        topo = cluster.topology
+        edges_before = topo.graph.number_of_edges()
+        with pytest.raises(RuntimeError):
+            with failed(topo, switches=("MPFT/p0/leaf0",)):
+                raise RuntimeError("body blew up")
+        assert topo.graph.number_of_edges() == edges_before
+
+
+# -- network flow integration --------------------------------------------
+
+
+@pytest.fixture(scope="class")
+def mpft():
+    cluster = build_mpft_cluster(4)
+    flows = []
+    for p in range(4):
+        src, dst = f"n0g{p}", f"n1g{p}"
+        flows.append(Flow(src, dst, 1e9, pxn_path(cluster, src, dst), tag=f"p{p}"))
+    return cluster, flows
+
+
+class TestNetworkFaults:
+    def test_empty_schedule_is_identical(self, mpft):
+        cluster, flows = mpft
+        sim = FlowSimulator(cluster.topology)
+        base = sim.simulate(flows)
+        nulled = sim.simulate(flows, faults=FaultSchedule())
+        assert nulled.completion == base.completion
+        assert sim.fault_report is None
+
+    def test_plane_isolation_without_reroute(self, mpft):
+        """§5.1.1: a dead plane stalls only its own traffic."""
+        cluster, flows = mpft
+        sim = FlowSimulator(cluster.topology)
+        base = sim.simulate(flows)
+        schedule = expand_plane_schedule(
+            cluster,
+            FaultSchedule(events=(FaultEvent(time=0.001, kind="plane", target="0"),)),
+        )
+        # Lowered to per-switch failures (4 nodes: one leaf per plane).
+        assert all(e.kind == "switch" for e in schedule.events)
+        result = sim.simulate(flows, faults=schedule)
+        assert result.completion[0] == math.inf  # plane-0 flow never finishes
+        assert 0 in sim.fault_report.unfinished
+        assert 0 in sim.fault_report.stalled
+        # Surviving planes are bit-for-bit unaffected by the outage.
+        for i in range(1, 4):
+            assert result.completion[i] == pytest.approx(base.completion[i], abs=1e-9)
+        assert result.makespan < math.inf
+
+    def test_reroute_escapes_dead_plane(self, mpft):
+        cluster, flows = mpft
+        sim = FlowSimulator(cluster.topology)
+        schedule = expand_plane_schedule(
+            cluster,
+            FaultSchedule(events=(FaultEvent(time=0.001, kind="plane", target="0"),)),
+        )
+        result = sim.simulate(flows, faults=schedule, reroute=cluster_reroute(cluster))
+        assert all(t < math.inf for t in result.completion.values())
+        assert 0 in sim.fault_report.rerouted
+        assert sim.fault_report.unfinished == ()
+        # The policy's detour really leaves plane 0 (PXN over NVLink).
+        alive = {
+            edge: cap
+            for edge, cap in sim.capacities.items()
+            if "p0/" not in edge[0] and "p0/" not in edge[1]
+        }
+        path = cluster_reroute(cluster)(flows[0], alive)
+        assert path is not None
+        assert 0 not in planes_used(cluster, path)
+
+    def test_repair_resumes_original_path(self, mpft):
+        cluster, flows = mpft
+        sim = FlowSimulator(cluster.topology)
+        base = sim.simulate(flows)
+        schedule = expand_plane_schedule(
+            cluster,
+            FaultSchedule(
+                events=(FaultEvent(time=0.001, kind="plane", target="0", mttr=0.02),)
+            ),
+        )
+        result = sim.simulate(flows, faults=schedule)
+        # The stalled flow finishes exactly one repair window late.
+        assert result.completion[0] == pytest.approx(base.completion[0] + 0.02, rel=1e-6)
+        assert sim.fault_report.stall_time == pytest.approx(0.02, rel=1e-6)
+        assert sim.fault_report.unfinished == ()
+
+    def test_unlowered_plane_event_rejected(self, mpft):
+        cluster, flows = mpft
+        sim = FlowSimulator(cluster.topology)
+        schedule = FaultSchedule(events=(FaultEvent(time=0.001, kind="plane", target="0"),))
+        with pytest.raises(ValueError, match="expand_plane_schedule"):
+            sim.simulate(flows, faults=schedule)
+
+    def test_link_fault_targets_one_cable(self, mpft):
+        cluster, flows = mpft
+        sim = FlowSimulator(cluster.topology)
+        base = sim.simulate(flows)
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(
+                    time=0.001,
+                    kind="link",
+                    target=link_target("n0g2", "MPFT/p2/leaf0"),
+                    mttr=0.01,
+                ),
+            )
+        )
+        result = sim.simulate(flows, faults=schedule)
+        assert result.completion[2] == pytest.approx(base.completion[2] + 0.01, rel=1e-6)
+        for i in (0, 1, 3):
+            assert result.completion[i] == pytest.approx(base.completion[i], abs=1e-9)
+
+
+# -- checkpoint/restart goodput ------------------------------------------
+
+
+class TestCheckpointedTraining:
+    def test_matches_young_daly_at_optimal_interval(self):
+        """§6.1: simulated goodput within 10% of the closed form."""
+        mtbf, ckpt, restart = 7200.0, 60.0, 900.0
+        interval = optimal_checkpoint_interval(ckpt, mtbf)
+        predicted = goodput_fraction(ckpt, restart, mtbf, interval)
+        report = simulate_checkpointed_training(
+            400 * mtbf, interval, ckpt, restart, mtbf=mtbf, seed=42
+        )
+        assert report.failures > 100  # long enough to average out noise
+        assert abs(report.goodput - predicted) / predicted < 0.10
+
+    def test_wall_time_identity_and_determinism(self):
+        mtbf = 500.0
+        runs = [
+            simulate_checkpointed_training(
+                40 * mtbf, 200.0, 10.0, 50.0, mtbf=mtbf, seed=9
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        r = runs[0]
+        total = r.work_target + r.checkpoint_time + r.restart_time + r.lost_time
+        assert r.wall_time == pytest.approx(total, rel=1e-12)
+        assert r.failures > 0 and r.lost_time > 0
+
+    def test_failure_free_run(self):
+        report = simulate_checkpointed_training(1000.0, 100.0, 5.0, 50.0)
+        assert report.failures == 0
+        assert report.checkpoints == 9  # the final chunk needs no checkpoint
+        assert report.wall_time == pytest.approx(1000.0 + 9 * 5.0)
+        assert report.goodput == pytest.approx(1000.0 / 1045.0)
+
+    def test_explicit_step_schedule(self):
+        faults = FaultSchedule(events=(FaultEvent(time=150.0, kind="step"),))
+        report = simulate_checkpointed_training(1000.0, 100.0, 5.0, 20.0, faults=faults)
+        assert report.failures == 1
+        assert report.restart_time == 20.0
+        # The failure lands mid-second-interval: work since the last
+        # completed checkpoint is lost.
+        assert report.lost_time > 0
+        total = (
+            report.work_target
+            + report.checkpoint_time
+            + report.restart_time
+            + report.lost_time
+        )
+        assert report.wall_time == pytest.approx(total, rel=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_checkpointed_training(0.0, 10.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            simulate_checkpointed_training(10.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            simulate_checkpointed_training(10.0, 5.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            simulate_checkpointed_training(10.0, 5.0, 1.0, 1.0, mtbf=0.0)

@@ -31,6 +31,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.faults import FaultSchedule
 from repro.obs import Tracer
 from repro.serving import (
     MTPConfig,
@@ -39,6 +40,7 @@ from repro.serving import (
     StepCostModel,
     WorkloadSpec,
 )
+from repro.serving.report import report_asdict
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
 
@@ -88,14 +90,18 @@ SCENARIOS = {
 }
 
 
-def _run(name: str, trace_path: Path) -> dict:
+def _run(name: str, trace_path: Path, config: SimConfig | None = None) -> dict:
     """Run one scenario with tracing on; return the pinnable payload."""
     tracer = Tracer()
-    simulator = ServingSimulator(SCENARIOS[name](), tracer=tracer)
+    simulator = ServingSimulator(
+        SCENARIOS[name]() if config is None else config, tracer=tracer
+    )
     report = simulator.run()
     tracer.write(str(trace_path))
+    # report_asdict drops the always-None degradation key of fault-free
+    # runs, so the payload shape matches the pre-fault-engine goldens.
     return {
-        "report": dataclasses.asdict(report),
+        "report": report_asdict(report),
         "dropped": list(simulator.dropped),
         "decode_batch_profile": [list(row) for row in simulator.decode_batch_profile],
         "trace_sha256": hashlib.sha256(trace_path.read_bytes()).hexdigest(),
@@ -113,6 +119,18 @@ def test_simreport_matches_golden(name: str, tmp_path: Path) -> None:
     current = _run(name, tmp_path / f"{name}.trace.json")
     # Compare via canonical JSON so the diff on failure is readable and
     # float comparison is repr-exact (bit-identical round trip).
+    assert json.dumps(current, sort_keys=True) == json.dumps(golden, sort_keys=True)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_null_fault_schedule_is_byte_identical(name: str, tmp_path: Path) -> None:
+    """Faults *disabled* must mean exactly that: a config carrying an
+    empty :class:`FaultSchedule` (and the default recovery policy) must
+    reproduce the pre-fault-engine goldens bit-for-bit — SimReport JSON
+    and trace SHA-256 both."""
+    golden = json.loads(_golden_path(name).read_text())
+    config = dataclasses.replace(SCENARIOS[name](), faults=FaultSchedule())
+    current = _run(name, tmp_path / f"{name}.nullfaults.trace.json", config=config)
     assert json.dumps(current, sort_keys=True) == json.dumps(golden, sort_keys=True)
 
 
