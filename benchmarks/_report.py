@@ -10,6 +10,7 @@ bench harness and the ``repro trace`` CLI share one formatter.
 
 from __future__ import annotations
 
+import functools
 import json
 import subprocess
 from pathlib import Path
@@ -19,12 +20,16 @@ from repro.obs.summary import print_table
 __all__ = ["compare", "default_meta", "paper_vs_measured", "print_table", "write_json"]
 
 
-def default_meta(**extra: object) -> dict:
-    """A self-description block for :func:`write_json`: the git SHA of
-    the working tree (``"unknown"`` outside a repo) plus any bench
-    configuration passed as keyword arguments."""
+@functools.lru_cache(maxsize=1)
+def _git_sha() -> str:
+    """The working tree's HEAD SHA, computed once per process.
+
+    Benches that sweep many configurations call :func:`default_meta`
+    per payload; the SHA cannot change mid-run, so spawning one
+    ``git rev-parse`` subprocess per call was pure overhead.
+    """
     try:
-        sha = subprocess.run(
+        return subprocess.run(
             ["git", "rev-parse", "HEAD"],
             cwd=Path(__file__).resolve().parent,
             capture_output=True,
@@ -32,8 +37,14 @@ def default_meta(**extra: object) -> dict:
             check=True,
         ).stdout.strip()
     except (OSError, subprocess.CalledProcessError):
-        sha = "unknown"
-    return {"git_sha": sha, **extra}
+        return "unknown"
+
+
+def default_meta(**extra: object) -> dict:
+    """A self-description block for :func:`write_json`: the git SHA of
+    the working tree (``"unknown"`` outside a repo) plus any bench
+    configuration passed as keyword arguments."""
+    return {"git_sha": _git_sha(), **extra}
 
 
 def write_json(name: str, payload: dict, meta: dict | None = None) -> Path:

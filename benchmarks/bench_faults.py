@@ -26,70 +26,79 @@ from _report import compare, default_meta, print_table, write_json
 from repro.faults import (
     FaultEvent,
     FaultSchedule,
-    RecoveryPolicy,
     cluster_reroute,
     expand_plane_schedule,
 )
 from repro.network import Flow, FlowSimulator, build_mpft_cluster, pxn_path
 from repro.reliability import goodput_fraction, optimal_checkpoint_interval
-from repro.serving import ServingSimulator, SimConfig, WorkloadSpec
-from repro.training import simulate_checkpointed_training
+from repro.sweep import SweepSpec, run_sweep
 
 SEED = 7
 
-
-def _serving_config(faults: FaultSchedule | None) -> SimConfig:
-    return SimConfig(
-        workload=WorkloadSpec(
-            request_rate=10.0,
-            num_requests=300,
-            prompt_mean=512,
-            output_mean=128,
-            arrival="bursty",
-        ),
-        mode="colocated",
-        prefill_gpus=2,
-        decode_gpus=8,
-        kv_blocks_per_gpu=40,
-        seed=SEED,
-        faults=faults,
-        recovery=RecoveryPolicy(retry_budget=2, degraded_queue_limit=24),
-    )
+#: The serving scenario, as flat keys of the sweep engine's ``serving``
+#: target.  The seed is pinned in the base config so every fault
+#: variant replays the identical arrival stream.
+_SERVING_BASE = {
+    "request_rate": 10.0,
+    "num_requests": 300,
+    "prompt_mean": 512,
+    "output_mean": 128,
+    "arrival": "bursty",
+    "mode": "colocated",
+    "prefill_gpus": 2,
+    "decode_gpus": 8,
+    "kv_blocks_per_gpu": 40,
+    "seed": SEED,
+    "recovery": {"retry_budget": 2, "degraded_queue_limit": 24},
+}
 
 
-def _serving_record(faults: FaultSchedule | None) -> dict:
-    report = ServingSimulator(_serving_config(faults)).run()
-    record = {
-        "completed": report.completed,
-        "goodput_rps": round(report.goodput_requests_per_s, 6),
-        "slo_attainment": round(report.slo_attainment, 6),
+def _schedule_dict(schedule: FaultSchedule) -> dict:
+    """JSON-able schedule form the sweep target reconstructs from."""
+    return json.loads(schedule.to_json())
+
+
+def _serving_record(record: dict) -> dict:
+    out = {
+        "completed": record["completed"],
+        "goodput_rps": round(record["goodput_requests_per_s"], 6),
+        "slo_attainment": round(record["slo_attainment"], 6),
     }
-    d = report.degradation
+    d = record.get("degradation")
     if d is not None:
-        record.update(
-            dropped=d.dropped,
-            shed=d.shed,
-            retries=d.retries,
-            evicted=d.evicted,
-            unserved=d.unserved,
-            lost_tokens=d.lost_tokens,
-            accounted=d.accounted,
+        out.update(
+            dropped=d["dropped"],
+            shed=d["shed"],
+            retries=d["retries"],
+            evicted=d["evicted"],
+            unserved=d["unserved"],
+            lost_tokens=d["lost_tokens"],
+            accounted=d["accounted"],
         )
-    return record
+    return out
 
 
 def run_serving() -> dict:
-    """Fault-free vs single-node-failure vs MTBF-sampled serving."""
+    """Fault-free vs single-node-failure vs MTBF-sampled serving,
+    fanned out as one three-point sweep over the fault schedule."""
     node_fault = FaultSchedule(
         events=(FaultEvent(time=5.0, kind="node", target="pool", mttr=10.0),)
     )
     sampled = FaultSchedule.sampled(
         mtbf=15.0, horizon=40.0, seed=SEED, kind="gpu", targets=("pool",), mttr=5.0
     )
+    variants = [
+        ("fault_free", {}),
+        ("node_failure", {"faults": _schedule_dict(node_fault)}),
+        ("mtbf_sampled", {"faults": _schedule_dict(sampled)}),
+    ]
+    spec = SweepSpec(
+        target="serving", points=[p for _, p in variants], base=_SERVING_BASE
+    )
+    result = run_sweep(spec, workers=2, cache=None)
     return {
-        "fault_free": _serving_record(None),
-        "node_failure": _serving_record(node_fault),
-        "mtbf_sampled": _serving_record(sampled),
+        name: _serving_record(record)
+        for (name, _), record in zip(variants, result.records())
     }
 
 
@@ -126,22 +135,30 @@ def run_network() -> dict:
 
 
 def run_training() -> dict:
-    """Checkpoint-interval ablation against the Young-Daly optimum."""
+    """Checkpoint-interval ablation against the Young-Daly optimum,
+    as one sweep over ``interval_s`` on the ``training`` target."""
     mtbf, ckpt, restart = 7200.0, 60.0, 900.0
     optimal = optimal_checkpoint_interval(ckpt, mtbf)
-    work = 100 * mtbf
-
-    def goodput(interval: float) -> float:
-        report = simulate_checkpointed_training(
-            work, interval, ckpt, restart, mtbf=mtbf, seed=42
-        )
-        return round(report.goodput, 6)
-
+    spec = SweepSpec(
+        target="training",
+        points=[{"interval_s": optimal}, {"interval_s": optimal / 2}, {"interval_s": optimal * 2}],
+        base={
+            "work_s": 100 * mtbf,
+            "checkpoint_s": ckpt,
+            "restart_s": restart,
+            "mtbf_s": mtbf,
+            "seed": 42,
+        },
+    )
+    result = run_sweep(spec, workers=2, cache=None)
+    at_optimal, at_half, at_double = (
+        round(r["goodput"], 6) for r in result.records()
+    )
     return {
         "predicted_optimal": round(goodput_fraction(ckpt, restart, mtbf, optimal), 6),
-        "optimal_interval": goodput(optimal),
-        "half_interval": goodput(optimal / 2),
-        "double_interval": goodput(optimal * 2),
+        "optimal_interval": at_optimal,
+        "half_interval": at_half,
+        "double_interval": at_double,
     }
 
 

@@ -5,6 +5,11 @@ routing costs up to 8t of IB time per token; NVLink forwarding
 deduplicates IB traffic to Mt where M is the number of distinct
 destination nodes, and node-limited routing algorithmically caps
 M <= 4 — nearly halving worst-case IB time.
+
+Both ablations run through the :mod:`repro.sweep` engine: the routing
+variants are grid points over bench-registered targets (the engine's
+``fork`` fan-out sees targets registered at module import), each
+seeded explicitly so the token draws match the original benches.
 """
 
 import numpy as np
@@ -13,19 +18,55 @@ from _report import print_table
 from repro.comm import EPConfig, EPDeployment, ib_cost_factor, run_ep_stage
 from repro.model import node_limited_topk, topk_routing
 from repro.network import build_mpft_cluster
+from repro.sweep import SweepSpec, grid, register_target, run_sweep
+
+
+@register_target("sec43_ib_cost")
+def _ib_cost_point(config: dict, seed: int) -> dict:
+    """Expected IB cost factor of one routing policy (units of t)."""
+    rng = np.random.default_rng(seed)
+    scores = rng.uniform(size=(8192, 256))
+    if config["routing"] == "unrestricted":
+        routed = topk_routing(scores, 8)
+    else:
+        routed = node_limited_topk(scores, 8, num_groups=8, max_groups=config["max_groups"])
+    return {"cost_factor": float(ib_cost_factor(routed, 32))}
+
+
+@register_target("sec43_dispatch")
+def _dispatch_point(config: dict, seed: int) -> dict:
+    """Simulated EP dispatch stage time on the MPFT cluster fabric."""
+    cluster = build_mpft_cluster(8)
+    deployment = EPDeployment(
+        cluster,
+        EPConfig(
+            num_routed_experts=256,
+            experts_per_token=8,
+            hidden_size=7168,
+            max_nodes_per_token=config["limit"],
+        ),
+    )
+    decisions = deployment.route_tokens(1024, np.random.default_rng(seed))
+    return {"stage_time_s": run_ep_stage(deployment, decisions, "dispatch").time}
 
 
 def bench_sec43_ib_cost_factor(benchmark):
+    spec = SweepSpec(
+        target="sec43_ib_cost",
+        points=[
+            {"routing": "unrestricted"},
+            {"routing": "node_limited", "max_groups": 4},
+        ],
+        base={"seed": 0},
+    )
+
     def run():
-        rng = np.random.default_rng(0)
-        scores = rng.uniform(size=(8192, 256))
-        free = topk_routing(scores, 8)
-        limited = node_limited_topk(scores, 8, num_groups=8, max_groups=4)
+        free, limited = run_sweep(spec, cache=None).records()
         remote_experts = 8.0  # no NVLink dedup: one IB send per expert
         return {
             "no dedup (8 experts)": remote_experts,
-            "NVLink dedup, unrestricted (E[M])": ib_cost_factor(free, 32),
-            "NVLink dedup + node-limited (E[M], M<=4)": ib_cost_factor(limited, 32),
+            "NVLink dedup, unrestricted (E[M])": free["cost_factor"],
+            "NVLink dedup + node-limited (E[M], M<=4)": limited["cost_factor"],
         }
 
     factors = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -41,24 +82,16 @@ def bench_sec43_ib_cost_factor(benchmark):
 def bench_sec43_dispatch_time_ablation(benchmark):
     """End-to-end: node-limited routing cuts the simulated dispatch
     stage time on the real cluster fabric."""
+    spec = SweepSpec(
+        target="sec43_dispatch", points=grid(limit=[0, 4]), base={"seed": 1}
+    )
 
     def run():
-        rng = np.random.default_rng(1)
-        times = {}
-        for limit, label in ((0, "unrestricted"), (4, "node-limited (M<=4)")):
-            cluster = build_mpft_cluster(8)
-            deployment = EPDeployment(
-                cluster,
-                EPConfig(
-                    num_routed_experts=256,
-                    experts_per_token=8,
-                    hidden_size=7168,
-                    max_nodes_per_token=limit,
-                ),
-            )
-            decisions = deployment.route_tokens(1024, rng)
-            times[label] = run_ep_stage(deployment, decisions, "dispatch").time
-        return times
+        unrestricted, limited = run_sweep(spec, workers=2, cache=None).records()
+        return {
+            "unrestricted": unrestricted["stage_time_s"],
+            "node-limited (M<=4)": limited["stage_time_s"],
+        }
 
     times = benchmark.pedantic(run, rounds=1, iterations=1)
     speedup = times["unrestricted"] / times["node-limited (M<=4)"]

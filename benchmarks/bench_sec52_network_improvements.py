@@ -6,6 +6,10 @@
 * §5.2.2 item 3: an EP incast burst sharing a RoCE egress queue with a
   latency-sensitive flow inflates that flow's completion by orders of
   magnitude; per-QP virtual output queues (VOQ) isolate it.
+
+Both figures are grids (message size x bonding mode; egress queueing
+scheme), so they run as declared :mod:`repro.sweep` grids over
+bench-registered targets rather than hand-rolled nested loops.
 """
 
 from _report import print_table
@@ -15,23 +19,51 @@ from repro.network import (
     MultiPortNic,
     bonding_speedup,
     message_time,
-    victim_completion_time,
     victim_slowdown,
 )
+from repro.sweep import SweepSpec, grid, register_target, run_sweep
+
+SIZES = (4 << 10, 256 << 10, 16 << 20)
+MODES = ("single_port", "bonded_ooo", "bonded_inorder")
+
+
+def _bonding_point(config: dict, seed: int) -> dict:
+    del seed  # closed-form model, nothing stochastic
+    nic = MultiPortNic(num_planes=config["planes"], port_bandwidth=config["port_bw"])
+    return {"time_s": message_time(nic, config["size"], config["mode"])}
+
+
+def _incast_point(config: dict, seed: int) -> dict:
+    del seed
+    scenario = IncastScenario(
+        num_senders=16, burst_bytes=4 << 20, victim_bytes=64 << 10
+    )
+    kwargs = {
+        k: config[k]
+        for k in ("num_priority_queues", "num_traffic_classes")
+        if k in config
+    }
+    return {"slowdown": victim_slowdown(scenario, config["queueing"], **kwargs)}
+
+
+register_target("sec52_bonding", _bonding_point)
+register_target("sec52_incast", _incast_point)
 
 
 def bench_fig4_multiport_bonding(benchmark):
     nic = MultiPortNic(num_planes=4, port_bandwidth=50e9)
-    sizes = (4 << 10, 256 << 10, 16 << 20)
+    spec = SweepSpec(
+        target="sec52_bonding",
+        points=grid(size=list(SIZES), mode=list(MODES)),
+        base={"planes": 4, "port_bw": 50e9},
+    )
 
     def run():
-        return {
-            size: {
-                mode: message_time(nic, size, mode)
-                for mode in ("single_port", "bonded_ooo", "bonded_inorder")
-            }
-            for size in sizes
-        }
+        result = run_sweep(spec, cache=None)
+        times: dict[int, dict[str, float]] = {size: {} for size in SIZES}
+        for point in result.points:
+            times[point.config["size"]][point.config["mode"]] = point.result["time_s"]
+        return times
 
     times = benchmark(run)
     rows = []
@@ -57,16 +89,23 @@ def bench_fig4_multiport_bonding(benchmark):
 
 
 def bench_sec522_incast_isolation(benchmark):
-    scenario = IncastScenario(num_senders=16, burst_bytes=4 << 20, victim_bytes=64 << 10)
+    spec = SweepSpec(
+        target="sec52_incast",
+        points=[
+            {"queueing": "shared_queue"},
+            {"queueing": "priority_queues", "num_priority_queues": 8, "num_traffic_classes": 16},
+            {"queueing": "voq"},
+        ],
+    )
+    labels = (
+        "shared queue (commodity RoCE)",
+        "8 priority queues / 16 classes",
+        "VOQ per QP (paper's suggestion)",
+    )
 
     def run():
-        return {
-            "shared queue (commodity RoCE)": victim_slowdown(scenario, "shared_queue"),
-            "8 priority queues / 16 classes": victim_slowdown(
-                scenario, "priority_queues", num_priority_queues=8, num_traffic_classes=16
-            ),
-            "VOQ per QP (paper's suggestion)": victim_slowdown(scenario, "voq"),
-        }
+        records = run_sweep(spec, cache=None).records()
+        return dict(zip(labels, (r["slowdown"] for r in records)))
 
     slowdowns = benchmark(run)
     print_table(

@@ -10,119 +10,102 @@ Three axes, all at equal hardware (8 GPUs):
 * decode batch cap — the throughput/latency trade the closed-form
   frontier (bench_ablation_serving) predicts, now with queueing.
 
+The four variants run through the :mod:`repro.sweep` engine as one
+explicit point list over the registered ``serving`` target, fanned out
+across processes (caching off: the benchmark measures the simulator).
+The shared seed is pinned in the base config so every variant sees the
+same arrival stream — the ablation discipline the engine's derived
+per-point seeds would otherwise (correctly) break.
+
 Results are recorded as ``BENCH_serving_sim.json`` via
 :func:`_report.write_json`; the committed file is the baseline.
 """
 
+import os
+
 from _report import default_meta, print_table, write_json
 
-from repro.serving import (
-    COLOCATED,
-    DISAGGREGATED,
-    MTPConfig,
-    SchedulerConfig,
-    ServingSimulator,
-    SimConfig,
-    StepCostModel,
-    WorkloadSpec,
-)
+from repro.sweep import SweepSpec, run_sweep
 
 #: Bursty traffic with prefill-heavy requests: the regime where
-#: colocation hurts decode tails the most.
-WORKLOAD = WorkloadSpec(
-    request_rate=6.0,
-    num_requests=150,
-    prompt_mean=1024,
-    prompt_cv=0.5,
-    output_mean=128,
-    output_cv=0.5,
-    arrival="bursty",
-)
+#: colocation hurts decode tails the most.  Flat keys of the sweep
+#: engine's ``serving`` target (WorkloadSpec + SimConfig fields).
+BASE = {
+    "request_rate": 6.0,
+    "num_requests": 150,
+    "prompt_mean": 1024,
+    "prompt_cv": 0.5,
+    "output_mean": 128,
+    "output_cv": 0.5,
+    "arrival": "bursty",
+    "prefill_gpus": 2,
+    "decode_gpus": 6,
+    "seed": 0,
+}
+
+VARIANTS = [
+    ("colocated", {"mode": "colocated"}),
+    ("disaggregated", {"mode": "disaggregated"}),
+    ("disaggregated+mtp", {"mode": "disaggregated", "mtp": True}),
+    ("disaggregated cap=2", {"mode": "disaggregated", "max_concurrent_per_gpu": 2}),
+]
+
+SPEC = SweepSpec(target="serving", points=[p for _, p in VARIANTS], base=BASE)
 
 
-def _run(mode: str, mtp: bool = False, cap: int = 64, seed: int = 0):
-    config = SimConfig(
-        workload=WORKLOAD,
-        costs=StepCostModel(mtp=MTPConfig(enabled=mtp)),
-        mode=mode,
-        prefill_gpus=2,
-        decode_gpus=6,
-        scheduler=SchedulerConfig(max_concurrent_per_gpu=cap),
-        seed=seed,
-    )
-    return ServingSimulator(config).run()
-
-
-def _row(name: str, report) -> list[object]:
-    ms = 1e3
+def _row(name: str, record: dict) -> list[object]:
     return [
         name,
-        round(report.ttft.p50 * ms, 1),
-        round(report.ttft.p99 * ms, 1),
-        round(report.tpot.p50 * ms, 2),
-        round(report.tpot.p99 * ms, 2),
-        round(report.throughput_tokens_per_s, 0),
-        round(report.slo_attainment, 3),
+        round(record["ttft_p50_ms"], 1),
+        round(record["ttft_p99_ms"], 1),
+        round(record["tpot_p50_ms"], 2),
+        round(record["tpot_p99_ms"], 2),
+        round(record["throughput_tokens_per_s"], 0),
+        round(record["slo_attainment"], 3),
     ]
 
 
-def _record(name: str, report) -> dict:
-    return {
-        "ttft_p50_ms": report.ttft.p50 * 1e3,
-        "ttft_p99_ms": report.ttft.p99 * 1e3,
-        "tpot_p50_ms": report.tpot.p50 * 1e3,
-        "tpot_p99_ms": report.tpot.p99 * 1e3,
-        "e2e_p99_s": report.e2e.p99,
-        "throughput_tokens_per_s": report.throughput_tokens_per_s,
-        "goodput_requests_per_s": report.goodput_requests_per_s,
-        "slo_attainment": report.slo_attainment,
-        "preemptions": report.preemptions,
-        "completed": report.completed,
-    }
-
-
 def bench_serving_sim_ablation(benchmark):
-    def run():
-        return {
-            "colocated": _run(COLOCATED),
-            "disaggregated": _run(DISAGGREGATED),
-            "disaggregated+mtp": _run(DISAGGREGATED, mtp=True),
-            "disaggregated cap=2": _run(DISAGGREGATED, cap=2),
-        }
+    workers = min(4, os.cpu_count() or 1)
 
-    reports = benchmark(run)
+    def run():
+        result = run_sweep(SPEC, workers=workers, cache=None)
+        return dict(zip([name for name, _ in VARIANTS], result.records()))
+
+    records = benchmark(run)
     print_table(
         "Serving simulation: 150 bursty requests, 2 prefill + 6 decode GPUs",
         ["deployment", "TTFT p50", "TTFT p99", "TPOT p50", "TPOT p99", "tok/s", "SLO"],
-        [_row(name, report) for name, report in reports.items()],
+        [_row(name, record) for name, record in records.items()],
     )
     write_json(
         "serving_sim",
-        {name: _record(name, r) for name, r in reports.items()},
+        records,
         meta=default_meta(
             workload="bursty 150 req @ 6/s, prompt~1024, output~128",
             gpus="2 prefill + 6 decode",
             seed=0,
+            engine=f"repro.sweep, {workers} workers",
         ),
     )
 
-    colo, disagg = reports["colocated"], reports["disaggregated"]
-    mtp = reports["disaggregated+mtp"]
-    capped = reports["disaggregated cap=2"]
+    colo, disagg = records["colocated"], records["disaggregated"]
+    mtp = records["disaggregated+mtp"]
+    capped = records["disaggregated cap=2"]
     # §2.3.1: at equal hardware, disaggregation cuts the decode tail —
     # prefill bursts no longer block decode steps.
-    assert disagg.tpot.p99 < colo.tpot.p99
+    assert disagg["tpot_p99_ms"] < colo["tpot_p99_ms"]
     # The trade: the colocated pool throws 4x the compute at prefill,
     # so its TTFT is lower — disaggregation buys the decode tail with
     # prefill latency, which is why the pools must be sized to the mix.
-    assert colo.ttft.p50 < disagg.ttft.p50
+    assert colo["ttft_p50_ms"] < disagg["ttft_p50_ms"]
     # §2.3.3: MTP at ~85% acceptance beats 1-token decode despite the
     # draft overhead.
-    assert mtp.tpot.p50 < disagg.tpot.p50 / 1.5
-    assert mtp.mtp_acceptance_measured > 0.7
+    assert mtp["tpot_p50_ms"] < disagg["tpot_p50_ms"] / 1.5
+    assert mtp["mtp_acceptance_measured"] > 0.7
     # A tight admission cap keeps per-step batches small (TPOT p50 no
     # worse) but queues requests at entry, inflating TTFT tails.
-    assert capped.tpot.p50 <= disagg.tpot.p50
-    assert capped.ttft.p99 > disagg.ttft.p99
+    assert capped["tpot_p50_ms"] <= disagg["tpot_p50_ms"]
+    assert capped["ttft_p99_ms"] > disagg["ttft_p99_ms"]
     # Everyone finishes the workload.
-    assert all(r.completed == WORKLOAD.num_requests for r in reports.values())
+    assert all(r["completed"] == BASE["num_requests"] for r in records.values())

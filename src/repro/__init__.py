@@ -17,6 +17,8 @@ Subpackages:
   metrics (counters, gauges, streaming histograms) for the simulators.
 * :mod:`repro.faults` - seeded fault schedules, injection and recovery
   for the serving, network-flow and training simulators.
+* :mod:`repro.sweep` - deterministic parallel experiment engine with a
+  content-addressed result cache over registered simulation targets.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"

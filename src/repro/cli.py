@@ -18,6 +18,13 @@ Commands:
 * ``trace`` — run a simulator scenario with the observability layer
   on, write a Chrome trace-event file (chrome://tracing / Perfetto)
   and print a top-K span/metric summary.
+* ``sweep`` — evaluate a parameter grid over a registered sweep
+  target (``serving``, ``flowsim``, ``training``) across a process
+  pool with content-addressed result caching: ``--grid k=a,b,c``
+  declares an axis (repeatable, Cartesian product), ``--set k=v``
+  fixes a shared key, ``--workers N`` fans out, ``--no-cache`` /
+  ``--cache-dir`` control memoization and ``--json`` emits the
+  deterministic result document (byte-identical at any worker count).
 
 Both simulator commands accept ``--profile`` to run under cProfile and
 print the hottest functions as a table (``--profile-top`` rows), and
@@ -352,6 +359,71 @@ def _trace_training(args: argparse.Namespace, tracer, metrics) -> str:
     return f"training: {steps} steps, final loss {result.final_loss:.4f}"
 
 
+def _sweep_value(text: str):
+    """Parse one grid/set value: int, then float, bool, null, string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("null", "none"):
+        return None
+    return text
+
+
+def _sweep_pairs(entries: list[str], what: str) -> list[tuple[str, list]]:
+    pairs = []
+    for entry in entries:
+        key, sep, values = entry.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad {what} {entry!r}: expected K=V")
+        pairs.append((key, [_sweep_value(v) for v in values.split(",")]))
+    return pairs
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from .obs import MetricsRegistry
+    from .sweep import (
+        SweepCache,
+        SweepSpec,
+        grid,
+        print_sweep_summary,
+        run_sweep,
+        target_names,
+    )
+
+    if args.target not in target_names():
+        raise SystemExit(
+            f"unknown target {args.target!r} (registered: {', '.join(target_names())})"
+        )
+    axes = dict(_sweep_pairs(args.grid, "--grid"))
+    base = {k: v[0] for k, v in _sweep_pairs(args.set, "--set")}
+    if not axes:
+        raise SystemExit("need at least one --grid K=V1,V2,... axis")
+    spec = SweepSpec(target=args.target, points=grid(**axes), base=base, seed=args.seed)
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
+    metrics = MetricsRegistry()
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        cache=cache,
+        metrics=metrics,
+        progress=not args.json,
+    )
+    if args.json:
+        sys.stdout.write(result.to_json())
+        return
+    print_sweep_summary(result)
+    where = "off" if cache is None else str(cache.root)
+    print(
+        f"\n{len(result.points)} points  evaluated {result.evaluated}  "
+        f"cache hits {result.cache_hits}  wall {result.wall_time:.2f}s  cache {where}"
+    )
+
+
 def _cmd_trace(args: argparse.Namespace) -> None:
     from .obs import MetricsRegistry, Tracer, print_trace_summary
 
@@ -426,6 +498,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-top", type=int, default=15, help="functions to list with --profile"
     )
     p.set_defaults(func=_cmd_serve_sim)
+
+    p = sub.add_parser(
+        "sweep",
+        help="evaluate a parameter grid in parallel with result caching",
+    )
+    p.add_argument("--target", required=True, help="registered sweep target name")
+    p.add_argument(
+        "--grid", action="append", default=[], metavar="K=V1,V2,...",
+        help="one grid axis (repeatable; axes form a Cartesian product)",
+    )
+    p.add_argument(
+        "--set", action="append", default=[], metavar="K=V",
+        help="fixed config key shared by every point (repeatable)",
+    )
+    p.add_argument("--workers", type=int, default=1, help="process fan-out")
+    p.add_argument("--seed", type=int, default=0, help="root seed (per-point seeds derive from it)")
+    p.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default ~/.cache/repro-sweep or $REPRO_SWEEP_CACHE)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the deterministic sweep document instead of the table",
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
         "trace",

@@ -26,6 +26,21 @@ def _stream_key(stream: str) -> int:
     return zlib.crc32(stream.encode("utf-8"))
 
 
+def derive_seed(seed: int, stream: str) -> int:
+    """A deterministic 64-bit child seed for ``(seed, stream)``.
+
+    This extends the named-stream discipline across *process*
+    boundaries: the sweep engine (:mod:`repro.sweep`) derives one child
+    seed per grid point from the root seed and the point's canonical
+    config, then ships the plain integer to a worker process.  The
+    child seed depends only on ``(seed, stream)`` — not on worker
+    count, scheduling order, or platform — so a fanned-out sweep is
+    byte-identical to a serial one.
+    """
+    state = np.random.SeedSequence([seed, _stream_key(stream)]).generate_state(2, np.uint32)
+    return (int(state[0]) << 32) | int(state[1])
+
+
 def seeded_generator(seed: int, stream: str | None = None) -> np.random.Generator:
     """A deterministic generator for ``(seed, stream)``.
 

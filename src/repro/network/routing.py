@@ -83,6 +83,29 @@ def route_flow(
     return [Flow(src, dst, size, paths[index], latency=latency, tag=tag)]
 
 
+def shifted_ring_flows(
+    topology: Topology,
+    shifts: range | list[int],
+    size: float,
+    policy: RoutingPolicy = RoutingPolicy.ECMP,
+) -> list[Flow]:
+    """The shifted-ring all-to-all traffic pattern over every host.
+
+    For each ``shift``, host ``i`` sends ``size`` bytes to host
+    ``(i + shift) % N`` — the classic permutation decomposition of an
+    all-to-all.  Shared by the ``repro trace --scenario network`` CLI
+    and the sweep engine's ``flowsim`` target, so both exercise the
+    same deterministic workload.
+    """
+    hosts = topology.hosts
+    flows: list[Flow] = []
+    for shift in shifts:
+        for i, src in enumerate(hosts):
+            dst = hosts[(i + shift) % len(hosts)]
+            flows.extend(route_flow(topology, src, dst, size, policy, tag=f"shift{shift}"))
+    return flows
+
+
 def collision_free_static_table(
     topology: Topology, pairs: list[tuple[str, str]]
 ) -> dict[tuple[str, str], int]:

@@ -13,7 +13,14 @@ closed forms (pinned by ``tests/test_serving_sim.py``).
 
 from .costmodel import MTPConfig, StepCostModel
 from .kvpool import KVPoolConfig, PagedKVPool, kv_pool_blocks
-from .report import SLO, LatencyStats, SimReport, build_report, report_asdict
+from .report import (
+    SLO,
+    LatencyStats,
+    SimReport,
+    build_report,
+    compact_record,
+    report_asdict,
+)
 from .scheduler import (
     SchedulerConfig,
     form_prefill_batch,
@@ -40,6 +47,7 @@ __all__ = [
     "LatencyStats",
     "SimReport",
     "build_report",
+    "compact_record",
     "report_asdict",
     "SchedulerConfig",
     "form_prefill_batch",

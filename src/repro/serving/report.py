@@ -115,6 +115,55 @@ def report_asdict(report: SimReport) -> dict:
     return payload
 
 
+def compact_record(report: SimReport) -> dict:
+    """A flat, JSON-able summary record of one run.
+
+    This is the per-point payload the sweep engine and the benchmark
+    ablations share: every headline scalar (latency percentiles in
+    display units, rates, dynamics), none of the O(requests) traces —
+    small enough to cache per grid point and diff as a committed
+    baseline.  Fault runs append the degradation totals under a
+    ``"degradation"`` sub-dict.
+    """
+    ms = 1e3
+    record = {
+        "completed": report.completed,
+        "preemptions": report.preemptions,
+        "duration_s": report.duration,
+        "tokens_generated": report.tokens_generated,
+        "ttft_p50_ms": report.ttft.p50 * ms,
+        "ttft_p99_ms": report.ttft.p99 * ms,
+        "tpot_p50_ms": report.tpot.p50 * ms,
+        "tpot_p99_ms": report.tpot.p99 * ms,
+        "e2e_p50_s": report.e2e.p50,
+        "e2e_p99_s": report.e2e.p99,
+        "throughput_tokens_per_s": report.throughput_tokens_per_s,
+        "goodput_requests_per_s": report.goodput_requests_per_s,
+        "slo_attainment": report.slo_attainment,
+        "mtp_acceptance_measured": report.mtp_acceptance_measured,
+        "decode_steps": report.decode_steps,
+        "prefill_batches": report.prefill_batches,
+        "mean_queue_depth": report.mean_queue_depth,
+        "max_queue_depth": report.max_queue_depth,
+        "mean_kv_occupancy": report.mean_kv_occupancy,
+        "peak_kv_occupancy": report.peak_kv_occupancy,
+    }
+    d = report.degradation
+    if d is not None:
+        record["degradation"] = {
+            "dropped": d.dropped,
+            "shed": d.shed,
+            "retries": d.retries,
+            "retry_dropped": d.retry_dropped,
+            "evicted": d.evicted,
+            "unserved": d.unserved,
+            "lost_tokens": d.lost_tokens,
+            "steps_aborted": d.steps_aborted,
+            "accounted": d.accounted,
+        }
+    return record
+
+
 def build_report(
     finished: list[Request],
     slo: SLO,

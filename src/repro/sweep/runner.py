@@ -1,0 +1,288 @@
+"""The sweep engine: cache-aware parallel fan-out over grid points.
+
+:func:`run_sweep` evaluates every point of a :class:`SweepSpec`:
+
+1. **Cache probe** — each point's content-addressed key is looked up
+   in the :class:`SweepCache` (when one is given); hits skip
+   evaluation entirely.
+2. **Fan-out** — misses run through a ``ProcessPoolExecutor``
+   (``fork`` start method where available, so targets registered at
+   runtime are visible in workers).  Each point carries its own child
+   seed derived from the root seed and the point's canonical config
+   (:meth:`SweepSpec.point_seed`), so results are byte-identical
+   regardless of worker count or completion order — pinned by
+   ``tests/test_sweep.py``.
+3. **Cache fill** — fresh results are written back atomically, so an
+   interrupted sweep resumes where it stopped and a re-run after a
+   config edit recomputes only the new/changed points.
+
+Observability: one tracer span per evaluated point (wall clock,
+relative to sweep start), instant events for cache hits, and
+``sweep.points`` / ``sweep.evaluated`` / ``sweep.cache_hits`` counters
+plus a ``sweep.progress`` gauge in the metrics registry.
+:func:`print_sweep_summary` renders the per-point results through
+:func:`repro.obs.summary.print_table`.
+
+The deterministic JSON document (:meth:`SweepResult.to_json`) excludes
+wall-clock timings; ``evaluated``/``cache_hits`` counts and per-point
+``cached`` flags are included (they depend only on prior cache state,
+never on worker count).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
+from ..obs.summary import print_table
+from .cache import SweepCache
+from .spec import SweepSpec
+from .targets import get_target
+
+__all__ = ["PointResult", "SweepResult", "print_sweep_summary", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One evaluated (or cache-served) grid point."""
+
+    index: int
+    config: dict
+    seed: int
+    key: str
+    result: dict
+    cached: bool
+    elapsed: float  # evaluation wall seconds; 0.0 for a cache hit
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything one sweep produced, in point-declaration order."""
+
+    target: str
+    seed: int
+    version: str
+    points: tuple[PointResult, ...]
+    wall_time: float
+
+    @property
+    def evaluated(self) -> int:
+        """Points actually computed this run."""
+        return sum(1 for p in self.points if not p.cached)
+
+    @property
+    def cache_hits(self) -> int:
+        """Points served from the cache."""
+        return sum(1 for p in self.points if p.cached)
+
+    def records(self) -> list[dict]:
+        """The per-point result dicts, in order."""
+        return [p.result for p in self.points]
+
+    def payload(self) -> dict:
+        """The deterministic document (no wall-clock fields)."""
+        return {
+            "target": self.target,
+            "seed": self.seed,
+            "version": self.version,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "points": [
+                {
+                    "config": p.config,
+                    "seed": p.seed,
+                    "key": p.key,
+                    "cached": p.cached,
+                    "result": p.result,
+                }
+                for p in self.points
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON of :meth:`payload` — byte-identical for the
+        same sweep at any worker count."""
+        return json.dumps(self.payload(), indent=2, sort_keys=True) + "\n"
+
+
+def _evaluate(target: str, config: dict, seed: int, epoch: float) -> tuple[dict, float, float]:
+    """Worker entry point: run one target and time it.
+
+    Returns ``(result, start_offset, elapsed)`` with the start offset
+    relative to the sweep's epoch, so the parent can lay the point out
+    as a span on a shared wall-clock timeline.
+    """
+    start = time.perf_counter()
+    result = get_target(target)(config, seed)
+    end = time.perf_counter()
+    return result, start - epoch, end - start
+
+
+def _pool_context():
+    """Prefer ``fork``: cheap on Linux and it inherits targets
+    registered after import (custom bench/test targets)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None  # platform default
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    cache: SweepCache | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    progress: bool = False,
+) -> SweepResult:
+    """Evaluate every point of ``spec``; see the module docstring.
+
+    Args:
+        spec: The sweep declaration.
+        workers: Process fan-out for cache misses (1 = in-process).
+        cache: Result cache; ``None`` disables caching entirely.
+        tracer: Optional span tracer (defaults to the null object).
+        metrics: Optional registry for counters and the progress gauge.
+        progress: Print ``done/total`` lines to stderr as points finish.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    tracer = NULL_TRACER if tracer is None else tracer
+    configs = spec.configs()
+    seeds = [spec.point_seed(c) for c in configs]
+    keys = [spec.key(c) for c in configs]
+    total = len(configs)
+
+    epoch = time.perf_counter()
+    results: list[dict | None] = [None] * total
+    timings: list[tuple[float, float]] = [(0.0, 0.0)] * total
+    cached = [False] * total
+    if cache is not None:
+        for i, key in enumerate(keys):
+            hit = cache.get(key)
+            if hit is not None:
+                results[i] = hit
+                cached[i] = True
+
+    missing = [i for i in range(total) if results[i] is None]
+    done = total - len(missing)
+
+    gauge = metrics.gauge("sweep.progress") if metrics is not None else None
+    if gauge is not None:
+        gauge.set(done / total)
+
+    def _finish(i: int, result: dict, started: float, elapsed: float) -> None:
+        nonlocal done
+        results[i] = result
+        timings[i] = (started, elapsed)
+        if cache is not None:
+            cache.put(
+                keys[i],
+                target=spec.target,
+                config=configs[i],
+                seed=seeds[i],
+                version=spec.version,
+                result=result,
+            )
+        done += 1
+        if gauge is not None:
+            gauge.set(done / total)
+        if progress:
+            print(f"sweep: {done}/{total} points ({elapsed:.2f}s)", file=sys.stderr)
+
+    if len(missing) > 1 and workers > 1:
+        ctx = _pool_context()
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(missing)), mp_context=ctx
+        ) as pool:
+            pending = {
+                pool.submit(_evaluate, spec.target, configs[i], seeds[i], epoch): i
+                for i in missing
+            }
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    i = pending.pop(future)
+                    result, started, elapsed = future.result()
+                    _finish(i, result, started, elapsed)
+    else:
+        for i in missing:
+            result, started, elapsed = _evaluate(spec.target, configs[i], seeds[i], epoch)
+            _finish(i, result, started, elapsed)
+
+    wall = time.perf_counter() - epoch
+    tracer.process(0, f"sweep:{spec.name or spec.target}")
+    for i in range(total):
+        started, elapsed = timings[i]
+        if cached[i]:
+            tracer.instant(f"cache_hit[{i}]", "sweep", 0, i, 0.0, args={"key": keys[i][:12]})
+        else:
+            tracer.complete(
+                f"point[{i}]", "sweep", 0, i, max(started, 0.0), elapsed,
+                args={"key": keys[i][:12]},
+            )
+    if metrics is not None:
+        metrics.counter("sweep.points").inc(total)
+        metrics.counter("sweep.evaluated").inc(len(missing))
+        metrics.counter("sweep.cache_hits").inc(total - len(missing))
+
+    points = tuple(
+        PointResult(
+            index=i,
+            config=configs[i],
+            seed=seeds[i],
+            key=keys[i],
+            result=results[i],
+            cached=cached[i],
+            elapsed=timings[i][1],
+        )
+        for i in range(total)
+    )
+    return SweepResult(
+        target=spec.target,
+        seed=spec.seed,
+        version=spec.version,
+        points=points,
+        wall_time=wall,
+    )
+
+
+def _scalar(value: object) -> bool:
+    return isinstance(value, (int, float, str, bool)) or value is None
+
+
+def print_sweep_summary(result: SweepResult, columns: list[str] | None = None) -> None:
+    """Per-sweep summary table: config axes, then scalar result keys.
+
+    Config columns are the keys that *vary* across points (fixed base
+    keys add noise, not information); ``columns`` restricts the result
+    columns, which otherwise default to every scalar key of the first
+    record.
+    """
+    configs = [p.config for p in result.points]
+    varying = [
+        k
+        for k in configs[0]
+        if any(p.config.get(k) != configs[0][k] for p in result.points)
+    ] or list(configs[0])[:3]
+    first = result.points[0].result
+    if columns is None:
+        columns = [k for k, v in first.items() if _scalar(v)]
+    rows = []
+    for p in result.points:
+        row: list[object] = [p.index] + [p.config.get(k) for k in varying]
+        row.extend(p.result.get(k) for k in columns)
+        row.append("cache" if p.cached else f"{p.elapsed:.2f}s")
+        rows.append(row)
+    print_table(
+        f"sweep '{result.target}': "
+        f"{len(result.points)} points, {result.evaluated} evaluated, "
+        f"{result.cache_hits} cached, {result.wall_time:.2f}s",
+        ["#", *varying, *columns, "time"],
+        rows,
+    )

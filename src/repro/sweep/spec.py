@@ -1,0 +1,119 @@
+"""Sweep declarations: parameter grids, canonical configs, cache keys.
+
+A sweep is a list of *points* (plain JSON-able config dicts) evaluated
+against one named *target* (see :mod:`repro.sweep.targets`).  Two
+disciplines defined here make the engine deterministic and cacheable:
+
+* **Canonicalization** — a point's identity is the canonical JSON of
+  its merged config (sorted keys, minimal separators).  Key order in
+  the source dict never matters; ``{"a": 1, "b": 2}`` and
+  ``{"b": 2, "a": 1}`` are the same point.
+* **Seed derivation** — each point gets a child seed
+  ``derive_seed(root_seed, "sweep/<target>/<canonical config>")``
+  (:func:`repro.core.rng.derive_seed`), a pure function of the root
+  seed and the point's content.  Worker count and scheduling order
+  cannot shift any point's stream.  A config may pin ``"seed"``
+  explicitly instead, which is how ablations hold the workload fixed
+  while varying one knob (every bench refactored onto the engine does
+  this).
+
+The cache key (:func:`point_key`) hashes target name, canonical
+config, effective seed and the package version, so a cached result is
+invalidated by any change to what produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+
+import repro
+
+from ..core.rng import derive_seed
+
+__all__ = ["SweepSpec", "canonical_config", "grid", "point_key"]
+
+
+def canonical_config(config: dict) -> str:
+    """The canonical JSON form of a point config.
+
+    Sorted keys and minimal separators, so dict ordering and formatting
+    never affect a point's identity or cache key.  Raises ``TypeError``
+    for values that do not round-trip through JSON (configs must be
+    plain data — they cross process boundaries and live in cache files).
+    """
+    try:
+        return json.dumps(config, sort_keys=True, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"sweep configs must be JSON-serializable: {exc}") from exc
+
+
+def point_key(target: str, config: dict, seed: int, version: str) -> str:
+    """Content-addressed cache key of one evaluated point.
+
+    A SHA-256 over the canonical JSON of everything that determines the
+    result: target name, canonicalized config, the effective seed, and
+    the package version (a new release invalidates old entries, since
+    any model change may move the numbers).
+    """
+    payload = canonical_config(
+        {"config": config, "seed": seed, "target": target, "version": version}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def grid(**axes) -> list[dict]:
+    """The Cartesian product of named axes as a list of point configs.
+
+    ``grid(rate=[2, 4], mode=["a", "b"])`` yields four dicts in
+    row-major order of the declared axes.  A scalar axis value is
+    treated as a one-element axis, so fixed keys can ride along.
+    """
+    names = list(axes)
+    columns = [v if isinstance(v, (list, tuple)) else [v] for v in axes.values()]
+    return [dict(zip(names, combo)) for combo in itertools.product(*columns)]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One declared sweep: a target plus the points to evaluate.
+
+    Attributes:
+        target: Registered target name (:mod:`repro.sweep.targets`).
+        points: Point configs; each is merged over ``base``.
+        base: Config shared by every point (a point key wins on clash).
+        seed: Root seed; each point derives its own child seed from it
+            unless the merged config pins ``"seed"`` explicitly.
+        version: Package version baked into cache keys.  Defaults to
+            ``repro.__version__``; overridable so tests can prove a
+            version bump invalidates the cache.
+        name: Optional label for reports.
+    """
+
+    target: str
+    points: tuple[dict, ...] = ()
+    base: dict = field(default_factory=dict)
+    seed: int = 0
+    version: str = repro.__version__
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(dict(p) for p in self.points))
+        if not self.points:
+            raise ValueError("a sweep needs at least one point")
+
+    def configs(self) -> list[dict]:
+        """The merged per-point configs, in declaration order."""
+        return [{**self.base, **point} for point in self.points]
+
+    def point_seed(self, config: dict) -> int:
+        """The effective seed of one merged config (see module doc)."""
+        if "seed" in config:
+            return int(config["seed"])
+        return derive_seed(self.seed, f"sweep/{self.target}/{canonical_config(config)}")
+
+    def key(self, config: dict) -> str:
+        """The cache key of one merged config."""
+        return point_key(self.target, config, self.point_seed(config), self.version)

@@ -175,6 +175,20 @@ class GoodputReport:
         :func:`repro.reliability.goodput_fraction`."""
         return self.work_target / self.wall_time if self.wall_time > 0 else 0.0
 
+    def asdict(self) -> dict:
+        """JSON-able record including the derived ``goodput`` (which
+        ``dataclasses.asdict`` would drop — it is a property)."""
+        return {
+            "work_target_s": self.work_target,
+            "wall_time_s": self.wall_time,
+            "checkpoint_time_s": self.checkpoint_time,
+            "restart_time_s": self.restart_time,
+            "lost_time_s": self.lost_time,
+            "failures": self.failures,
+            "checkpoints": self.checkpoints,
+            "goodput": self.goodput,
+        }
+
 
 def simulate_checkpointed_training(
     work_target: float,

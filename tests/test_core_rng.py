@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.core.rng import seeded_generator
+from repro.core.rng import derive_seed, seeded_generator
 
 
 def test_root_stream_matches_default_rng():
@@ -23,3 +23,19 @@ def test_streams_are_decorrelated():
     c = seeded_generator(8, "arrivals").uniform(size=8)
     assert not np.array_equal(a, b)
     assert not np.array_equal(a, c)
+
+
+def test_derive_seed_is_a_pure_function():
+    assert derive_seed(7, "sweep/serving/{}") == derive_seed(7, "sweep/serving/{}")
+    assert derive_seed(7, "a") != derive_seed(7, "b")
+    assert derive_seed(7, "a") != derive_seed(8, "a")
+
+
+def test_derive_seed_is_a_valid_64_bit_seed():
+    for seed in (0, 1, 2**31):
+        child = derive_seed(seed, "stream")
+        assert 0 <= child < 2**64
+        # A derived seed must itself seed a generator deterministically.
+        a = seeded_generator(child).uniform(size=4)
+        b = seeded_generator(child).uniform(size=4)
+        assert np.array_equal(a, b)
