@@ -19,6 +19,9 @@ Subpackages:
   for the serving, network-flow and training simulators.
 * :mod:`repro.sweep` - deterministic parallel experiment engine with a
   content-addressed result cache over registered simulation targets.
+* :mod:`repro.service` - long-lived asyncio experiment server (``repro
+  serve``) with a bounded job queue, SSE live streaming and resumable
+  journaled sessions over the sweep engine.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"

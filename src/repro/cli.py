@@ -25,6 +25,13 @@ Commands:
   fixes a shared key, ``--workers N`` fans out, ``--no-cache`` /
   ``--cache-dir`` control memoization and ``--json`` emits the
   deterministic result document (byte-identical at any worker count).
+* ``serve`` — run the long-lived experiment service
+  (:mod:`repro.service`): submit sweeps as jobs over HTTP, stream live
+  progress and obs metrics over SSE, resume interrupted jobs from the
+  journal + sweep cache after a restart, fetch report/trace artifacts.
+
+``repro --version`` prints the package version.  An unknown subcommand
+exits 2 with the usage message (pinned by ``tests/test_cli_summary.py``).
 
 Both simulator commands accept ``--profile`` to run under cProfile and
 print the hottest functions as a table (``--profile-top`` rows), and
@@ -43,6 +50,7 @@ import argparse
 import json
 import sys
 
+from . import __version__
 from .model import (
     DEEPSEEK_V2,
     DEEPSEEK_V3,
@@ -424,6 +432,47 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from .service import ExperimentServer, ServiceConfig
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        cache=not args.no_cache,
+        queue_size=args.queue_size,
+        job_workers=args.job_workers,
+        max_sweep_workers=args.max_sweep_workers,
+        heartbeat_s=args.heartbeat,
+        metrics_interval_s=args.metrics_interval,
+    )
+
+    async def _main() -> None:
+        server = ExperimentServer(config)
+        await server.start()
+        cache = "off" if server.cache is None else str(server.cache.root)
+        resumed = sum(1 for j in server.manager.jobs.values() if not j.terminal)
+        print(
+            f"repro service listening on http://{server.host}:{server.port}",
+            flush=True,
+        )
+        print(
+            f"  state {server.state.root}  cache {cache}  "
+            f"workers {config.job_workers}  queue {config.queue_size}  "
+            f"jobs {len(server.manager.jobs)} ({resumed} resumed)",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro service stopped", file=sys.stderr)
+
+
 def _cmd_trace(args: argparse.Namespace) -> None:
     from .obs import MetricsRegistry, Tracer, print_trace_summary
 
@@ -447,6 +496,9 @@ def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro", description="DeepSeek-V3 ISCA'25 reproduction toolkit"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -524,6 +576,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the deterministic sweep document instead of the table",
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived async experiment service (jobs + SSE)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = ephemeral; the bound port is written to "
+        "<state-dir>/server.json)",
+    )
+    p.add_argument(
+        "--state-dir", default="~/.local/state/repro-serve",
+        help="session directory: job journals, report/trace artifacts",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="sweep cache directory (default ~/.cache/repro-sweep or "
+        "$REPRO_SWEEP_CACHE)",
+    )
+    p.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    p.add_argument(
+        "--queue-size", type=int, default=8,
+        help="jobs allowed to wait beyond the running ones (excess gets 429)",
+    )
+    p.add_argument("--job-workers", type=int, default=2, help="concurrent jobs")
+    p.add_argument(
+        "--max-sweep-workers", type=int, default=4,
+        help="cap on a job's per-sweep process fan-out",
+    )
+    p.add_argument(
+        "--heartbeat", type=float, default=10.0,
+        help="SSE heartbeat interval, seconds",
+    )
+    p.add_argument(
+        "--metrics-interval", type=float, default=1.0,
+        help="SSE metrics-snapshot interval, seconds",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "trace",

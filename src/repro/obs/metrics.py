@@ -209,8 +209,28 @@ class MetricsRegistry:
     def __iter__(self):
         return iter(sorted(self._instruments.items()))
 
+    def kinds(self) -> dict[str, str]:
+        """Instrument kind (``counter``/``gauge``/``series``/``histogram``)
+        by name, sorted."""
+        kind_names = {
+            Counter: "counter",
+            Gauge: "gauge",
+            TimeSeries: "series",
+            Histogram: "histogram",
+        }
+        return {name: kind_names[type(instrument)] for name, instrument in self}
+
     def snapshot(self) -> dict[str, object]:
-        """JSON-friendly dump of every instrument, sorted by name."""
+        """JSON-serializable dump of every instrument, sorted by name.
+
+        Counters and gauges render as their value, time series as
+        ``[[t, v], ...]`` sample pairs, histograms as a percentile
+        summary dict.  This is the one export everything downstream
+        consumes: :meth:`rows` (and through it the ``repro trace``
+        summary tables) and the experiment service's SSE ``metrics``
+        frames.  On a seeded run the snapshot is deterministic —
+        ``tests/test_obs.py`` pins it.
+        """
         out: dict[str, object] = {}
         for name, instrument in self:
             if isinstance(instrument, (Counter, Gauge)):
@@ -230,18 +250,23 @@ class MetricsRegistry:
         return out
 
     def rows(self) -> list[list[object]]:
-        """Table rows (name, kind, value summary) for human output."""
+        """Table rows (name, kind, value summary) for human output,
+        derived from :meth:`snapshot` so tables and machine exports can
+        never disagree."""
+        snap = self.snapshot()
         rows: list[list[object]] = []
-        for name, instrument in self:
-            if isinstance(instrument, Counter):
-                rows.append([name, "counter", instrument.value])
-            elif isinstance(instrument, Gauge):
-                rows.append([name, "gauge", instrument.value])
-            elif isinstance(instrument, TimeSeries):
-                rows.append([name, "series", f"{len(instrument.samples)} samples"])
-            elif isinstance(instrument, Histogram):
-                s = instrument.summary()
+        for name, kind in self.kinds().items():
+            value = snap[name]
+            if kind in ("counter", "gauge"):
+                rows.append([name, kind, value])
+            elif kind == "series":
+                rows.append([name, kind, f"{len(value)} samples"])
+            else:
                 rows.append(
-                    [name, "histogram", f"n={s.count} p50={s.p50:.4g} p99={s.p99:.4g}"]
+                    [
+                        name,
+                        kind,
+                        f"n={value['count']} p50={value['p50']:.4g} p99={value['p99']:.4g}",
+                    ]
                 )
         return rows

@@ -1,0 +1,55 @@
+"""Long-lived async experiment service over the sweep engine.
+
+The co-design loop the paper closes with (§6) only pays off when
+experiments run continuously against a shared engine — not as one-shot
+scripts.  ``repro serve`` turns this repository's simulators into that
+service: a stdlib-only asyncio HTTP server (no runtime deps beyond
+numpy/networkx) that
+
+* accepts sweep **jobs** over ``POST /jobs`` — any registered sweep
+  target, a grid and/or explicit points, a root seed, an optional
+  :class:`repro.faults.FaultSchedule` payload — and fans each job out
+  through :func:`repro.sweep.run_sweep` with the shared
+  content-addressed :class:`repro.sweep.SweepCache`, so warm work is
+  served from cache;
+* applies explicit **backpressure**: a bounded queue + worker pool,
+  with over-capacity submissions rejected ``429`` + ``Retry-After``
+  rather than queued unboundedly;
+* **streams** live progress over Server-Sent Events
+  (``GET /jobs/{id}/events``): one frame per settled point, cache-hit
+  instants, per-point error records, periodic
+  :meth:`repro.obs.MetricsRegistry.snapshot` frames and heartbeats —
+  behind bounded per-client buffers, so slow consumers lose metrics
+  frames instead of blocking the worker;
+* **persists sessions** as append-only JSONL journals under
+  ``--state-dir``: a killed server restarts, lists its prior jobs, and
+  resumes interrupted sweeps with only the unevaluated points
+  recomputed (everything else hits the cache), producing a report
+  byte-identical to an uninterrupted run;
+* serves **artifacts**: the deterministic sweep report and the
+  Chrome trace JSON per job.
+
+:class:`ExperimentServer` is the server, :class:`ServiceClient` the
+stdlib test/scripting client, and the ``repro serve`` CLI subcommand
+the front door.
+"""
+
+from .client import ServiceClient
+from .events import EventBroker, TERMINAL_EVENTS
+from .jobs import Job, JobManager, JobSpec, ServiceBusy, TERMINAL_STATES
+from .server import ExperimentServer, ServiceConfig
+from .state import StateStore
+
+__all__ = [
+    "EventBroker",
+    "ExperimentServer",
+    "Job",
+    "JobManager",
+    "JobSpec",
+    "ServiceBusy",
+    "ServiceClient",
+    "ServiceConfig",
+    "StateStore",
+    "TERMINAL_EVENTS",
+    "TERMINAL_STATES",
+]

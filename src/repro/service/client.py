@@ -1,0 +1,168 @@
+"""A tiny asyncio client for the experiment service.
+
+Used by ``tests/test_service.py`` and the CI ``service-smoke`` job; it
+speaks exactly the protocol :mod:`repro.service.http` serves — one
+request per connection, JSON bodies, and ``text/event-stream``
+consumption with comment (heartbeat) frames skipped.  Kept in the
+package (not the tests) so scripts can drive a running service with
+nothing but the standard library::
+
+    client = ServiceClient("127.0.0.1", 8742)
+    status, job = await client.post_json("/jobs", {"target": "serving", ...})
+    async for event, data in client.events(f"/jobs/{job['id']}/events"):
+        ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator
+
+from .events import TERMINAL_EVENTS
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Stdlib-only HTTP/SSE client bound to one host:port."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One request; returns ``(status, headers, body)``."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            body = b""
+            headers = [f"{method} {path} HTTP/1.1", f"Host: {self.host}:{self.port}"]
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers.append("Content-Type: application/json")
+            headers.append(f"Content-Length: {len(body)}")
+            headers.append("Connection: close")
+            writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
+            await writer.drain()
+            status, response_headers = await _read_head(reader)
+            raw = await reader.read()
+            return status, response_headers, raw
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def get_json(self, path: str) -> tuple[int, dict]:
+        status, _, body = await self.request("GET", path)
+        return status, _parse_json(body)
+
+    async def post_json(self, path: str, payload: dict) -> tuple[int, dict]:
+        status, _, body = await self.request("POST", path, payload)
+        return status, _parse_json(body)
+
+    async def delete_json(self, path: str) -> tuple[int, dict]:
+        status, _, body = await self.request("DELETE", path)
+        return status, _parse_json(body)
+
+    async def events(
+        self, path: str, *, stop_on_terminal: bool = True
+    ) -> AsyncIterator[tuple[str, dict]]:
+        """Consume an SSE stream, yielding ``(event, data)`` pairs.
+
+        Heartbeat comments are skipped.  With ``stop_on_terminal`` the
+        iterator returns after a ``done``/``failed``/``cancelled``
+        event (the server closes the connection then anyway).
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                (
+                    f"GET {path} HTTP/1.1\r\nHost: {self.host}:{self.port}\r\n"
+                    "Accept: text/event-stream\r\nConnection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            status, headers = await _read_head(reader)
+            if status != 200:
+                body = await reader.read()
+                raise RuntimeError(f"SSE request failed: {status} {body[:200]!r}")
+            event_name = None
+            data_lines: list[str] = []
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    return
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue  # heartbeat comment
+                if line.startswith("event:"):
+                    event_name = line[len("event:"):].strip()
+                    continue
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                    continue
+                if line == "" and event_name is not None:
+                    data = json.loads("\n".join(data_lines)) if data_lines else {}
+                    yield event_name, data
+                    if stop_on_terminal and event_name in TERMINAL_EVENTS:
+                        return
+                    event_name = None
+                    data_lines = []
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def collect_events(
+        self, path: str, *, timeout: float = 60.0
+    ) -> list[tuple[str, dict]]:
+        """All events up to (and including) the terminal one."""
+
+        async def _collect() -> list[tuple[str, dict]]:
+            seen = []
+            async for event, data in self.events(path):
+                seen.append((event, data))
+            return seen
+
+        return await asyncio.wait_for(_collect(), timeout=timeout)
+
+    async def wait_healthy(self, *, timeout: float = 10.0) -> dict:
+        """Poll ``/healthz`` until the server answers (startup helper)."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            try:
+                status, payload = await self.get_json("/healthz")
+                if status == 200:
+                    return payload
+            except OSError:
+                pass
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(f"service at {self.host}:{self.port} never came up")
+            await asyncio.sleep(0.05)
+
+
+async def _read_head(reader: asyncio.StreamReader) -> tuple[int, dict[str, str]]:
+    status_line = await reader.readline()
+    parts = status_line.split(None, 2)
+    if len(parts) < 2:
+        raise RuntimeError(f"malformed status line {status_line!r}")
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+def _parse_json(body: bytes) -> dict:
+    return json.loads(body.decode("utf-8")) if body else {}

@@ -1,0 +1,505 @@
+"""Jobs: specs, lifecycle state machine, bounded queue + worker pool.
+
+A *job* is one sweep — a registered target plus a grid/point list —
+submitted over HTTP and executed through :func:`repro.sweep.run_sweep`
+on a worker.  The manager enforces explicit backpressure: at most
+``queue_size`` jobs may wait while ``job_workers`` run; a submission
+past that capacity raises :class:`ServiceBusy`, which the HTTP layer
+turns into ``429`` + ``Retry-After`` (the service never queues
+unboundedly — the paper's goodput lesson applied to the service
+itself).
+
+Each job runs inside a thread from the event loop's default executor;
+the sweep engine's ``on_point`` hook pushes every settled point back
+onto the loop via ``call_soon_threadsafe``, where it is journaled
+(:class:`repro.service.state.StateStore`) and published to SSE
+subscribers (:class:`repro.service.events.EventBroker`).  Because the
+sweep writes every evaluated point to the shared
+:class:`repro.sweep.SweepCache` *before* reporting it, a killed server
+can always be restarted: non-terminal journaled jobs are re-enqueued
+and re-run, and every point that completed before the kill is a cache
+hit — resume recomputes only unevaluated points.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..faults import FaultSchedule
+from ..obs import MetricsRegistry, Tracer
+from ..sweep import (
+    PointResult,
+    SweepCache,
+    SweepInterrupted,
+    SweepSpec,
+    grid,
+    run_sweep,
+    target_names,
+)
+from ..sweep.spec import canonical_config
+from .events import EventBroker
+from .state import StateStore
+
+__all__ = ["Job", "JobManager", "JobSpec", "ServiceBusy", "TERMINAL_STATES"]
+
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ServiceBusy(Exception):
+    """Queue + worker pool at capacity; retry after ``retry_after`` s."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__("job queue at capacity")
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated job submission (the journaled, replayable form)."""
+
+    target: str
+    points: tuple[dict, ...]
+    base: dict = field(default_factory=dict)
+    seed: int = 0
+    workers: int = 1
+    name: str | None = None
+
+    @classmethod
+    def from_payload(cls, payload: dict, *, max_workers: int = 4) -> "JobSpec":
+        """Validate a ``POST /jobs`` body; raises ``ValueError`` with a
+        client-facing message on anything malformed.
+
+        Accepted keys: ``target`` (required, registered sweep target),
+        ``grid`` (axes dict) and/or ``points`` (explicit config list),
+        ``base``, ``seed``, ``workers`` (clamped to ``max_workers``),
+        ``name``, ``faults`` (a :class:`repro.faults.FaultSchedule`
+        JSON payload, validated then folded into ``base``) and
+        ``recovery`` (kwargs dict, folded likewise).
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("job spec must be a JSON object")
+        unknown = set(payload) - {
+            "target", "grid", "points", "base", "seed", "workers", "name",
+            "faults", "recovery",
+        }
+        if unknown:
+            raise ValueError(f"unknown job spec keys: {sorted(unknown)}")
+        target = payload.get("target")
+        if not isinstance(target, str) or target not in target_names():
+            raise ValueError(
+                f"unknown target {target!r} (registered: {', '.join(target_names())})"
+            )
+        points: list[dict] = []
+        axes = payload.get("grid")
+        if axes is not None:
+            if not isinstance(axes, dict) or not axes:
+                raise ValueError("'grid' must be a non-empty object of axes")
+            points.extend(grid(**axes))
+        for point in payload.get("points", []):
+            if not isinstance(point, dict):
+                raise ValueError("'points' entries must be objects")
+            points.append(point)
+        if not points:
+            raise ValueError("a job needs a 'grid' and/or a 'points' list")
+        base = payload.get("base", {})
+        if not isinstance(base, dict):
+            raise ValueError("'base' must be an object")
+        base = dict(base)
+        faults = payload.get("faults")
+        if faults is not None:
+            if not isinstance(faults, dict):
+                raise ValueError("'faults' must be a FaultSchedule JSON object")
+            try:
+                schedule = FaultSchedule.from_json(faults)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"bad fault schedule: {exc}") from exc
+            # Store the canonical re-serialized form so the journal and
+            # cache keys never depend on client-side key ordering.
+            base["faults"] = json.loads(schedule.to_json())
+        recovery = payload.get("recovery")
+        if recovery is not None:
+            if not isinstance(recovery, dict):
+                raise ValueError("'recovery' must be an object of kwargs")
+            base["recovery"] = recovery
+        try:
+            for point in points:
+                canonical_config({**base, **point})
+        except TypeError as exc:
+            raise ValueError(str(exc)) from exc
+        workers = payload.get("workers", 1)
+        if not isinstance(workers, int) or workers < 1:
+            raise ValueError("'workers' must be a positive integer")
+        name = payload.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ValueError("'name' must be a string")
+        seed = payload.get("seed", 0)
+        if not isinstance(seed, int):
+            raise ValueError("'seed' must be an integer")
+        return cls(
+            target=target,
+            points=tuple(points),
+            base=base,
+            seed=seed,
+            workers=min(workers, max_workers),
+            name=name,
+        )
+
+    def to_payload(self) -> dict:
+        """The journal form; :meth:`from_journal` round-trips it."""
+        return {
+            "target": self.target,
+            "points": list(self.points),
+            "base": self.base,
+            "seed": self.seed,
+            "workers": self.workers,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_journal(cls, payload: dict) -> "JobSpec":
+        return cls(
+            target=payload["target"],
+            points=tuple(payload["points"]),
+            base=payload.get("base", {}),
+            seed=payload.get("seed", 0),
+            workers=payload.get("workers", 1),
+            name=payload.get("name"),
+        )
+
+    def sweep_spec(self) -> SweepSpec:
+        return SweepSpec(
+            target=self.target,
+            points=self.points,
+            base=self.base,
+            seed=self.seed,
+            name=self.name,
+        )
+
+
+class Job:
+    """One submitted sweep and its live state."""
+
+    def __init__(
+        self, job_id: str, spec: JobSpec, *, buffer: int = 256, resumed: bool = False
+    ) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.state = "queued"
+        self.resumed = resumed
+        self.created = time.time()
+        self.total = len(spec.points)
+        self.done_points = 0
+        self.evaluated = 0
+        self.cache_hits = 0
+        self.errors = 0
+        self.error: str | None = None  # terminal failure, not per-point
+        self.broker = EventBroker(buffer=buffer)
+        self.cancel_requested = threading.Event()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def describe(self) -> dict:
+        """The ``GET /jobs`` / ``GET /jobs/{id}`` summary."""
+        return {
+            "id": self.id,
+            "name": self.spec.name,
+            "target": self.spec.target,
+            "state": self.state,
+            "resumed": self.resumed,
+            "created": self.created,
+            "seed": self.spec.seed,
+            "workers": self.spec.workers,
+            "total": self.total,
+            "done": self.done_points,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            **({"error": self.error} if self.error else {}),
+        }
+
+    def _counts(self) -> dict:
+        return {
+            "job": self.id,
+            "done": self.done_points,
+            "total": self.total,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+        }
+
+
+class JobManager:
+    """Bounded queue + worker pool over the sweep engine."""
+
+    def __init__(
+        self,
+        *,
+        state: StateStore,
+        cache: SweepCache | None,
+        queue_size: int = 8,
+        job_workers: int = 2,
+        max_sweep_workers: int = 4,
+        metrics_interval: float = 1.0,
+        client_buffer: int = 256,
+        retry_after: float = 2.0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.state = state
+        self.cache = cache
+        self.queue_size = queue_size
+        self.job_workers = job_workers
+        self.max_sweep_workers = max_sweep_workers
+        self.metrics_interval = metrics_interval
+        self.client_buffer = client_buffer
+        self.retry_after = retry_after
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.jobs: dict[str, Job] = {}
+        self._queue: asyncio.Queue[Job] = asyncio.Queue()
+        self._tasks: list[asyncio.Task] = []
+        self._seq = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._restore()
+        for _ in range(self.job_workers):
+            self._tasks.append(asyncio.create_task(self._worker()))
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks.clear()
+
+    # -- submission / capacity -------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs currently queued or running (the bounded resource)."""
+        return sum(1 for job in self.jobs.values() if not job.terminal)
+
+    @property
+    def capacity(self) -> int:
+        return self.queue_size + self.job_workers
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Enqueue a new job, or raise :class:`ServiceBusy` at capacity."""
+        if self.in_flight >= self.capacity:
+            self.registry.counter("service.jobs.rejected").inc()
+            raise ServiceBusy(self.retry_after)
+        job = self._new_job(spec)
+        self.state.append(job.id, {"kind": "submit", "spec": spec.to_payload()})
+        self._enqueue(job)
+        self.registry.counter("service.jobs.submitted").inc()
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; idempotent once terminal."""
+        job = self.jobs[job_id]
+        if job.terminal:
+            return job
+        job.cancel_requested.set()
+        if job.state == "queued":
+            # The worker will skip it when popped; settle it right away.
+            self._finalize(job, "cancelled")
+        return job
+
+    def _new_job(self, spec: JobSpec, *, resumed: bool = False) -> Job:
+        self._seq += 1
+        job = Job(
+            f"j{self._seq:04d}", spec, buffer=self.client_buffer, resumed=resumed
+        )
+        self.jobs[job.id] = job
+        return job
+
+    def _enqueue(self, job: Job) -> None:
+        job.state = "queued"
+        self._queue.put_nowait(job)
+        self.registry.gauge("service.jobs.in_flight").set(self.in_flight)
+
+    # -- restart / resume ------------------------------------------------
+
+    def _restore(self) -> None:
+        """Rebuild jobs from journals; re-enqueue interrupted ones.
+
+        Resume bypasses the capacity check on purpose — work the server
+        already accepted is never shed by a restart.
+        """
+        for job_id, records in sorted(self.state.load().items()):
+            submit = next((r for r in records if r.get("kind") == "submit"), None)
+            if submit is None:
+                continue
+            try:
+                spec = JobSpec.from_journal(submit["spec"])
+            except (KeyError, TypeError):
+                continue
+            terminal = next(
+                (
+                    r["state"]
+                    for r in reversed(records)
+                    if r.get("kind") == "status" and r.get("state") in TERMINAL_STATES
+                ),
+                None,
+            )
+            self._seq = max(self._seq, _job_seq(job_id))
+            job = Job(job_id, spec, buffer=self.client_buffer, resumed=terminal is None)
+            self.jobs[job.id] = job
+            if terminal is not None:
+                job.state = terminal
+                summary = next(
+                    (r for r in reversed(records) if r.get("kind") == "summary"), {}
+                )
+                job.done_points = summary.get("done", job.total)
+                job.evaluated = summary.get("evaluated", 0)
+                job.cache_hits = summary.get("cache_hits", 0)
+                job.errors = summary.get("errors", 0)
+                job.error = summary.get("error")
+                # Seed the broker so a late SSE client sees the ending.
+                job.broker.publish(terminal, {"state": terminal, **job._counts()})
+                continue
+            self.state.append(job.id, {"kind": "resume"})
+            self.registry.counter("service.jobs.resumed").inc()
+            self._enqueue(job)
+
+    # -- execution -------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            if job.terminal:  # cancelled while queued
+                continue
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        assert self._loop is not None
+        loop = self._loop
+        self._set_state(job, "running")
+        pump = asyncio.create_task(self._metrics_pump(job))
+        cache = self.cache
+
+        def on_point(point: PointResult) -> None:
+            loop.call_soon_threadsafe(self._point_settled, job, point)
+
+        def blocking_run():
+            return run_sweep(
+                job.spec.sweep_spec(),
+                workers=min(job.spec.workers, self.max_sweep_workers),
+                cache=cache,
+                tracer=job.tracer,
+                metrics=job.metrics,
+                strict=False,
+                on_point=on_point,
+                interrupt=job.cancel_requested.is_set,
+            )
+
+        try:
+            result = await loop.run_in_executor(None, blocking_run)
+        except SweepInterrupted:
+            self._finalize(job, "cancelled")
+        except Exception as exc:  # noqa: BLE001 - job-level failure
+            job.error = f"{type(exc).__name__}: {exc}"
+            self._finalize(job, "failed")
+        else:
+            self.state.report_path(job.id).write_text(result.to_report_json())
+            job.tracer.write(self.state.trace_path(job.id))
+            self._finalize(job, "done")
+        finally:
+            pump.cancel()
+
+    async def _metrics_pump(self, job: Job) -> None:
+        """Periodic droppable SSE frames of the job's obs registry."""
+        while True:
+            await asyncio.sleep(self.metrics_interval)
+            job.broker.publish(
+                "metrics",
+                {
+                    "job": job.id,
+                    "metrics": job.metrics.snapshot(),
+                    "sse_dropped": job.broker.dropped,
+                    **job._counts(),
+                },
+                droppable=True,
+            )
+
+    # -- event-loop-side bookkeeping -------------------------------------
+
+    def _point_settled(self, job: Job, point: PointResult) -> None:
+        job.done_points += 1
+        if point.cached:
+            job.cache_hits += 1
+            event = "cache_hit"
+        elif point.error is not None:
+            job.errors += 1
+            job.evaluated += 1
+            event = "error"
+        else:
+            job.evaluated += 1
+            event = "progress"
+        record = {
+            "kind": "point",
+            "index": point.index,
+            "key": point.key,
+            "cached": point.cached,
+            "elapsed": round(point.elapsed, 6),
+        }
+        if point.error is not None:
+            record["error"] = point.error["type"]
+        self.state.append(job.id, record)
+        data = {
+            "index": point.index,
+            "config": point.config,
+            "seed": point.seed,
+            "key": point.key,
+            "cached": point.cached,
+            "elapsed": round(point.elapsed, 6),
+            **job._counts(),
+        }
+        if point.error is not None:
+            data["error"] = point.error
+        job.broker.publish(event, data)
+        self.registry.counter("service.points.settled").inc()
+
+    def _set_state(self, job: Job, state: str) -> None:
+        job.state = state
+        self.state.append(job.id, {"kind": "status", "state": state})
+        job.broker.publish("status", {"state": state, **job._counts()})
+
+    def _finalize(self, job: Job, state: str) -> None:
+        job.state = state
+        self.state.append(job.id, {"kind": "status", "state": state})
+        self.state.append(
+            job.id,
+            {
+                "kind": "summary",
+                "done": job.done_points,
+                "evaluated": job.evaluated,
+                "cache_hits": job.cache_hits,
+                "errors": job.errors,
+                **({"error": job.error} if job.error else {}),
+            },
+        )
+        job.broker.publish(state, {"state": state, **job._counts()})
+        self.registry.counter(f"service.jobs.{state}").inc()
+        self.registry.gauge("service.jobs.in_flight").set(self.in_flight)
+
+
+def _job_seq(job_id: str) -> int:
+    """The numeric suffix of a ``jNNNN`` id (0 when unparsable)."""
+    try:
+        return int(job_id.lstrip("j"))
+    except ValueError:
+        return 0

@@ -1,0 +1,286 @@
+"""The experiment server: routes, SSE streaming, artifact serving.
+
+Routes (all JSON unless noted):
+
+=========  ==========================  =====================================
+Method     Path                        Meaning
+=========  ==========================  =====================================
+``GET``    ``/healthz``                liveness + version + job counts
+``GET``    ``/metrics``                server-level obs registry snapshot
+``POST``   ``/jobs``                   submit a job (``202``; ``429`` +
+                                       ``Retry-After`` at capacity)
+``GET``    ``/jobs``                   list every known job
+``GET``    ``/jobs/{id}``              one job incl. its metrics snapshot
+``DELETE`` ``/jobs/{id}``              cancel (idempotent once terminal)
+``GET``    ``/jobs/{id}/events``       ``text/event-stream``: replay +
+                                       live ``progress``/``cache_hit``/
+                                       ``error``/``metrics``/``status``
+                                       frames, heartbeat comments, ends on
+                                       ``done``/``failed``/``cancelled``
+``GET``    ``/jobs/{id}/report``       the cache-independent sweep report
+``GET``    ``/jobs/{id}/trace``        the job's Chrome trace JSON
+=========  ==========================  =====================================
+
+Concurrency model: one asyncio task per connection, one task per job
+worker, one metrics pump per running job.  The sweep itself runs on an
+executor thread; nothing on the event loop ever blocks on it, and SSE
+consumers are isolated behind bounded :class:`EventBroker` buffers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro
+
+from ..obs import MetricsRegistry
+from ..sweep import SweepCache
+from .events import TERMINAL_EVENTS
+from .http import (
+    SSE_HEADER,
+    SSE_HEARTBEAT,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    json_response,
+    read_request,
+    sse_event,
+)
+from .jobs import JobManager, JobSpec, ServiceBusy
+from .state import StateStore
+
+__all__ = ["ExperimentServer", "ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` exposes as flags."""
+
+    state_dir: str | Path
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port lands in server.json
+    cache_dir: str | Path | None = None
+    cache: bool = True
+    queue_size: int = 8
+    job_workers: int = 2
+    max_sweep_workers: int = 4
+    heartbeat_s: float = 10.0
+    metrics_interval_s: float = 1.0
+    client_buffer: int = 256
+    retry_after_s: float = 2.0
+
+
+class ExperimentServer:
+    """A long-lived asyncio HTTP server over the sweep engine."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.state = StateStore(config.state_dir)
+        self.cache = SweepCache(config.cache_dir) if config.cache else None
+        self.metrics = MetricsRegistry()
+        self.manager = JobManager(
+            state=self.state,
+            cache=self.cache,
+            queue_size=config.queue_size,
+            job_workers=config.job_workers,
+            max_sweep_workers=config.max_sweep_workers,
+            metrics_interval=config.metrics_interval_s,
+            client_buffer=config.client_buffer,
+            retry_after=config.retry_after_s,
+            registry=self.metrics,
+        )
+        self.host = config.host
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._routes = [
+            ("GET", re.compile(r"^/healthz$"), self._get_healthz),
+            ("GET", re.compile(r"^/metrics$"), self._get_metrics),
+            ("POST", re.compile(r"^/jobs$"), self._post_jobs),
+            ("GET", re.compile(r"^/jobs$"), self._get_jobs),
+            ("GET", re.compile(r"^/jobs/(?P<job_id>[\w.-]+)$"), self._get_job),
+            ("DELETE", re.compile(r"^/jobs/(?P<job_id>[\w.-]+)$"), self._delete_job),
+            ("GET", re.compile(r"^/jobs/(?P<job_id>[\w.-]+)/events$"), None),  # SSE
+            ("GET", re.compile(r"^/jobs/(?P<job_id>[\w.-]+)/report$"), self._get_report),
+            ("GET", re.compile(r"^/jobs/(?P<job_id>[\w.-]+)/trace$"), self._get_trace),
+        ]
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Restore journaled jobs, start workers, bind the socket."""
+        await self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.state.write_server_info(self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.manager.stop()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                self.metrics.counter("service.http.requests").inc()
+                response = await self._dispatch(request, writer)
+            except HttpError as exc:
+                response = exc.response()
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                self.metrics.counter("service.http.errors").inc()
+                response = json_response(
+                    {"error": f"{type(exc).__name__}: {exc}"}, status=500
+                )
+            if response is not None:
+                writer.write(response.encode())
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> HttpResponse | None:
+        path_exists = False
+        for method, pattern, handler in self._routes:
+            match = pattern.match(request.path)
+            if not match:
+                continue
+            path_exists = True
+            if method != request.method:
+                continue
+            if handler is None:  # the SSE route streams on the raw writer
+                await self._stream_events(writer, **match.groupdict())
+                return None
+            return handler(request, **match.groupdict())
+        if path_exists:
+            raise HttpError(405, f"method {request.method} not allowed here")
+        raise HttpError(404, f"no route for {request.path}")
+
+    # -- plain routes ----------------------------------------------------
+
+    def _job_or_404(self, job_id: str):
+        try:
+            return self.manager.jobs[job_id]
+        except KeyError:
+            raise HttpError(404, f"unknown job {job_id!r}") from None
+
+    def _get_healthz(self, request: HttpRequest) -> HttpResponse:
+        return json_response(
+            {
+                "ok": True,
+                "version": repro.__version__,
+                "jobs": len(self.manager.jobs),
+                "in_flight": self.manager.in_flight,
+                "capacity": self.manager.capacity,
+            }
+        )
+
+    def _get_metrics(self, request: HttpRequest) -> HttpResponse:
+        return json_response({"server": self.metrics.snapshot()})
+
+    def _post_jobs(self, request: HttpRequest) -> HttpResponse:
+        try:
+            spec = JobSpec.from_payload(
+                request.json(), max_workers=self.config.max_sweep_workers
+            )
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        try:
+            job = self.manager.submit(spec)
+        except ServiceBusy as exc:
+            raise HttpError(
+                429,
+                "job queue at capacity",
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            ) from None
+        return json_response(job.describe(), status=202)
+
+    def _get_jobs(self, request: HttpRequest) -> HttpResponse:
+        return json_response(
+            {"jobs": [job.describe() for job in self.manager.jobs.values()]}
+        )
+
+    def _get_job(self, request: HttpRequest, job_id: str) -> HttpResponse:
+        job = self._job_or_404(job_id)
+        return json_response({**job.describe(), "metrics": job.metrics.snapshot()})
+
+    def _delete_job(self, request: HttpRequest, job_id: str) -> HttpResponse:
+        self._job_or_404(job_id)
+        return json_response(self.manager.cancel(job_id).describe())
+
+    def _get_report(self, request: HttpRequest, job_id: str) -> HttpResponse:
+        return self._artifact(job_id, self.state.report_path(job_id), "report")
+
+    def _get_trace(self, request: HttpRequest, job_id: str) -> HttpResponse:
+        return self._artifact(job_id, self.state.trace_path(job_id), "trace")
+
+    def _artifact(self, job_id: str, path: Path, what: str) -> HttpResponse:
+        job = self._job_or_404(job_id)
+        if not path.is_file():
+            raise HttpError(
+                404, f"{what} for {job_id!r} not available (state: {job.state})"
+            )
+        return HttpResponse(body=path.read_bytes())
+
+    # -- SSE -------------------------------------------------------------
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, job_id: str) -> None:
+        """Replay history, then stream live events until terminal.
+
+        Heartbeat comments go out every ``heartbeat_s`` of silence.  A
+        slow client only ever stalls *this* coroutine — the broker
+        queue between it and the worker is bounded and lossy (metrics
+        frames drop first), so the job never blocks and memory never
+        grows with client count or slowness.
+        """
+        job = self._job_or_404(job_id)
+        replay, queue = job.broker.subscribe()
+        self.metrics.counter("service.sse.clients").inc()
+        try:
+            writer.write(SSE_HEADER)
+            terminal = False
+            for event, data in replay:
+                writer.write(sse_event(event, data))
+                terminal = terminal or event in TERMINAL_EVENTS
+            await writer.drain()
+            while not terminal:
+                try:
+                    event, data = await asyncio.wait_for(
+                        queue.get(), timeout=self.config.heartbeat_s
+                    )
+                except asyncio.TimeoutError:
+                    writer.write(SSE_HEARTBEAT)
+                    await writer.drain()
+                    continue
+                writer.write(sse_event(event, data))
+                await writer.drain()
+                terminal = event in TERMINAL_EVENTS
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            job.broker.unsubscribe(queue)

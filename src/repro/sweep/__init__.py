@@ -22,7 +22,13 @@ engine.
 """
 
 from .cache import DEFAULT_CACHE_DIR, SweepCache
-from .runner import PointResult, SweepResult, print_sweep_summary, run_sweep
+from .runner import (
+    PointResult,
+    SweepInterrupted,
+    SweepResult,
+    print_sweep_summary,
+    run_sweep,
+)
 from .spec import SweepSpec, canonical_config, grid, point_key
 from .targets import get_target, register_target, target_names
 
@@ -30,6 +36,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "SweepCache",
     "PointResult",
+    "SweepInterrupted",
     "SweepResult",
     "print_sweep_summary",
     "run_sweep",

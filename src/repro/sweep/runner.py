@@ -26,7 +26,15 @@ plus a ``sweep.progress`` gauge in the metrics registry.
 The deterministic JSON document (:meth:`SweepResult.to_json`) excludes
 wall-clock timings; ``evaluated``/``cache_hits`` counts and per-point
 ``cached`` flags are included (they depend only on prior cache state,
-never on worker count).
+never on worker count).  :meth:`SweepResult.to_report_json` is the
+cache-*independent* variant — identical bytes whether the sweep ran
+cold, warm, or was interrupted and resumed.
+
+Long-lived callers (the experiment service) hook in three ways: an
+``on_point`` callback pushes each settled point as it happens, an
+``interrupt`` callable cancels mid-sweep (:class:`SweepInterrupted`),
+and ``strict=False`` turns per-point failures into structured error
+records instead of aborting the whole sweep.
 """
 
 from __future__ import annotations
@@ -35,29 +43,57 @@ import json
 import multiprocessing
 import sys
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from typing import Callable
 
 from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..obs.summary import print_table
 from .cache import SweepCache
-from .spec import SweepSpec
+from .spec import SweepSpec, canonical_config
 from .targets import get_target
 
-__all__ = ["PointResult", "SweepResult", "print_sweep_summary", "run_sweep"]
+__all__ = [
+    "PointResult",
+    "SweepInterrupted",
+    "SweepResult",
+    "print_sweep_summary",
+    "run_sweep",
+]
+
+
+class SweepInterrupted(RuntimeError):
+    """Raised when ``run_sweep``'s ``interrupt`` callable fires.
+
+    Every point completed before the interrupt is already in the cache
+    (when one is given), so re-running the same spec resumes where the
+    interrupted sweep stopped.
+    """
+
+    def __init__(self, done: int, total: int) -> None:
+        super().__init__(f"sweep interrupted after {done}/{total} points")
+        self.done = done
+        self.total = total
 
 
 @dataclass(frozen=True)
 class PointResult:
-    """One evaluated (or cache-served) grid point."""
+    """One evaluated (or cache-served) grid point.
+
+    ``result`` is ``None`` exactly when ``error`` is set — a structured
+    record of a failed evaluation (only produced under ``strict=False``;
+    see :func:`run_sweep`).
+    """
 
     index: int
     config: dict
     seed: int
     key: str
-    result: dict
+    result: dict | None
     cached: bool
     elapsed: float  # evaluation wall seconds; 0.0 for a cache hit
+    error: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -80,8 +116,13 @@ class SweepResult:
         """Points served from the cache."""
         return sum(1 for p in self.points if p.cached)
 
-    def records(self) -> list[dict]:
-        """The per-point result dicts, in order."""
+    @property
+    def errors(self) -> int:
+        """Points whose evaluation failed (``strict=False`` only)."""
+        return sum(1 for p in self.points if p.error is not None)
+
+    def records(self) -> list[dict | None]:
+        """The per-point result dicts, in order (``None`` for failures)."""
         return [p.result for p in self.points]
 
     def payload(self) -> dict:
@@ -99,6 +140,7 @@ class SweepResult:
                     "key": p.key,
                     "cached": p.cached,
                     "result": p.result,
+                    **({"error": p.error} if p.error is not None else {}),
                 }
                 for p in self.points
             ],
@@ -109,18 +151,72 @@ class SweepResult:
         same sweep at any worker count."""
         return json.dumps(self.payload(), indent=2, sort_keys=True) + "\n"
 
+    def report_payload(self) -> dict:
+        """The *cache-independent* result document.
 
-def _evaluate(target: str, config: dict, seed: int, epoch: float) -> tuple[dict, float, float]:
+        :meth:`payload` records how each point was obtained (``cached``
+        flags, hit/evaluated counts), which depends on prior cache
+        state.  This document strips that provenance, keeping only what
+        the sweep computed — so an interrupted sweep resumed from the
+        cache produces a report byte-identical to an uninterrupted run
+        of the same spec.  The experiment service serves this as the
+        job's report artifact.
+        """
+        return {
+            "target": self.target,
+            "seed": self.seed,
+            "version": self.version,
+            "points": [
+                {
+                    "config": p.config,
+                    "seed": p.seed,
+                    "key": p.key,
+                    "result": p.result,
+                    **({"error": p.error} if p.error is not None else {}),
+                }
+                for p in self.points
+            ],
+        }
+
+    def to_report_json(self) -> str:
+        """Canonical JSON of :meth:`report_payload`."""
+        return json.dumps(self.report_payload(), indent=2, sort_keys=True) + "\n"
+
+
+def _evaluate(
+    target: str, config: dict, seed: int, epoch: float, capture: bool = False
+) -> tuple[dict | None, dict | None, float, float]:
     """Worker entry point: run one target and time it.
 
-    Returns ``(result, start_offset, elapsed)`` with the start offset
-    relative to the sweep's epoch, so the parent can lay the point out
-    as a span on a shared wall-clock timeline.
+    Returns ``(result, error, start_offset, elapsed)`` with the start
+    offset relative to the sweep's epoch, so the parent can lay the
+    point out as a span on a shared wall-clock timeline.  With
+    ``capture`` (the ``strict=False`` path) an exception becomes a
+    structured error record instead of propagating — the traceback is
+    formatted *here*, in the failing process, so the record is
+    identical whether the point ran in-process or in a forked worker.
     """
     start = time.perf_counter()
-    result = get_target(target)(config, seed)
+    error = None
+    if capture:
+        try:
+            result = get_target(target)(config, seed)
+        except Exception as exc:  # noqa: BLE001 - converted to a record
+            result = None
+            error = {
+                "target": target,
+                "config": canonical_config(config),
+                "seed": seed,
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": "".join(
+                    traceback.format_exception(type(exc), exc, exc.__traceback__)
+                ),
+            }
+    else:
+        result = get_target(target)(config, seed)
     end = time.perf_counter()
-    return result, start - epoch, end - start
+    return result, error, start - epoch, end - start
 
 
 def _pool_context():
@@ -139,6 +235,9 @@ def run_sweep(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     progress: bool = False,
+    strict: bool = True,
+    on_point: Callable[[PointResult], None] | None = None,
+    interrupt: Callable[[], bool] | None = None,
 ) -> SweepResult:
     """Evaluate every point of ``spec``; see the module docstring.
 
@@ -149,6 +248,21 @@ def run_sweep(
         tracer: Optional span tracer (defaults to the null object).
         metrics: Optional registry for counters and the progress gauge.
         progress: Print ``done/total`` lines to stderr as points finish.
+        strict: With the default ``True``, the first failing point
+            raises immediately (the original exception, unchanged).
+            With ``False``, a failure becomes a structured error record
+            on its :class:`PointResult` (target, canonical config,
+            seed, traceback string); the sweep keeps going and failed
+            points are never cached, so a re-run retries them.
+        on_point: Called once per point as it settles — cache hits
+            first (in index order), then evaluations in completion
+            order.  This is the push-style progress hook the experiment
+            service streams SSE events from; it runs on the sweep
+            thread, so callbacks must be cheap and must not raise.
+        interrupt: Polled between completions; returning ``True``
+            cancels the pending work and raises
+            :class:`SweepInterrupted`.  Completed points are already
+            cached, so the same spec resumes incrementally.
     """
     if workers < 1:
         raise ValueError("workers must be positive")
@@ -160,27 +274,49 @@ def run_sweep(
 
     epoch = time.perf_counter()
     results: list[dict | None] = [None] * total
+    errors: list[dict | None] = [None] * total
     timings: list[tuple[float, float]] = [(0.0, 0.0)] * total
     cached = [False] * total
+
+    def _point(i: int) -> PointResult:
+        return PointResult(
+            index=i,
+            config=configs[i],
+            seed=seeds[i],
+            key=keys[i],
+            result=results[i],
+            cached=cached[i],
+            elapsed=timings[i][1],
+            error=errors[i],
+        )
+
     if cache is not None:
         for i, key in enumerate(keys):
             hit = cache.get(key)
             if hit is not None:
                 results[i] = hit
                 cached[i] = True
+                if on_point is not None:
+                    on_point(_point(i))
 
-    missing = [i for i in range(total) if results[i] is None]
+    missing = [i for i in range(total) if not cached[i]]
     done = total - len(missing)
 
     gauge = metrics.gauge("sweep.progress") if metrics is not None else None
     if gauge is not None:
         gauge.set(done / total)
 
-    def _finish(i: int, result: dict, started: float, elapsed: float) -> None:
+    def _interrupted() -> bool:
+        return interrupt is not None and interrupt()
+
+    def _finish(
+        i: int, result: dict | None, error: dict | None, started: float, elapsed: float
+    ) -> None:
         nonlocal done
         results[i] = result
+        errors[i] = error
         timings[i] = (started, elapsed)
-        if cache is not None:
+        if cache is not None and error is None:
             cache.put(
                 keys[i],
                 target=spec.target,
@@ -194,26 +330,41 @@ def run_sweep(
             gauge.set(done / total)
         if progress:
             print(f"sweep: {done}/{total} points ({elapsed:.2f}s)", file=sys.stderr)
+        if on_point is not None:
+            on_point(_point(i))
 
+    capture = not strict
+    if _interrupted():
+        raise SweepInterrupted(done, total)
     if len(missing) > 1 and workers > 1:
         ctx = _pool_context()
         with ProcessPoolExecutor(
             max_workers=min(workers, len(missing)), mp_context=ctx
         ) as pool:
             pending = {
-                pool.submit(_evaluate, spec.target, configs[i], seeds[i], epoch): i
+                pool.submit(
+                    _evaluate, spec.target, configs[i], seeds[i], epoch, capture
+                ): i
                 for i in missing
             }
             while pending:
                 finished, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
                     i = pending.pop(future)
-                    result, started, elapsed = future.result()
-                    _finish(i, result, started, elapsed)
+                    result, error, started, elapsed = future.result()
+                    _finish(i, result, error, started, elapsed)
+                if pending and _interrupted():
+                    for future in pending:
+                        future.cancel()
+                    raise SweepInterrupted(done, total)
     else:
         for i in missing:
-            result, started, elapsed = _evaluate(spec.target, configs[i], seeds[i], epoch)
-            _finish(i, result, started, elapsed)
+            if _interrupted():
+                raise SweepInterrupted(done, total)
+            result, error, started, elapsed = _evaluate(
+                spec.target, configs[i], seeds[i], epoch, capture
+            )
+            _finish(i, result, error, started, elapsed)
 
     wall = time.perf_counter() - epoch
     tracer.process(0, f"sweep:{spec.name or spec.target}")
@@ -231,18 +382,7 @@ def run_sweep(
         metrics.counter("sweep.evaluated").inc(len(missing))
         metrics.counter("sweep.cache_hits").inc(total - len(missing))
 
-    points = tuple(
-        PointResult(
-            index=i,
-            config=configs[i],
-            seed=seeds[i],
-            key=keys[i],
-            result=results[i],
-            cached=cached[i],
-            elapsed=timings[i][1],
-        )
-        for i in range(total)
-    )
+    points = tuple(_point(i) for i in range(total))
     return SweepResult(
         target=spec.target,
         seed=spec.seed,
@@ -270,14 +410,20 @@ def print_sweep_summary(result: SweepResult, columns: list[str] | None = None) -
         for k in configs[0]
         if any(p.config.get(k) != configs[0][k] for p in result.points)
     ] or list(configs[0])[:3]
-    first = result.points[0].result
+    first = next((p.result for p in result.points if p.result is not None), {})
     if columns is None:
         columns = [k for k, v in first.items() if _scalar(v)]
     rows = []
     for p in result.points:
         row: list[object] = [p.index] + [p.config.get(k) for k in varying]
-        row.extend(p.result.get(k) for k in columns)
-        row.append("cache" if p.cached else f"{p.elapsed:.2f}s")
+        record = p.result if p.result is not None else {}
+        row.extend(record.get(k) for k in columns)
+        if p.error is not None:
+            row.append(f"ERROR {p.error['type']}")
+        elif p.cached:
+            row.append("cache")
+        else:
+            row.append(f"{p.elapsed:.2f}s")
         rows.append(row)
     print_table(
         f"sweep '{result.target}': "

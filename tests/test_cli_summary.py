@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 from repro.model import DEEPSEEK_V3, QWEN25_72B, TINY_DENSE_GQA
 from repro.model.summary import architecture_summary, parameter_table
@@ -111,3 +112,24 @@ def test_cli_rejects_unknown_command():
 def test_cli_rejects_unknown_model():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["summary", "gpt-17"])
+
+
+def test_cli_version_flag_prints_version_and_exits_zero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_cli_unknown_subcommand_exits_2_with_usage(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["definitely-not-a-command"])
+    assert excinfo.value.code == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+def test_cli_serve_parser_defaults():
+    args = build_parser().parse_args(["serve", "--state-dir", "/tmp/x"])
+    assert args.port == 0
+    assert args.queue_size == 8
+    assert args.job_workers == 2

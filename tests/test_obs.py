@@ -290,3 +290,30 @@ def test_trainer_records_steps_and_losses():
     steps = [e for e in tracer.events if e["ph"] == "X" and e["name"] == "step"]
     assert len(steps) == 3
     assert steps[0]["args"]["loss"] == pytest.approx(result.losses[0])
+
+
+def test_snapshot_is_deterministic_on_a_seeded_run():
+    """Two identically-seeded simulations must export byte-identical
+    registry snapshots — the SSE metric frames and summary tables the
+    experiment service builds on both consume snapshot()."""
+    snaps = []
+    for _ in range(2):
+        simulator = ServingSimulator(_smoke_config(seed=11))
+        simulator.run()
+        snaps.append(json.dumps(simulator.metrics.snapshot(), sort_keys=True))
+    assert snaps[0] == snaps[1]
+
+
+def test_rows_derive_from_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.gauge("g").set(0.5)
+    registry.series("s").record(1.0, 2.0)
+    registry.histogram("h").observe(4.0)
+    snap = registry.snapshot()
+    rows = {name: (kind, value) for name, kind, value in registry.rows()}
+    assert rows["c"] == ("counter", snap["c"])
+    assert rows["g"] == ("gauge", snap["g"])
+    assert rows["s"] == ("series", "1 samples")
+    assert str(snap["h"]["count"]) in rows["h"][1]
+    assert registry.kinds() == {"c": "counter", "g": "gauge", "s": "series", "h": "histogram"}

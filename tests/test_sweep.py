@@ -307,3 +307,88 @@ def test_cli_sweep_rejects_unknown_target_and_missing_grid(tmp_path):
         main(["sweep", "--target", "bogus", "--grid", "x=1"])
     with pytest.raises(SystemExit):
         main(["sweep", "--target", "test_counting", "--cache-dir", str(tmp_path)])
+
+
+# -- error records, progress hook, interruption --------------------------
+
+
+def _failing_target(config: dict, seed: int) -> dict:
+    if config["x"] % 2 == 0:
+        raise ValueError(f"bad point x={config['x']}")
+    return {"value": config["x"]}
+
+
+register_target("test_failing", _failing_target)
+
+
+def test_strict_default_raises_the_original_exception():
+    spec = SweepSpec(target="test_failing", points=grid(x=[1, 2]))
+    with pytest.raises(ValueError, match="bad point x=2"):
+        run_sweep(spec, cache=None)
+
+
+def test_strict_false_yields_structured_error_records(tmp_path):
+    cache = SweepCache(tmp_path)
+    spec = SweepSpec(target="test_failing", points=grid(x=[1, 2, 3, 4]), seed=3)
+    result = run_sweep(spec, cache=cache, strict=False)
+    assert result.errors == 2 and result.evaluated == 4
+    failed = [p for p in result.points if p.error is not None]
+    assert [p.config["x"] for p in failed] == [2, 4]
+    for p in failed:
+        assert p.result is None
+        assert p.error["target"] == "test_failing"
+        assert p.error["config"] == canonical_config(p.config)
+        assert p.error["seed"] == p.seed
+        assert p.error["type"] == "ValueError"
+        assert "bad point" in p.error["message"]
+        assert "_failing_target" in p.error["traceback"]
+    # The document carries the error records (and only for failures).
+    doc = result.payload()
+    assert [i for i, p in enumerate(doc["points"]) if "error" in p] == [1, 3]
+    # Failed points are never cached: a warm re-run retries exactly them.
+    again = run_sweep(spec, cache=cache, strict=False)
+    assert again.cache_hits == 2 and again.evaluated == 2
+    assert [p.config["x"] for p in again.points if not p.cached] == [2, 4]
+
+
+def test_error_records_byte_identical_across_worker_counts():
+    spec = SweepSpec(target="test_failing", points=grid(x=[1, 2, 3, 4]), seed=3)
+    serial = run_sweep(spec, workers=1, cache=None, strict=False)
+    fanned = run_sweep(spec, workers=3, cache=None, strict=False)
+    assert serial.to_json() == fanned.to_json()
+
+
+def test_on_point_reports_hits_and_evaluations_in_order(tmp_path):
+    cache = SweepCache(tmp_path)
+    run_sweep(_counting_spec(points=grid(x=[1, 2])), cache=cache)
+    settled = []
+    run_sweep(
+        _counting_spec(points=grid(x=[1, 2, 3])),
+        cache=cache,
+        on_point=lambda p: settled.append((p.index, p.cached)),
+    )
+    assert settled == [(0, True), (1, True), (2, False)]
+
+
+def test_interrupt_raises_and_the_cache_resumes(tmp_path):
+    from repro.sweep import SweepInterrupted
+
+    cache = SweepCache(tmp_path)
+    CALLS["count"] = 0
+    spec = _counting_spec()
+    with pytest.raises(SweepInterrupted) as excinfo:
+        run_sweep(spec, cache=cache, interrupt=lambda: CALLS["count"] >= 1)
+    assert excinfo.value.done == 1 and excinfo.value.total == 3
+    assert len(cache) == 1  # the completed point is durable
+    resumed = run_sweep(spec, cache=cache)
+    assert resumed.cache_hits == 1 and resumed.evaluated == 2
+
+
+def test_report_payload_is_cache_independent(tmp_path):
+    cache = SweepCache(tmp_path)
+    spec = _counting_spec()
+    cold = run_sweep(spec, cache=cache)
+    warm = run_sweep(spec, cache=cache)
+    assert cold.to_json() != warm.to_json()  # provenance differs...
+    assert cold.to_report_json() == warm.to_report_json()  # ...results don't
+    assert "cached" not in warm.report_payload()["points"][0]
