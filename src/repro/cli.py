@@ -28,7 +28,23 @@ Commands:
 * ``serve`` — run the long-lived experiment service
   (:mod:`repro.service`): submit sweeps as jobs over HTTP, stream live
   progress and obs metrics over SSE, resume interrupted jobs from the
-  journal + sweep cache after a restart, fetch report/trace artifacts.
+  journal + sweep cache after a restart, fetch report/trace artifacts;
+  ``GET /metrics`` is the OpenMetrics exposition and ``GET /dash`` a
+  self-contained live HTML dashboard.
+* ``metrics`` — scrape a running service's ``/metrics`` exposition
+  (``--json`` for the legacy snapshot shape).
+* ``dash`` — one-shot terminal dashboard for a running service: job
+  table plus server self-telemetry (sparklines for time series,
+  percentiles for histograms).
+
+``serve-sim --window SECONDS`` turns on windowed telemetry (tumbling
+windows over the sim clock: per-window throughput, goodput, queue
+depth, latency percentiles) and ``--slo RULE`` (repeatable) evaluates
+SLO rules — ``burn>RATE[@OBJECTIVE]`` burn-rate rules or
+``METRIC<OP>VALUE`` threshold rules — over those windows into a
+deterministic fire/resolve alert timeline.  ``sweep --windows`` /
+``--slo`` do the same per point; the ``--json`` document then gains a
+cross-point ``windows`` section merged via ``Histogram.merge``.
 
 ``repro --version`` prints the package version.  An unknown subcommand
 exits 2 with the usage message (pinned by ``tests/test_cli_summary.py``).
@@ -200,6 +216,10 @@ def _serving_config(args: argparse.Namespace):
         faults = parse_faults_arg(
             args.faults, horizon=horizon, seed=args.seed, kind="gpu", targets=targets
         )
+    window = getattr(args, "window", None)
+    slo_rules = getattr(args, "slo", None) or []
+    if slo_rules and window is None:
+        raise SystemExit("--slo requires --window SECONDS")
     return SimConfig(
         workload=workload,
         costs=StepCostModel(mtp=MTPConfig(enabled=args.mtp)),
@@ -208,6 +228,8 @@ def _serving_config(args: argparse.Namespace):
         decode_gpus=args.decode_gpus,
         seed=args.seed,
         faults=faults,
+        **({"window_s": window} if window is not None else {}),
+        **({"slo_rules": tuple(slo_rules)} if slo_rules else {}),
     )
 
 
@@ -273,6 +295,32 @@ def _cmd_serve_sim(args: argparse.Namespace) -> None:
         print(f"MTP acceptance (measured) {report.mtp_acceptance_measured:.1%}")
     if report.degradation is not None:
         _print_degradation(report.degradation)
+    if report.windows is not None:
+        from .obs import sparkline, window_summaries
+
+        summaries = window_summaries(list(report.windows))
+        throughput = [s["throughput_tokens_per_s"] for s in summaries]
+        attainment = [
+            1.0 if s["slo_attainment"] is None else s["slo_attainment"]
+            for s in summaries
+        ]
+        print(
+            f"windows ({len(summaries)} x {args.window:g}s)  "
+            f"throughput {sparkline(throughput)}  attainment {sparkline(attainment)}"
+        )
+    if report.alerts is not None:
+        if not report.alerts:
+            print("slo: monitored, no alerts")
+        for a in report.alerts:
+            ctx = (
+                f"  (during {a.get('fault_target', '?')} fault)"
+                if a.get("during_fault")
+                else ""
+            )
+            print(
+                f"slo: {a['state']:<7} t={a['time']:.1f}s  {a['rule']}  "
+                f"value {a['value']:.3f} limit {a['limit']:g}{ctx}"
+            )
 
 
 def _trace_serving(args: argparse.Namespace, tracer, metrics) -> str:
@@ -388,6 +436,14 @@ def _sweep_pairs(entries: list[str], what: str) -> list[tuple[str, list]]:
         key, sep, values = entry.partition("=")
         if not sep or not key:
             raise SystemExit(f"bad {what} {entry!r}: expected K=V")
+        if values.lstrip()[:1] in ("{", "["):
+            # A structured value (e.g. a fault schedule dict): one JSON
+            # literal, not a comma-separated list.
+            try:
+                pairs.append((key, [json.loads(values)]))
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"bad {what} {entry!r}: invalid JSON ({exc})")
+            continue
         pairs.append((key, [_sweep_value(v) for v in values.split(",")]))
     return pairs
 
@@ -411,6 +467,12 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
     base = {k: v[0] for k, v in _sweep_pairs(args.set, "--set")}
     if not axes:
         raise SystemExit("need at least one --grid K=V1,V2,... axis")
+    if args.slo and args.windows is None:
+        raise SystemExit("--slo requires --windows SECONDS")
+    if args.windows is not None:
+        base["window_s"] = args.windows
+        if args.slo:
+            base["slo"] = list(args.slo)
     spec = SweepSpec(target=args.target, points=grid(**axes), base=base, seed=args.seed)
     cache = None if args.no_cache else SweepCache(args.cache_dir)
     metrics = MetricsRegistry()
@@ -422,7 +484,16 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         progress=not args.json,
     )
     if args.json:
-        sys.stdout.write(result.to_json())
+        payload = result.payload()
+        if args.windows is not None:
+            # Opt-in only: the default document stays byte-identical to
+            # a telemetry-unaware sweep of the same spec.
+            from .sweep import merged_windows_section
+
+            section = merged_windows_section(payload["points"])
+            if section is not None:
+                payload["windows"] = section
+        sys.stdout.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return
     print_sweep_summary(result)
     where = "off" if cache is None else str(cache.root)
@@ -430,6 +501,26 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         f"\n{len(result.points)} points  evaluated {result.evaluated}  "
         f"cache hits {result.cache_hits}  wall {result.wall_time:.2f}s  cache {where}"
     )
+    if args.windows is not None:
+        from .obs import sparkline
+        from .sweep import merged_windows_section
+
+        section = merged_windows_section(
+            [{"result": p.result} for p in result.points]
+        )
+        if section is not None:
+            throughput = [
+                s["throughput_tokens_per_s"] for s in section["summaries"]
+            ]
+            print(
+                f"windows: {len(section['merged'])} merged across "
+                f"{section['points']} points  throughput {sparkline(throughput)}"
+            )
+        alerts = sum(
+            len((p.result or {}).get("alerts") or ()) for p in result.points
+        )
+        if args.slo:
+            print(f"slo: {alerts} alert transitions across all points")
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
@@ -471,6 +562,76 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         asyncio.run(_main())
     except KeyboardInterrupt:
         print("repro service stopped", file=sys.stderr)
+
+
+def _service_url(args: argparse.Namespace) -> str:
+    """Resolve the running service's base URL: ``--url`` wins, else the
+    ``server.json`` the server wrote into its state dir."""
+    if args.url:
+        return args.url.rstrip("/")
+    from pathlib import Path
+
+    info_path = Path(args.state_dir).expanduser() / "server.json"
+    try:
+        info = json.loads(info_path.read_text())
+    except (OSError, ValueError):
+        raise SystemExit(
+            f"no running service found ({info_path} unreadable); "
+            "start one with 'repro serve' or pass --url"
+        ) from None
+    return f"http://{info['host']}:{info['port']}"
+
+
+def _service_get(url: str) -> bytes:
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.read()
+    except (urllib.error.URLError, OSError) as exc:
+        raise SystemExit(f"GET {url} failed: {exc}") from None
+
+
+def _cmd_metrics(args: argparse.Namespace) -> None:
+    url = _service_url(args) + "/metrics"
+    if args.json:
+        url += "?format=json"
+    sys.stdout.write(_service_get(url).decode())
+
+
+def _cmd_dash(args: argparse.Namespace) -> None:
+    from .obs.summary import print_table, sparkline
+
+    base = _service_url(args)
+    jobs = json.loads(_service_get(base + "/jobs"))["jobs"]
+    server = json.loads(_service_get(base + "/metrics?format=json"))["server"]
+    print(f"service {base}  (live page: {base}/dash)")
+    if jobs:
+        print_table(
+            "jobs",
+            ["id", "name", "target", "state", "done", "hits", "errors"],
+            [
+                [
+                    j["id"], j.get("name") or "-", j["target"], j["state"],
+                    f"{j['done']}/{j['total']}", j["cache_hits"], j["errors"],
+                ]
+                for j in jobs
+            ],
+        )
+    else:
+        print("no jobs yet")
+    rows = []
+    for name, value in sorted(server.items()):
+        if isinstance(value, dict):  # histogram summary
+            shown = f"p50 {value['p50']:.4g}  p99 {value['p99']:.4g}  n={value['count']}"
+        elif isinstance(value, list):  # time series -> recent shape
+            shown = sparkline([v for _, v in value[-64:]]) or "-"
+        else:
+            shown = value
+        rows.append([name, shown])
+    if rows:
+        print_table("server telemetry", ["metric", "value"], rows)
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -543,6 +704,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject failures: schedule JSON path or mtbf:MTBF[:MTTR[:HORIZON]]",
     )
     p.add_argument(
+        "--window", type=float, default=None, metavar="SECONDS",
+        help="windowed telemetry: tumbling window width on the sim clock "
+        "(adds the 'windows' section to --json output)",
+    )
+    p.add_argument(
+        "--slo", action="append", default=[], metavar="RULE",
+        help="SLO monitor rule, repeatable: 'burn>RATE[@OBJECTIVE]' or "
+        "'METRIC<OP>VALUE' (e.g. tpot_p99<0.05); requires --window",
+    )
+    p.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the hottest functions",
     )
@@ -574,6 +745,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true",
         help="print the deterministic sweep document instead of the table",
+    )
+    p.add_argument(
+        "--windows", type=float, default=None, metavar="SECONDS",
+        help="per-point windowed telemetry (serving target); --json output "
+        "gains a merged cross-point 'windows' section",
+    )
+    p.add_argument(
+        "--slo", action="append", default=[], metavar="RULE",
+        help="SLO monitor rule per point (repeatable); requires --windows",
     )
     p.set_defaults(func=_cmd_sweep)
 
@@ -614,7 +794,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-interval", type=float, default=1.0,
         help="SSE metrics-snapshot interval, seconds",
     )
+    p.add_argument(
+        "--telemetry-interval", type=float, default=0.5,
+        help="server self-telemetry sampling interval, seconds",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    for name, func, help_text in (
+        (
+            "metrics",
+            _cmd_metrics,
+            "print a running service's /metrics exposition (OpenMetrics text)",
+        ),
+        (
+            "dash",
+            _cmd_dash,
+            "terminal snapshot of a running service: jobs + self-telemetry",
+        ),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--url", default=None,
+            help="service base URL (default: read <state-dir>/server.json)",
+        )
+        p.add_argument(
+            "--state-dir", default="~/.local/state/repro-serve",
+            help="state dir of the service to contact (for server.json)",
+        )
+        if name == "metrics":
+            p.add_argument(
+                "--json", action="store_true",
+                help="fetch the JSON snapshot instead of OpenMetrics text",
+            )
+        p.set_defaults(func=func)
 
     p = sub.add_parser(
         "trace",

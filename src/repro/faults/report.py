@@ -91,6 +91,29 @@ class DegradationReport:
         return self.admitted == self.finished + self.dropped + self.unserved
 
 
+def annotate_alerts(
+    alerts: list[dict], windows: "tuple[FaultWindow, ...]"
+) -> list[dict]:
+    """Tag SLO alert dicts with the fault window active at their time.
+
+    The telemetry pipeline evaluates SLO rules blind to the fault
+    schedule; this joins the two timelines so an alert reads as a
+    diagnosis (``during_fault`` + ``fault_target``) rather than a bare
+    transition.  Mutates and returns ``alerts``.
+    """
+    for alert in alerts:
+        t = alert["time"]
+        for window in windows:
+            end = math.inf if window.end == NEVER else window.end
+            if window.start <= t <= end:
+                alert["during_fault"] = True
+                alert["fault_target"] = window.target or "decode"
+                break
+        else:
+            alert["during_fault"] = False
+    return alerts
+
+
 def _phase_stats(
     requests: "list[Request]", slo: "SLO", start: float, end: float
 ) -> tuple[float, float]:

@@ -24,18 +24,38 @@ from .metrics import (
     MetricsRegistry,
     TimeSeries,
 )
-from .summary import print_table, print_trace_summary
+from .openmetrics import (
+    metric_name,
+    parse_openmetrics,
+    percentile_from_buckets,
+    render_openmetrics,
+)
+from .slo import AlertEvent, SloRule, evaluate_slo, parse_slo_rules
+from .summary import print_table, print_trace_summary, sparkline
 from .trace import NULL_TRACER, NullTracer, Tracer
+from .windows import WindowedMetrics, merge_window_rollups, window_summaries
 
 __all__ = [
+    "AlertEvent",
     "Counter",
     "Gauge",
     "Histogram",
     "HistogramSummary",
     "MetricsRegistry",
+    "SloRule",
     "TimeSeries",
+    "WindowedMetrics",
+    "evaluate_slo",
+    "merge_window_rollups",
+    "metric_name",
+    "parse_openmetrics",
+    "parse_slo_rules",
+    "percentile_from_buckets",
     "print_table",
     "print_trace_summary",
+    "render_openmetrics",
+    "sparkline",
+    "window_summaries",
     "NULL_TRACER",
     "NullTracer",
     "Tracer",

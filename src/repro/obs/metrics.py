@@ -17,6 +17,7 @@ as a JSON-friendly dict for reports and baselines.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 
 
@@ -56,16 +57,53 @@ class TimeSeries:
     hard-coded ``queue_depth_trace``/``kv_occupancy_trace`` lists: any
     subsystem can open a channel by name and sample it on its own
     clock.
+
+    By default every sample is kept (exact mode — reports and goldens
+    depend on it).  Long-lived processes (the experiment service's
+    self-telemetry) pass ``max_points`` to bound memory, with two
+    policies:
+
+    * ``mode="ring"`` — keep only the newest ``max_points`` samples
+      (a recent-history window);
+    * ``mode="decimate"`` — keep the whole time span at decaying
+      resolution: whenever the buffer fills, every other sample is
+      discarded and the keep-stride doubles, so the first sample is
+      always retained and memory never exceeds ``max_points``.
     """
 
-    __slots__ = ("name", "samples")
+    __slots__ = ("name", "samples", "max_points", "mode", "_stride", "_seen")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        max_points: int | None = None,
+        mode: str = "ring",
+    ) -> None:
+        if max_points is not None and max_points < 2:
+            raise ValueError("max_points must be >= 2")
+        if mode not in ("ring", "decimate"):
+            raise ValueError(f"unknown TimeSeries mode {mode!r}")
         self.name = name
-        self.samples: list[tuple[float, float]] = []
+        self.max_points = max_points
+        self.mode = mode
+        self._stride = 1
+        self._seen = 0
+        if max_points is not None and mode == "ring":
+            self.samples: list[tuple[float, float]] = deque(maxlen=max_points)  # type: ignore[assignment]
+        else:
+            self.samples = []
 
     def record(self, time: float, value: float) -> None:
+        if self.max_points is None or self.mode == "ring":
+            self.samples.append((time, value))  # deque maxlen evicts oldest
+            return
+        self._seen += 1
+        if (self._seen - 1) % self._stride:
+            return
         self.samples.append((time, value))
+        if len(self.samples) >= self.max_points:
+            del self.samples[1::2]  # halve resolution, keep the first sample
+            self._stride *= 2
 
     @property
     def values(self) -> list[float]:
@@ -82,6 +120,30 @@ class HistogramSummary:
     p95: float
     p99: float
     max: float
+
+    def asdict(self) -> dict:
+        """JSON form; :meth:`from_dict` round-trips it *exactly* —
+        every field is a float or int, both of which survive
+        ``json.dumps``/``loads`` bit-for-bit."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistogramSummary":
+        return cls(
+            count=int(data["count"]),
+            mean=float(data["mean"]),
+            p50=float(data["p50"]),
+            p95=float(data["p95"]),
+            p99=float(data["p99"]),
+            max=float(data["max"]),
+        )
 
 
 class Histogram:
@@ -138,14 +200,26 @@ class Histogram:
     def percentile(self, q: float) -> float:
         """Estimate the ``q``-th percentile (``0 <= q <= 100``).
 
-        Uses the nearest-rank definition over bucket counts; the exact
-        observed min/max are returned at the extremes so the estimate
-        never leaves the sample range.
+        Uses the nearest-rank definition over bucket counts; a bucket's
+        estimate is its geometric midpoint clamped to the observed
+        ``[min, max]``, so the estimate never leaves the sample range.
+
+        Edge semantics (pinned by ``tests/test_obs.py``):
+
+        * empty histogram — every percentile is ``0.0``;
+        * ``q == 0`` / ``q == 100`` — the exact observed min / max;
+        * single sample (or all samples in one bucket spanning
+          ``min == max``) — the clamp collapses the midpoint to the
+          exact value, so every percentile is exact.
         """
         if not 0 <= q <= 100:
             raise ValueError("percentile must be in [0, 100]")
         if self.count == 0:
             return 0.0
+        if q == 0:
+            return self.min
+        if q == 100:
+            return self.max
         rank = max(1, math.ceil(q / 100.0 * self.count))
         if rank <= self._zero:
             return 0.0
@@ -167,6 +241,74 @@ class Histogram:
             p99=self.percentile(99),
             max=self.max,
         )
+
+    # -- merge / serialization (windowed + cross-point rollups) ----------
+
+    @property
+    def zero_count(self) -> int:
+        """Samples that landed in the non-positive underflow bucket."""
+        return self._zero
+
+    def bucket_counts(self) -> list[tuple[int, int]]:
+        """``(bucket_index, count)`` pairs, sorted by index.  Bucket
+        ``i`` covers values in ``[growth**i, growth**(i+1))``."""
+        return sorted(self._buckets.items())
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s samples into this histogram, exactly.
+
+        Geometric buckets of equal ``growth`` are alignment-free: the
+        merged histogram is bit-identical to one that observed both
+        sample streams directly, which is what makes per-window and
+        per-sweep-point histograms roll up without re-observing.
+        Returns ``self`` for chaining.
+        """
+        if other.growth != self.growth:
+            raise ValueError(
+                f"cannot merge histograms with growth {other.growth} into {self.growth}"
+            )
+        self.count += other.count
+        self.total += other.total
+        self._zero += other._zero
+        if other.count:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        return self
+
+    def to_dict(self) -> dict:
+        """Full mergeable state as JSON-able data.
+
+        Unlike :meth:`summary` this keeps the raw bucket counts, so
+        :meth:`from_dict` reconstructs a histogram that merges and
+        estimates percentiles identically to the original.  ``min`` /
+        ``max`` are present only when the histogram is non-empty
+        (their empty-state sentinels are infinities, which JSON lacks).
+        """
+        out: dict = {
+            "growth": self.growth,
+            "count": self.count,
+            "total": self.total,
+            "zero": self._zero,
+            "buckets": [[index, count] for index, count in self.bucket_counts()],
+        }
+        if self.count:
+            out["min"] = self._min
+            out["max"] = self._max
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict, name: str = "") -> "Histogram":
+        hist = cls(name or str(data.get("name", "")), growth=float(data["growth"]))
+        hist.count = int(data["count"])
+        hist.total = float(data["total"])
+        hist._zero = int(data["zero"])
+        hist._buckets = {int(index): int(count) for index, count in data["buckets"]}
+        if hist.count:
+            hist._min = float(data["min"])
+            hist._max = float(data["max"])
+        return hist
 
 
 class MetricsRegistry:
@@ -197,8 +339,15 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge, Gauge)
 
-    def series(self, name: str) -> TimeSeries:
-        return self._get(name, TimeSeries, TimeSeries)
+    def series(
+        self, name: str, *, max_points: int | None = None, mode: str = "ring"
+    ) -> TimeSeries:
+        """A time series channel.  ``max_points``/``mode`` apply only on
+        first creation (they size the channel's buffer); later lookups
+        return the existing instrument unchanged."""
+        return self._get(
+            name, lambda n: TimeSeries(n, max_points=max_points, mode=mode), TimeSeries
+        )
 
     def histogram(self, name: str, growth: float = 1.02) -> Histogram:
         return self._get(name, lambda n: Histogram(n, growth=growth), Histogram)
@@ -238,15 +387,7 @@ class MetricsRegistry:
             elif isinstance(instrument, TimeSeries):
                 out[name] = [[t, v] for t, v in instrument.samples]
             elif isinstance(instrument, Histogram):
-                s = instrument.summary()
-                out[name] = {
-                    "count": s.count,
-                    "mean": s.mean,
-                    "p50": s.p50,
-                    "p95": s.p95,
-                    "p99": s.p99,
-                    "max": s.max,
-                }
+                out[name] = instrument.summary().asdict()
         return out
 
     def rows(self) -> list[list[object]]:

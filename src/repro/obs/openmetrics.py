@@ -1,0 +1,247 @@
+"""OpenMetrics / Prometheus text exposition for metric registries.
+
+Renders any :class:`repro.obs.MetricsRegistry` — or several, each with
+its own constant label set (the experiment server scrapes itself plus
+one registry per job, labeled ``{job="j0001"}``) — as the OpenMetrics
+text format, so a running ``repro serve`` plugs straight into a
+Prometheus scraper with nothing but ``GET /metrics``.
+
+Conventions (pinned by the golden test in
+``tests/test_openmetrics.py``):
+
+* metric names are sanitized (``.`` → ``_``; the dotted original is
+  kept as the ``# HELP`` text) and families are emitted in sorted
+  order;
+* counters get the mandatory ``_total`` sample suffix;
+* histograms expose cumulative ``_bucket{le="..."}`` samples at the
+  geometric bucket upper bounds (plus ``le="0"`` for the non-positive
+  underflow bucket and the mandatory ``le="+Inf"``), then ``_sum`` and
+  ``_count``;
+* time series render as a gauge of their last sample (the full series
+  stays available via the JSON snapshot);
+* label values are escaped per the spec; the output ends with
+  ``# EOF``.
+
+:func:`parse_openmetrics` reads the text back — enough of the format
+to round-trip what this module emits (the parse-back test re-derives
+``snapshot()`` from the exposition, with histogram percentiles
+re-estimated from buckets via :func:`percentile_from_buckets`).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+
+__all__ = [
+    "metric_name",
+    "parse_openmetrics",
+    "percentile_from_buckets",
+    "render_openmetrics",
+]
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: OpenMetrics content type, for HTTP responses.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+def metric_name(name: str) -> str:
+    """Sanitize a registry name into a legal metric name."""
+    sanitized = _INVALID_NAME_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integral floats as integers (counter and
+    bucket counts read naturally), others via ``repr`` (shortest text
+    that round-trips the exact float)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels(labels: dict[str, str], extra: tuple[str, str] | None = None) -> str:
+    items = list(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{_escape(str(value))}"' for key, value in items)
+    return "{" + body + "}"
+
+
+_KINDS = {Counter: "counter", Gauge: "gauge", TimeSeries: "gauge", Histogram: "histogram"}
+
+
+def render_openmetrics(registries) -> str:
+    """Render one registry — or ``[(registry, labels), ...]`` — as
+    OpenMetrics text.
+
+    With several registries, instruments sharing a (sanitized) name
+    must share a kind; their samples land in one family distinguished
+    by the per-registry labels.  Empty time series are skipped (a
+    last-value gauge of nothing has no meaningful sample).
+    """
+    if isinstance(registries, MetricsRegistry):
+        registries = [(registries, None)]
+    families: dict[str, tuple[str, str, list]] = {}
+    for registry, labels in registries:
+        labels = labels or {}
+        for name, instrument in registry:  # sorted within each registry
+            family = metric_name(name)
+            kind = _KINDS[type(instrument)]
+            known = families.get(family)
+            if known is None:
+                families[family] = (kind, name, [(labels, instrument)])
+            elif known[0] != kind:
+                raise ValueError(
+                    f"metric {family!r} is both a {known[0]} and a {kind}"
+                )
+            else:
+                known[2].append((labels, instrument))
+    lines: list[str] = []
+    for family in sorted(families):
+        kind, original, samples = families[family]
+        lines.append(f"# TYPE {family} {kind}")
+        lines.append(f"# HELP {family} {_escape(original)}")
+        for labels, instrument in samples:
+            if isinstance(instrument, Counter):
+                lines.append(f"{family}_total{_labels(labels)} {_fmt(instrument.value)}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"{family}{_labels(labels)} {_fmt(instrument.value)}")
+            elif isinstance(instrument, TimeSeries):
+                if instrument.samples:
+                    _, last = list(instrument.samples)[-1]
+                    lines.append(f"{family}{_labels(labels)} {_fmt(last)}")
+            else:  # Histogram
+                cumulative = 0
+                if instrument.zero_count:
+                    cumulative = instrument.zero_count
+                    lines.append(
+                        f"{family}_bucket{_labels(labels, ('le', '0'))} {cumulative}"
+                    )
+                for index, count in instrument.bucket_counts():
+                    cumulative += count
+                    bound = _fmt(instrument.growth ** (index + 1))
+                    lines.append(
+                        f"{family}_bucket{_labels(labels, ('le', bound))} {cumulative}"
+                    )
+                lines.append(
+                    f"{family}_bucket{_labels(labels, ('le', '+Inf'))} {instrument.count}"
+                )
+                lines.append(f"{family}_sum{_labels(labels)} {_fmt(instrument.total)}")
+                lines.append(f"{family}_count{_labels(labels)} {instrument.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_openmetrics(text: str) -> dict[str, dict]:
+    """Parse exposition text (as produced by :func:`render_openmetrics`)
+    back into families.
+
+    Returns ``{family: {"type": kind, "help": str, "samples": [...]}}``
+    where each sample is ``{"suffix": ""|"_total"|"_bucket"|"_sum"|
+    "_count", "labels": {...}, "value": float}`` in document order.
+    """
+    families: dict[str, dict] = {}
+
+    def family_for(sample_name: str) -> tuple[str, str]:
+        """Resolve a sample to its declared family + suffix."""
+        for suffix in ("_total", "_bucket", "_sum", "_count", ""):
+            base = sample_name[: len(sample_name) - len(suffix)] if suffix else sample_name
+            if sample_name.endswith(suffix) and base in families:
+                return base, suffix
+        raise ValueError(f"sample {sample_name!r} precedes its # TYPE line")
+
+    for line in text.splitlines():
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, _, kind = rest.partition(" ")
+            families[family] = {"type": kind, "help": "", "samples": []}
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            family, _, help_text = rest.partition(" ")
+            if family in families:
+                families[family]["help"] = _unescape(help_text)
+            continue
+        if line.startswith("#"):
+            continue
+        name_and_labels, _, value = line.rpartition(" ")
+        sample_name, brace, label_body = name_and_labels.partition("{")
+        labels: dict[str, str] = {}
+        if brace:
+            labels = {
+                key: _unescape(raw) for key, raw in _LABEL.findall(label_body)
+            }
+        family, suffix = family_for(sample_name)
+        families[family]["samples"].append(
+            {"suffix": suffix, "labels": labels, "value": _parse_value(value)}
+        )
+    return families
+
+
+def percentile_from_buckets(
+    samples: list[dict], q: float, growth: float = 1.02
+) -> float:
+    """Nearest-rank percentile estimate from parsed ``_bucket`` samples.
+
+    ``samples`` is one family's sample list (as returned by
+    :func:`parse_openmetrics`); the bucket upper bounds are the
+    renderer's ``growth**(i+1)``, so dividing by ``sqrt(growth)``
+    recovers the geometric midpoint the histogram itself would report
+    (modulo its min/max clamp at the extremes).
+    """
+    buckets = sorted(
+        (
+            (_parse_value(s["labels"]["le"]), s["value"])
+            for s in samples
+            if s["suffix"] == "_bucket"
+        ),
+        key=lambda b: b[0],
+    )
+    if not buckets:
+        return 0.0
+    count = buckets[-1][1]  # the +Inf bucket is cumulative over everything
+    if count == 0:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * count))
+    previous_bound = None
+    for bound, cumulative in buckets:
+        if cumulative >= rank:
+            if bound == 0.0:
+                return 0.0  # the non-positive underflow bucket
+            if math.isinf(bound):
+                break  # only +Inf reached: fall through to the last finite bound
+            return bound / math.sqrt(growth)
+        previous_bound = bound
+    return previous_bound if previous_bound is not None else 0.0

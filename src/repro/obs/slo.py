@@ -1,0 +1,223 @@
+"""Declarative SLO rules and a windowed burn-rate alert monitor.
+
+The paper frames serving quality as SLO attainment (TTFT/TPOT targets,
+§2.3) and its reliability story (§5.1) as *windows* of degradation —
+an outage is interesting precisely because attainment collapses during
+it and recovers after repair.  This module turns a window rollup
+(:mod:`repro.obs.windows`) into that story: a list of
+:class:`SloRule`s evaluated per window, producing a deterministic
+timeline of :class:`AlertEvent`s (``fire``/``resolve``).
+
+Two rule forms:
+
+* **threshold** — ``metric op threshold`` must hold every window
+  (e.g. ``tpot_p99 < 0.05``: p99 TPOT under 50 ms).  The metric names
+  are the keys of :func:`repro.obs.windows.window_summaries` —
+  ``ttft_p99``, ``goodput_requests_per_s``, ``queue_depth_max``, ….
+* **burn rate** — the SRE error-budget form: with objective ``o``, a
+  window burns at ``(1 - slo_attainment) / (1 - o)``; the rule
+  breaches when the burn rate exceeds ``burn_rate`` (e.g. ``2.0`` =
+  consuming the budget twice as fast as allowed).
+
+``for_windows`` / ``clear_windows`` debounce: an alert fires only
+after that many *consecutive* breaching windows, and resolves only
+after that many consecutive healthy ones.  Windows with no data
+(``None`` metric — e.g. no traffic at all) are skipped: they neither
+extend a breach nor clear one.
+
+Everything is a pure function of the rollup and the rules, so a
+seeded simulation yields a byte-identical alert timeline at any sweep
+worker count — pinned by ``tests/test_slo.py``.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+
+__all__ = ["AlertEvent", "SloRule", "evaluate_slo", "parse_slo_rules"]
+
+_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One objective, evaluated per window (see module docstring)."""
+
+    name: str
+    metric: str = "slo_attainment"
+    op: str = ">="
+    threshold: float | None = None
+    burn_rate: float | None = None
+    objective: float = 0.99
+    for_windows: int = 1
+    clear_windows: int = 1
+
+    def __post_init__(self) -> None:
+        if (self.threshold is None) == (self.burn_rate is None):
+            raise ValueError(
+                f"rule {self.name!r}: exactly one of threshold/burn_rate required"
+            )
+        if self.op not in _OPS:
+            raise ValueError(f"rule {self.name!r}: unknown op {self.op!r}")
+        if self.burn_rate is not None and not 0.0 <= self.objective < 1.0:
+            raise ValueError(f"rule {self.name!r}: objective must be in [0, 1)")
+        if self.for_windows < 1 or self.clear_windows < 1:
+            raise ValueError(f"rule {self.name!r}: debounce counts must be >= 1")
+
+    def evaluate(self, summary: dict) -> tuple[bool | None, float, float]:
+        """``(breached, value, limit)`` for one window summary.
+
+        ``breached`` is ``None`` when the window has no data for this
+        rule's metric.
+        """
+        if self.burn_rate is not None:
+            attainment = summary.get("slo_attainment")
+            if attainment is None:
+                return None, 0.0, self.burn_rate
+            burn = (1.0 - attainment) / (1.0 - self.objective)
+            return burn > self.burn_rate, burn, self.burn_rate
+        value = summary.get(self.metric)
+        if value is None:
+            return None, 0.0, self.threshold
+        return not _OPS[self.op](value, self.threshold), value, self.threshold
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form (only non-default debounce included), so
+        sweep configs — and through them cache keys — are stable."""
+        out: dict = {"name": self.name}
+        if self.burn_rate is not None:
+            out["burn_rate"] = self.burn_rate
+            out["objective"] = self.objective
+        else:
+            out["metric"] = self.metric
+            out["op"] = self.op
+            out["threshold"] = self.threshold
+        if self.for_windows != 1:
+            out["for_windows"] = self.for_windows
+        if self.clear_windows != 1:
+            out["clear_windows"] = self.clear_windows
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SloRule":
+        unknown = set(data) - {
+            "name", "metric", "op", "threshold", "burn_rate", "objective",
+            "for_windows", "clear_windows",
+        }
+        if unknown:
+            raise ValueError(f"unknown SloRule keys: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "name" not in kwargs:
+            raise ValueError("SloRule needs a 'name'")
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One alert transition on the simulated clock."""
+
+    time: float  # the end of the window that tripped the transition
+    rule: str
+    state: str  # "fire" | "resolve"
+    window: int  # index of that window
+    value: float  # the metric/burn value that tripped it
+    limit: float  # the rule's threshold/burn limit
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "rule": self.rule,
+            "state": self.state,
+            "window": self.window,
+            "value": self.value,
+            "limit": self.limit,
+        }
+
+
+def evaluate_slo(summaries: list[dict], rules) -> list[AlertEvent]:
+    """Walk window summaries in order and emit the alert timeline.
+
+    Each rule keeps independent state; an alert left firing at the end
+    of the run simply never resolves (the timeline shows the open
+    incident).  Events are sorted by ``(time, rule, state)``, so the
+    timeline is deterministic even when rules trip in the same window.
+    """
+    alerts: list[AlertEvent] = []
+    for rule in rules:
+        active = False
+        breach_streak = 0
+        clear_streak = 0
+        for summary in summaries:
+            breached, value, limit = rule.evaluate(summary)
+            if breached is None:
+                continue  # no data: hold state, reset neither streak
+            if breached:
+                breach_streak += 1
+                clear_streak = 0
+                if not active and breach_streak >= rule.for_windows:
+                    active = True
+                    alerts.append(AlertEvent(
+                        summary["end"], rule.name, "fire",
+                        summary["index"], value, limit,
+                    ))
+            else:
+                clear_streak += 1
+                breach_streak = 0
+                if active and clear_streak >= rule.clear_windows:
+                    active = False
+                    alerts.append(AlertEvent(
+                        summary["end"], rule.name, "resolve",
+                        summary["index"], value, limit,
+                    ))
+    alerts.sort(key=lambda a: (a.time, a.rule, a.state))
+    return alerts
+
+
+def _parse_rule_string(text: str) -> SloRule:
+    """Compact CLI form.
+
+    ``burn>RATE@OBJECTIVE`` — burn-rate rule on ``slo_attainment``
+    (e.g. ``burn>2@0.9``); anything else is ``METRIC OP VALUE``
+    (e.g. ``tpot_p99<0.05``, ``goodput_requests_per_s>=1.5``).  The
+    rule's name is the string itself.
+    """
+    text = text.strip()
+    if text.startswith("burn"):
+        rest = text[4:].lstrip()
+        if not rest.startswith(">"):
+            raise ValueError(f"bad burn rule {text!r}: expected burn>RATE[@OBJECTIVE]")
+        rate, _, objective = rest[1:].partition("@")
+        return SloRule(
+            name=text,
+            burn_rate=float(rate),
+            **({"objective": float(objective)} if objective else {}),
+        )
+    for op in ("<=", ">=", "<", ">"):  # two-char ops first
+        metric, sep, value = text.partition(op)
+        if sep:
+            return SloRule(
+                name=text, metric=metric.strip(), op=op, threshold=float(value)
+            )
+    raise ValueError(f"bad SLO rule {text!r}: expected METRIC<OP>VALUE or burn>RATE@OBJ")
+
+
+def parse_slo_rules(spec) -> tuple[SloRule, ...]:
+    """Normalize a rule list: each entry is an :class:`SloRule`, a JSON
+    dict (:meth:`SloRule.from_dict`) or a compact string."""
+    rules = []
+    for entry in spec:
+        if isinstance(entry, SloRule):
+            rules.append(entry)
+        elif isinstance(entry, dict):
+            rules.append(SloRule.from_dict(entry))
+        elif isinstance(entry, str):
+            rules.append(_parse_rule_string(entry))
+        else:
+            raise ValueError(f"bad SLO rule entry: {entry!r}")
+    return tuple(rules)

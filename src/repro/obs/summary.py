@@ -26,6 +26,38 @@ def print_table(title: str, headers: list[str], rows: list[list[object]]) -> Non
         print("  ".join(v.ljust(w) for v, w in zip(row, widths)))
 
 
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 32) -> str:
+    """Render a value sequence as a unicode sparkline.
+
+    Longer sequences are downsampled to ``width`` cells by averaging
+    equal chunks; the vertical scale spans the observed min..max (a
+    constant series renders as a flat low bar).  Used by the ``repro
+    dash`` terminal dashboard; the HTML dashboard draws the same shape
+    as SVG.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        chunk = len(values) / width
+        values = [
+            sum(vs) / len(vs)
+            for vs in (
+                values[int(i * chunk): max(int(i * chunk) + 1, int((i + 1) * chunk))]
+                for i in range(width)
+            )
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    top = len(_SPARK_BLOCKS) - 1
+    return "".join(_SPARK_BLOCKS[round((v - lo) / span * top)] for v in values)
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value == 0:

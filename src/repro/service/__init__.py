@@ -27,7 +27,14 @@ numpy/networkx) that
   recomputed (everything else hits the cache), producing a report
   byte-identical to an uninterrupted run;
 * serves **artifacts**: the deterministic sweep report and the
-  Chrome trace JSON per job.
+  Chrome trace JSON per job;
+* exposes **live telemetry**: ``GET /metrics`` renders every registry
+  (server self-telemetry — event-loop lag, queue depth, worker
+  utilization, cache hit ratio, journal fsync latency — plus one
+  labeled family set per job) as OpenMetrics text for any Prometheus
+  scraper, SLO ``alert`` frames ride the SSE stream as critical
+  (replayed, never dropped) events, and ``GET /dash`` is a
+  self-contained live HTML dashboard over those streams.
 
 :class:`ExperimentServer` is the server, :class:`ServiceClient` the
 stdlib test/scripting client, and the ``repro serve`` CLI subcommand
@@ -35,6 +42,7 @@ the front door.
 """
 
 from .client import ServiceClient
+from .dash import render_dashboard
 from .events import EventBroker, TERMINAL_EVENTS
 from .jobs import Job, JobManager, JobSpec, ServiceBusy, TERMINAL_STATES
 from .server import ExperimentServer, ServiceConfig
@@ -52,4 +60,5 @@ __all__ = [
     "StateStore",
     "TERMINAL_EVENTS",
     "TERMINAL_STATES",
+    "render_dashboard",
 ]

@@ -1,0 +1,161 @@
+"""Self-contained live dashboard for the experiment server.
+
+One HTML page, zero external assets: the job list is injected
+server-side as JSON (so the page is meaningful — and testable — even
+with JavaScript disabled), and inline JS subscribes to each
+non-terminal job's SSE stream (``/jobs/{id}/events``), folding
+``progress``/``cache_hit``/``error``/``metrics``/``alert``/``status``
+frames into per-job cards: a completion bar, an SVG sparkline of
+points settled over time, headline counters, and an alert timeline
+(fire/resolve, with fault context when the simulator annotated it).
+
+Terminal jobs render from the embedded snapshot alone; their streams
+are never opened (an ``EventSource`` on a finished job would reconnect
+forever, since the server closes the connection after the terminal
+frame).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_dashboard"]
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro dash</title>
+<style>
+  :root { color-scheme: dark; }
+  body { margin: 0; padding: 1.5rem; background: #14161a; color: #d5d9e0;
+         font: 14px/1.45 ui-monospace, SFMono-Regular, Menlo, monospace; }
+  h1 { font-size: 1.1rem; margin: 0 0 1rem; color: #8ab4f8; }
+  h1 small { color: #5f6672; font-weight: normal; }
+  .card { background: #1c1f26; border: 1px solid #2a2e37; border-radius: 8px;
+          padding: .8rem 1rem; margin-bottom: .9rem; }
+  .card h2 { font-size: .95rem; margin: 0 0 .4rem; }
+  .state { padding: .05rem .5rem; border-radius: 9px; font-size: .75rem;
+           margin-left: .5rem; background: #2a2e37; }
+  .state.running { background: #1b3a57; color: #8ab4f8; }
+  .state.done { background: #1e3a2a; color: #7bd88f; }
+  .state.failed, .state.cancelled { background: #4a2327; color: #ff7b85; }
+  .bar { height: 6px; background: #2a2e37; border-radius: 3px; overflow: hidden;
+         margin: .4rem 0; }
+  .bar > div { height: 100%; background: #8ab4f8; width: 0; }
+  .row { display: flex; gap: 1.4rem; flex-wrap: wrap; align-items: center; }
+  .kv { color: #9aa3b0; }
+  .kv b { color: #d5d9e0; font-weight: 600; }
+  svg.spark { background: #14161a; border-radius: 4px; }
+  polyline { fill: none; stroke: #8ab4f8; stroke-width: 1.5; }
+  ul.alerts { list-style: none; margin: .5rem 0 0; padding: 0; font-size: .8rem; }
+  ul.alerts li { padding: .1rem 0; }
+  ul.alerts li.fire { color: #ff7b85; }
+  ul.alerts li.resolve { color: #7bd88f; }
+  #empty { color: #5f6672; }
+</style>
+</head>
+<body>
+<h1>repro dash <small>v__VERSION__</small></h1>
+<div id="jobs"></div>
+<p id="empty" hidden>no jobs yet &mdash; POST /jobs to submit one</p>
+<script id="jobs-data" type="application/json">__JOBS__</script>
+<script>
+"use strict";
+const jobs = JSON.parse(document.getElementById("jobs-data").textContent);
+const TERMINAL = ["done", "failed", "cancelled"];
+const root = document.getElementById("jobs");
+if (!jobs.length) document.getElementById("empty").hidden = false;
+
+function spark(values, w, h) {
+  if (values.length < 2) return "";
+  const lo = Math.min(...values), hi = Math.max(...values), span = hi - lo || 1;
+  const pts = values.map((v, i) =>
+    (i / (values.length - 1) * w).toFixed(1) + "," +
+    (h - 2 - (v - lo) / span * (h - 4)).toFixed(1)).join(" ");
+  return '<polyline points="' + pts + '"/>';
+}
+
+function card(job) {
+  const el = document.createElement("div");
+  el.className = "card";
+  el.id = "job-" + job.id;
+  el.innerHTML =
+    '<h2>' + job.id + (job.name ? " &middot; " + job.name : "") +
+    ' <span class="state"></span></h2>' +
+    '<div class="bar"><div></div></div>' +
+    '<div class="row">' +
+    '<span class="kv">target <b class="target"></b></span>' +
+    '<span class="kv">done <b class="done">0</b>/<b class="total">0</b></span>' +
+    '<span class="kv">cache hits <b class="hits">0</b></span>' +
+    '<span class="kv">errors <b class="errs">0</b></span>' +
+    '<svg class="spark" width="140" height="30" viewBox="0 0 140 30"></svg>' +
+    "</div>" +
+    '<ul class="alerts"></ul>';
+  root.appendChild(el);
+  const history = [];
+  const view = {
+    update(d) {
+      if (d.total !== undefined) {
+        el.querySelector(".done").textContent = d.done;
+        el.querySelector(".total").textContent = d.total;
+        el.querySelector(".hits").textContent = d.cache_hits;
+        el.querySelector(".errs").textContent = d.errors;
+        el.querySelector(".bar > div").style.width =
+          (d.total ? 100 * d.done / d.total : 0) + "%";
+        history.push(d.done);
+        el.querySelector("svg.spark").innerHTML = spark(history, 140, 30);
+      }
+    },
+    state(s) {
+      const badge = el.querySelector(".state");
+      badge.textContent = s;
+      badge.className = "state " + s;
+    },
+    alert(a) {
+      const li = document.createElement("li");
+      li.className = a.state;
+      li.textContent = "t=" + Number(a.time).toFixed(2) + "s " +
+        (a.state === "fire" ? "\\u25b2" : "\\u25bc") + " " + a.rule +
+        " (value " + Number(a.value).toFixed(3) + ", limit " + a.limit +
+        (a.during_fault ? ", during fault on " + a.fault_target : "") + ")";
+      el.querySelector("ul.alerts").appendChild(li);
+    },
+  };
+  view.state(job.state);
+  view.update(job);
+  el.querySelector(".target").textContent = job.target;
+  return view;
+}
+
+for (const job of jobs) {
+  const view = card(job);
+  if (TERMINAL.includes(job.state)) continue;
+  const es = new EventSource("/jobs/" + job.id + "/events");
+  for (const ev of ["progress", "cache_hit", "error", "metrics"])
+    es.addEventListener(ev, (e) => view.update(JSON.parse(e.data)));
+  es.addEventListener("alert", (e) => view.alert(JSON.parse(e.data)));
+  es.addEventListener("status", (e) => view.state(JSON.parse(e.data).state));
+  for (const ev of TERMINAL)
+    es.addEventListener(ev, (e) => {
+      const d = JSON.parse(e.data);
+      view.update(d);
+      view.state(d.state);
+      es.close();  // the server closed; don't auto-reconnect forever
+    });
+}
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard(jobs: list[dict], *, version: str) -> str:
+    """The ``GET /dash`` page, with the current job list embedded.
+
+    ``jobs`` is the ``Job.describe()`` list; it is JSON-injected into
+    an inert ``<script type="application/json">`` block (``</`` escaped
+    so job names can never close the tag).
+    """
+    payload = json.dumps(jobs, sort_keys=True).replace("</", "<\\/")
+    return _PAGE.replace("__VERSION__", version).replace("__JOBS__", payload)

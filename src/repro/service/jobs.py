@@ -30,7 +30,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..faults import FaultSchedule
-from ..obs import MetricsRegistry, Tracer
+from ..obs import MetricsRegistry, Tracer, parse_slo_rules
 from ..sweep import (
     PointResult,
     SweepCache,
@@ -77,14 +77,18 @@ class JobSpec:
         ``grid`` (axes dict) and/or ``points`` (explicit config list),
         ``base``, ``seed``, ``workers`` (clamped to ``max_workers``),
         ``name``, ``faults`` (a :class:`repro.faults.FaultSchedule`
-        JSON payload, validated then folded into ``base``) and
-        ``recovery`` (kwargs dict, folded likewise).
+        JSON payload, validated then folded into ``base``),
+        ``recovery`` (kwargs dict, folded likewise), and the telemetry
+        pair ``window_s`` / ``slo`` (rules for
+        :func:`repro.obs.parse_slo_rules`, canonicalized then folded
+        into ``base`` so journal and cache keys are client-order
+        independent).
         """
         if not isinstance(payload, dict):
             raise ValueError("job spec must be a JSON object")
         unknown = set(payload) - {
             "target", "grid", "points", "base", "seed", "workers", "name",
-            "faults", "recovery",
+            "faults", "recovery", "window_s", "slo",
         }
         if unknown:
             raise ValueError(f"unknown job spec keys: {sorted(unknown)}")
@@ -125,6 +129,24 @@ class JobSpec:
             if not isinstance(recovery, dict):
                 raise ValueError("'recovery' must be an object of kwargs")
             base["recovery"] = recovery
+        window_s = payload.get("window_s")
+        if window_s is not None:
+            if not isinstance(window_s, (int, float)) or isinstance(
+                window_s, bool
+            ) or window_s <= 0:
+                raise ValueError("'window_s' must be a positive number")
+            base["window_s"] = window_s
+        slo = payload.get("slo")
+        if slo is not None:
+            if not isinstance(slo, list) or not slo:
+                raise ValueError("'slo' must be a non-empty list of rules")
+            if "window_s" not in base:
+                raise ValueError("'slo' rules require 'window_s'")
+            try:
+                rules = parse_slo_rules(slo)
+            except ValueError as exc:
+                raise ValueError(f"bad SLO rules: {exc}") from exc
+            base["slo"] = [rule.to_dict() for rule in rules]
         try:
             for point in points:
                 canonical_config({**base, **point})
@@ -471,7 +493,32 @@ class JobManager:
         if point.error is not None:
             data["error"] = point.error
         job.broker.publish(event, data)
-        self.registry.counter("service.points.settled").inc()
+        # SLO alerts (telemetry-configured serving points) become their
+        # own critical SSE frames: unlike metrics ticks they replay to
+        # late subscribers and are never dropped under backpressure.
+        if isinstance(point.result, dict):
+            for alert in point.result.get("alerts") or ():
+                job.broker.publish(
+                    "alert",
+                    {"job": job.id, "index": point.index, "seed": point.seed, **alert},
+                )
+                self.registry.counter("service.alerts.published").inc()
+        settled = self.registry.counter("service.points.settled")
+        hits = self.registry.counter("service.points.cache_hits")
+        settled.inc()
+        if point.cached:
+            hits.inc()
+        self.registry.gauge("service.cache.hit_ratio").set(hits.value / settled.value)
+
+    def update_utilization(self) -> None:
+        """Refresh the queue-depth / worker-utilization gauges (called
+        from the server's telemetry pump)."""
+        running = sum(1 for job in self.jobs.values() if job.state == "running")
+        self.registry.gauge("service.workers.busy").set(running)
+        self.registry.gauge("service.workers.utilization").set(
+            running / self.job_workers if self.job_workers else 0.0
+        )
+        self.registry.gauge("service.queue.depth").set(self._queue.qsize())
 
     def _set_state(self, job: Job, state: str) -> None:
         job.state = state

@@ -6,7 +6,13 @@ Routes (all JSON unless noted):
 Method     Path                        Meaning
 =========  ==========================  =====================================
 ``GET``    ``/healthz``                liveness + version + job counts
-``GET``    ``/metrics``                server-level obs registry snapshot
+``GET``    ``/metrics``                OpenMetrics text: server
+                                       self-telemetry + every job registry
+                                       labeled ``{job="..."}``
+                                       (``?format=json`` keeps the legacy
+                                       snapshot shape)
+``GET``    ``/dash``                   live HTML dashboard (self-contained;
+                                       renders SSE frames per job)
 ``POST``   ``/jobs``                   submit a job (``202``; ``429`` +
                                        ``Retry-After`` at capacity)
 ``GET``    ``/jobs``                   list every known job
@@ -14,10 +20,13 @@ Method     Path                        Meaning
 ``DELETE`` ``/jobs/{id}``              cancel (idempotent once terminal)
 ``GET``    ``/jobs/{id}/events``       ``text/event-stream``: replay +
                                        live ``progress``/``cache_hit``/
-                                       ``error``/``metrics``/``status``
-                                       frames, heartbeat comments, ends on
+                                       ``error``/``metrics``/``alert``/
+                                       ``status`` frames, heartbeat
+                                       comments, ends on
                                        ``done``/``failed``/``cancelled``
 ``GET``    ``/jobs/{id}/report``       the cache-independent sweep report
+                                       (``?windows=1`` appends the merged
+                                       telemetry section)
 ``GET``    ``/jobs/{id}/trace``        the job's Chrome trace JSON
 =========  ==========================  =====================================
 
@@ -30,6 +39,7 @@ consumers are isolated behind bounded :class:`EventBroker` buffers.
 from __future__ import annotations
 
 import asyncio
+import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
@@ -37,7 +47,9 @@ from pathlib import Path
 import repro
 
 from ..obs import MetricsRegistry
-from ..sweep import SweepCache
+from ..obs import openmetrics as _om
+from ..sweep import SweepCache, merged_windows_section
+from .dash import render_dashboard
 from .events import TERMINAL_EVENTS
 from .http import (
     SSE_HEADER,
@@ -69,6 +81,7 @@ class ServiceConfig:
     max_sweep_workers: int = 4
     heartbeat_s: float = 10.0
     metrics_interval_s: float = 1.0
+    telemetry_interval_s: float = 0.5
     client_buffer: int = 256
     retry_after_s: float = 2.0
 
@@ -78,9 +91,11 @@ class ExperimentServer:
 
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
-        self.state = StateStore(config.state_dir)
-        self.cache = SweepCache(config.cache_dir) if config.cache else None
+        # The registry exists before the StateStore so journal fsync
+        # latency lands in the server's own telemetry from line one.
         self.metrics = MetricsRegistry()
+        self.state = StateStore(config.state_dir, metrics=self.metrics)
+        self.cache = SweepCache(config.cache_dir) if config.cache else None
         self.manager = JobManager(
             state=self.state,
             cache=self.cache,
@@ -95,9 +110,11 @@ class ExperimentServer:
         self.host = config.host
         self.port: int | None = None
         self._server: asyncio.base_events.Server | None = None
+        self._telemetry_task: asyncio.Task | None = None
         self._routes = [
             ("GET", re.compile(r"^/healthz$"), self._get_healthz),
             ("GET", re.compile(r"^/metrics$"), self._get_metrics),
+            ("GET", re.compile(r"^/dash$"), self._get_dash),
             ("POST", re.compile(r"^/jobs$"), self._post_jobs),
             ("GET", re.compile(r"^/jobs$"), self._get_jobs),
             ("GET", re.compile(r"^/jobs/(?P<job_id>[\w.-]+)$"), self._get_job),
@@ -117,6 +134,7 @@ class ExperimentServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self.state.write_server_info(self.host, self.port)
+        self._telemetry_task = asyncio.create_task(self._telemetry_pump())
 
     async def serve_forever(self) -> None:
         assert self._server is not None
@@ -124,10 +142,44 @@ class ExperimentServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+            try:
+                await self._telemetry_task
+            except asyncio.CancelledError:
+                pass
+            self._telemetry_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         await self.manager.stop()
+
+    async def _telemetry_pump(self) -> None:
+        """Server self-telemetry on a fixed cadence.
+
+        Event-loop lag — how late the sleep wakes up — is the server's
+        own "TPOT": it directly bounds SSE frame latency and HTTP
+        responsiveness.  It lands in a histogram (for percentiles over
+        the whole run), a bounded ring series (recent shape for the
+        dashboard; decimation keeps it O(1) memory), and a last-value
+        gauge; queue depth and worker utilization refresh on the same
+        tick.
+        """
+        interval = self.config.telemetry_interval_s
+        loop = asyncio.get_running_loop()
+        lag_hist = self.metrics.histogram("service.loop.lag_s", growth=1.1)
+        lag_series = self.metrics.series(
+            "service.loop.lag_last_s.series", max_points=512, mode="ring"
+        )
+        lag_gauge = self.metrics.gauge("service.loop.lag_last_s")
+        while True:
+            before = loop.time()
+            await asyncio.sleep(interval)
+            lag = max(0.0, loop.time() - before - interval)
+            lag_hist.observe(lag)
+            lag_series.record(loop.time(), lag)
+            lag_gauge.set(lag)
+            self.manager.update_utilization()
 
     # -- connection handling ---------------------------------------------
 
@@ -201,7 +253,22 @@ class ExperimentServer:
         )
 
     def _get_metrics(self, request: HttpRequest) -> HttpResponse:
-        return json_response({"server": self.metrics.snapshot()})
+        if request.query.get("format") == "json":
+            return json_response({"server": self.metrics.snapshot()})
+        registries = [(self.metrics, None)]
+        for job in self.manager.jobs.values():
+            registries.append((job.metrics, {"job": job.id}))
+        return HttpResponse(
+            body=_om.render_openmetrics(registries).encode(),
+            content_type=_om.CONTENT_TYPE,
+        )
+
+    def _get_dash(self, request: HttpRequest) -> HttpResponse:
+        jobs = [job.describe() for job in self.manager.jobs.values()]
+        return HttpResponse(
+            body=render_dashboard(jobs, version=repro.__version__).encode(),
+            content_type="text/html; charset=utf-8",
+        )
 
     def _post_jobs(self, request: HttpRequest) -> HttpResponse:
         try:
@@ -234,7 +301,16 @@ class ExperimentServer:
         return json_response(self.manager.cancel(job_id).describe())
 
     def _get_report(self, request: HttpRequest, job_id: str) -> HttpResponse:
-        return self._artifact(job_id, self.state.report_path(job_id), "report")
+        response = self._artifact(job_id, self.state.report_path(job_id), "report")
+        if request.query.get("windows") in (None, "", "0"):
+            # Default body is the artifact verbatim — byte-identical to
+            # what the sweep engine wrote, telemetry or not.
+            return response
+        payload = json.loads(response.body)
+        section = merged_windows_section(payload.get("points", []))
+        if section is not None:
+            payload["windows"] = section
+        return json_response(payload)
 
     def _get_trace(self, request: HttpRequest, job_id: str) -> HttpResponse:
         return self._artifact(job_id, self.state.trace_path(job_id), "trace")

@@ -24,7 +24,12 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..obs import MetricsRegistry
 
 __all__ = ["StateStore"]
 
@@ -47,12 +52,22 @@ def _atomic_write(path: Path, body: str) -> None:
 class StateStore:
     """The service's on-disk session state."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, metrics: "MetricsRegistry | None" = None
+    ) -> None:
         self.root = Path(root).expanduser()
         self.jobs_dir = self.root / "jobs"
         self.artifacts_dir = self.root / "artifacts"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self.artifacts_dir.mkdir(parents=True, exist_ok=True)
+        # Self-telemetry: journal fsync latency is the one disk wait on
+        # the event-loop thread, so the server watches it (growth=1.1
+        # keeps the bucket count small over the ms..s range).
+        self._fsync_hist = (
+            metrics.histogram("service.journal.fsync_s", growth=1.1)
+            if metrics is not None
+            else None
+        )
 
     # -- journals --------------------------------------------------------
 
@@ -65,7 +80,10 @@ class StateStore:
         with open(self.journal_path(job_id), "a", encoding="utf-8") as handle:
             handle.write(line)
             handle.flush()
+            start = time.perf_counter()
             os.fsync(handle.fileno())
+            if self._fsync_hist is not None:
+                self._fsync_hist.observe(time.perf_counter() - start)
 
     def load(self) -> dict[str, list[dict]]:
         """Every job's journal records, keyed by job id.

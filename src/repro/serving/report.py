@@ -100,18 +100,27 @@ class SimReport:
     kv_occupancy_trace: tuple[tuple[float, float], ...]
     # -- fault injection (None unless a fault schedule touched the run) --
     degradation: "DegradationReport | None" = None
+    # -- live telemetry (None unless SimConfig.window_s was set) ---------
+    # windows: the mergeable rollup from repro.obs.windows (raw bucket
+    # state, so cross-point rollups merge exactly); alerts: the SLO
+    # monitor's fire/resolve timeline ([] = monitored but quiet).
+    windows: tuple[dict, ...] | None = None
+    alerts: tuple[dict, ...] | None = None
 
 
 def report_asdict(report: SimReport) -> dict:
-    """``dataclasses.asdict`` with the fault-free shape preserved.
+    """``dataclasses.asdict`` with the baseline shape preserved.
 
-    A run without faults has ``degradation is None``; stripping the key
-    keeps the serialized report byte-identical to pre-fault-engine
-    goldens (and to CLI ``--json`` consumers that predate the field).
+    Optional sections (``degradation``, ``windows``, ``alerts``) are
+    stripped when ``None``, keeping the serialized report
+    byte-identical to the goldens that predate each feature (and to
+    CLI ``--json`` consumers): fault-free runs match pre-fault-engine
+    output, un-windowed runs match pre-telemetry output.
     """
     payload = asdict(report)
-    if payload.get("degradation") is None:
-        payload.pop("degradation", None)
+    for optional in ("degradation", "windows", "alerts"):
+        if payload.get(optional) is None:
+            payload.pop(optional, None)
     return payload
 
 
@@ -161,6 +170,13 @@ def compact_record(report: SimReport) -> dict:
             "steps_aborted": d.steps_aborted,
             "accounted": d.accounted,
         }
+    # Telemetry sections ride along only when windowing was configured,
+    # so default sweep payloads (and their cached entries, goldens and
+    # BENCH_*.json baselines) stay byte-identical.
+    if report.windows is not None:
+        record["windows"] = [dict(w) for w in report.windows]
+    if report.alerts is not None:
+        record["alerts"] = [dict(a) for a in report.alerts]
     return record
 
 
@@ -176,6 +192,8 @@ def build_report(
     queue_trace: list[tuple[float, int]],
     kv_trace: list[tuple[float, float]],
     degradation: "DegradationReport | None" = None,
+    windows: tuple[dict, ...] | None = None,
+    alerts: tuple[dict, ...] | None = None,
 ) -> SimReport:
     """Aggregate per-request records into a :class:`SimReport`.
 
@@ -211,4 +229,6 @@ def build_report(
         queue_depth_trace=tuple(queue_trace),
         kv_occupancy_trace=tuple(kv_trace),
         degradation=degradation,
+        windows=windows,
+        alerts=alerts,
     )

@@ -57,9 +57,17 @@ from dataclasses import dataclass, field
 from operator import attrgetter
 
 from ..core.rng import seeded_generator
-from ..faults.report import build_degradation
+from ..faults.report import annotate_alerts, build_degradation
 from ..faults.schedule import FaultEvent, FaultSchedule, RecoveryPolicy
-from ..obs import NULL_TRACER, MetricsRegistry, Tracer
+from ..obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    WindowedMetrics,
+    evaluate_slo,
+    parse_slo_rules,
+    window_summaries,
+)
 from .costmodel import StepCostModel
 from .kvpool import KVPoolConfig, PagedKVPool, kv_pool_blocks
 from .report import SLO, SimReport, build_report
@@ -118,6 +126,15 @@ class SimConfig:
             pool).  ``None`` or an empty schedule leaves the run
             bit-identical to a pre-fault-engine simulation.
         recovery: Retry/backoff/shedding policy for fault survival.
+        window_s: Telemetry window width (sim seconds).  ``None`` (the
+            default) disables windowed aggregation entirely — the run,
+            its report and its trace stay bit-identical to a
+            pre-telemetry simulation.
+        slo_rules: Declarative SLO monitor rules (anything
+            :func:`repro.obs.parse_slo_rules` accepts — ``SloRule``s,
+            dicts, or compact strings like ``"burn>2@0.9"``).
+            Requires ``window_s``; the resulting alert timeline lands
+            in ``SimReport.alerts``.
     """
 
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
@@ -133,6 +150,8 @@ class SimConfig:
     seed: int = 0
     faults: FaultSchedule | None = None
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    window_s: float | None = None
+    slo_rules: tuple = ()
 
     def __post_init__(self) -> None:
         if self.mode not in (COLOCATED, DISAGGREGATED):
@@ -143,6 +162,12 @@ class SimConfig:
             raise ValueError("block_tokens and context_bucket must be positive")
         if self.kv_blocks_per_gpu is not None and self.kv_blocks_per_gpu < 1:
             raise ValueError("kv_blocks_per_gpu must be positive")
+        if self.window_s is not None and self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.slo_rules:
+            if self.window_s is None:
+                raise ValueError("slo_rules require window_s")
+            object.__setattr__(self, "slo_rules", parse_slo_rules(self.slo_rules))
 
 
 class _Pool:
@@ -255,6 +280,7 @@ class ServingSimulator:
         self._metrics_arg = metrics
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._mtp_rng = seeded_generator(config.seed, "mtp")
+        self._windowed: WindowedMetrics | None = None
 
     def _make_pools(self) -> tuple[_Pool, ...]:
         cfg = self.config
@@ -329,6 +355,11 @@ class ServingSimulator:
         )
         for event in fault_events:
             push(event.time, _FAULT, event)
+        # Live telemetry: fold events into sim-time windows as they
+        # happen (O(windows) memory).  None unless window_s was set, so
+        # un-windowed runs skip every hook with one identity check.
+        windowed = WindowedMetrics(cfg.window_s) if cfg.window_s is not None else None
+        self._windowed = windowed
         self._active_faults = 0
         self._n_retries = 0
         self._n_retry_dropped = 0
@@ -365,6 +396,9 @@ class ServingSimulator:
                 used += p.kv.used_blocks
             queue_append((t, depth))
             kv_append((t, used / total_blocks))
+            if windowed is not None:
+                windowed.sample("queue_depth", t, depth)
+                windowed.sample("kv_occupancy", t, used / total_blocks)
             if tracer.enabled:
                 for p in pools:
                     pool_depth = len(p.prefill_queue) + len(p.entry_queue)
@@ -377,6 +411,8 @@ class ServingSimulator:
             now, kind, _, payload = heapq.heappop(heap)
             if kind == _ARRIVAL:
                 assert isinstance(payload, Request)
+                if windowed is not None:
+                    windowed.count("arrivals", now)  # offered load, pre-shed
                 if self._active_faults and self._shed_arrival(
                     payload, now, pools, dropped
                 ):
@@ -447,6 +483,34 @@ class ServingSimulator:
                 steps_aborted=self._n_steps_aborted,
                 lost_tokens=self._lost_tokens,
             )
+        windows = None
+        alerts = None
+        if windowed is not None:
+            rollup = windowed.rollup()
+            windows = tuple(rollup)
+            if cfg.slo_rules:
+                events = evaluate_slo(window_summaries(rollup), cfg.slo_rules)
+                alert_dicts = [event.to_dict() for event in events]
+                if degradation is not None:
+                    annotate_alerts(alert_dicts, degradation.windows)
+                # () when monitored but quiet; None only when unmonitored.
+                alerts = tuple(alert_dicts)
+                fired = sum(1 for a in alert_dicts if a["state"] == "fire")
+                metrics.counter("serving.slo.alerts_fired").inc(fired)
+                metrics.counter("serving.slo.alerts_resolved").inc(
+                    len(alert_dicts) - fired
+                )
+                if tracer.enabled:
+                    for a in alert_dicts:
+                        tracer.instant(
+                            f"slo_{a['state']}", "slo", pools[-1].pid, 0,
+                            a["time"],
+                            args={
+                                "rule": a["rule"],
+                                "value": a["value"],
+                                "limit": a["limit"],
+                            },
+                        )
         report = build_report(
             finished,
             cfg.slo,
@@ -459,6 +523,8 @@ class ServingSimulator:
             queue_series.samples,
             kv_series.samples,
             degradation=degradation,
+            windows=windows,
+            alerts=alerts,
         )
         self.decode_batch_profile = tuple(
             (batch, count, total / count)
@@ -478,6 +544,8 @@ class ServingSimulator:
     def _drop(self, request: Request, now: float, dropped: list[Request]) -> None:
         dropped.append(request)
         self._n_dropped += 1
+        if self._windowed is not None:
+            self._windowed.count("dropped", now)
         if self.tracer.enabled:
             self.tracer.instant(
                 "drop", "request", self._requests_pid, request.rid, now,
@@ -816,6 +884,16 @@ class ServingSimulator:
         request.kv_tokens = 0
         finished.append(request)
         self._n_completed += 1
+        windowed = self._windowed
+        if windowed is not None:
+            windowed.count("finished", now)
+            windowed.count("tokens", now, request.generated)
+            if self.config.slo.met_by(request):
+                windowed.count("slo_met", now)
+            windowed.observe("ttft", now, request.ttft)
+            if request.has_tpot:
+                windowed.observe("tpot", now, request.tpot)
+            windowed.observe("e2e", now, request.e2e)
         if self.tracer.enabled:
             if from_active and request.decode_since >= 0:
                 self._span(

@@ -26,6 +26,7 @@ from .runner import (
     PointResult,
     SweepInterrupted,
     SweepResult,
+    merged_windows_section,
     print_sweep_summary,
     run_sweep,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "PointResult",
     "SweepInterrupted",
     "SweepResult",
+    "merged_windows_section",
     "print_sweep_summary",
     "run_sweep",
     "SweepSpec",

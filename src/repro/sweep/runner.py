@@ -183,6 +183,34 @@ class SweepResult:
         return json.dumps(self.report_payload(), indent=2, sort_keys=True) + "\n"
 
 
+def merged_windows_section(points) -> dict | None:
+    """Cross-point telemetry rollup for a sweep's ``windows`` section.
+
+    ``points`` is a payload-style point list (dicts with a ``result``)
+    — :meth:`SweepResult.payload`, :meth:`SweepResult.report_payload`
+    or a parsed report artifact all qualify.  Per-point window rollups
+    are combined *exactly* via :func:`repro.obs.merge_window_rollups`
+    (histogram buckets add, not percentiles), then summarized.  Returns
+    ``None`` when no point carried windows, so callers can keep the
+    section out of default output entirely.
+    """
+    from ..obs import merge_window_rollups, window_summaries
+
+    rollups = [
+        p["result"]["windows"]
+        for p in points
+        if isinstance(p.get("result"), dict) and p["result"].get("windows")
+    ]
+    if not rollups:
+        return None
+    merged = merge_window_rollups(rollups)
+    return {
+        "points": len(rollups),
+        "merged": merged,
+        "summaries": window_summaries(merged),
+    }
+
+
 def _evaluate(
     target: str, config: dict, seed: int, epoch: float, capture: bool = False
 ) -> tuple[dict | None, dict | None, float, float]:

@@ -24,7 +24,10 @@ keys map onto ``WorkloadSpec`` (``request_rate``, ``num_requests``,
 …) and ``SimConfig`` (``mode``, ``prefill_gpus``, ``decode_gpus``,
 ``kv_blocks_per_gpu``, ``block_tokens``, ``context_bucket``); plus
 ``mtp``/``mtp_acceptance``, a ``faults`` schedule dict
-(``FaultSchedule.to_json`` shape) and a ``recovery`` kwargs dict.
+(``FaultSchedule.to_json`` shape), a ``recovery`` kwargs dict, and the
+telemetry pair ``window_s`` (window width) / ``slo`` (a rule list for
+:func:`repro.obs.parse_slo_rules`) — when set, each point's record
+gains mergeable ``windows`` and an ``alerts`` timeline.
 
 ``flowsim`` — shifted-ring all-to-all on a two-layer fat tree through
 :class:`repro.network.FlowSimulator` (``num_leaves``,
@@ -101,6 +104,11 @@ def _serving_target(config: dict, seed: int) -> dict:
     )
     faults = cfg.pop("faults", None)
     recovery = cfg.pop("recovery", None)
+    # Telemetry opts: a window width plus SLO monitor rules (compact
+    # strings or SloRule.to_dict() shapes — both JSON-able, so they are
+    # legal cache-key material like every other config key).
+    window_s = cfg.pop("window_s", None)
+    slo_rules = cfg.pop("slo", None)
     sim = SimConfig(
         workload=workload,
         costs=StepCostModel(mtp=mtp),
@@ -114,6 +122,8 @@ def _serving_target(config: dict, seed: int) -> dict:
         seed=seed,
         faults=FaultSchedule.from_json(faults) if faults else None,
         **({"recovery": RecoveryPolicy(**recovery)} if recovery else {}),
+        **({"window_s": window_s} if window_s is not None else {}),
+        **({"slo_rules": tuple(slo_rules)} if slo_rules else {}),
     )
     if cfg:
         raise ValueError(f"unknown serving sweep keys: {sorted(cfg)}")

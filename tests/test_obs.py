@@ -10,8 +10,10 @@ from repro.obs import (
     NULL_TRACER,
     Counter,
     Histogram,
+    HistogramSummary,
     MetricsRegistry,
     NullTracer,
+    TimeSeries,
     Tracer,
 )
 from repro.serving import KV_OCCUPANCY, QUEUE_DEPTH, ServingSimulator, SimConfig, WorkloadSpec
@@ -111,6 +113,101 @@ def test_histogram_zero_and_extremes():
         hist.percentile(101)
     with pytest.raises(ValueError):
         Histogram("h", growth=1.0)
+
+
+def test_histogram_percentile_edges_are_exact():
+    hist = Histogram("h")
+    for value in (0.5, 2.0, 8.0):
+        hist.observe(value)
+    assert hist.percentile(0) == 0.5  # exact tracked min, not a bucket bound
+    assert hist.percentile(100) == 8.0  # exact tracked max
+    assert Histogram("h").percentile(0) == 0.0
+    assert Histogram("h").percentile(100) == 0.0
+
+
+def test_histogram_merge_matches_single_stream():
+    rng = np.random.default_rng(5)
+    samples = rng.lognormal(mean=-2.0, sigma=1.0, size=12_000)
+    whole = Histogram("h", growth=1.02)
+    parts = [Histogram("h", growth=1.02) for _ in range(4)]
+    for i, value in enumerate(samples):
+        whole.observe(float(value))
+        parts[i % 4].observe(float(value))
+    merged = parts[0]
+    for part in parts[1:]:
+        merged.merge(part)
+    assert merged.count == whole.count
+    assert merged.mean == pytest.approx(whole.mean)
+    assert merged.min == whole.min and merged.max == whole.max
+    assert merged.bucket_counts() == whole.bucket_counts()
+    for q in (50, 95, 99):
+        exact = float(np.percentile(samples, q))
+        assert abs(merged.percentile(q) - exact) / exact < 0.02, q
+
+
+def test_histogram_merge_rejects_mismatched_growth():
+    with pytest.raises(ValueError):
+        Histogram("h", growth=1.02).merge(Histogram("h", growth=1.1))
+
+
+def test_histogram_dict_round_trip():
+    hist = Histogram("h", growth=1.05)
+    for value in (0.0, 0.001, 0.5, 0.5, 12.0):
+        hist.observe(value)
+    clone = Histogram.from_dict(hist.to_dict())
+    assert clone.to_dict() == hist.to_dict()
+    for q in (0, 50, 99, 100):
+        assert clone.percentile(q) == hist.percentile(q)
+
+
+def test_histogram_summary_json_round_trip():
+    hist = Histogram("h")
+    rng = np.random.default_rng(1)
+    for value in rng.exponential(0.05, size=2_000):
+        hist.observe(float(value))
+    summary = hist.summary()
+    payload = json.loads(json.dumps(summary.asdict(), sort_keys=True))
+    assert HistogramSummary.from_dict(payload) == summary
+
+
+def test_timeseries_ring_mode_keeps_tail():
+    series = TimeSeries("s", max_points=8, mode="ring")
+    for i in range(100):
+        series.record(float(i), float(i) * 2)
+    samples = series.samples
+    assert len(samples) == 8
+    assert samples[0] == (92.0, 184.0) and samples[-1] == (99.0, 198.0)
+
+
+def test_timeseries_decimate_mode_spans_full_range():
+    series = TimeSeries("s", max_points=16, mode="decimate")
+    for i in range(1_000):
+        series.record(float(i), float(i))
+    samples = series.samples
+    assert len(samples) <= 16
+    assert samples[0][0] == 0.0  # decimation keeps the head ...
+    # ... and the newest kept sample trails the newest record by at
+    # most one stride (stride doubles to stay under max_points).
+    assert samples[-1][0] >= 999.0 - 2 * (999.0 / len(samples))
+
+
+def test_timeseries_default_is_exact_and_modes_validate():
+    series = TimeSeries("s")
+    for i in range(10_000):
+        series.record(float(i), 0.0)
+    assert len(series.samples) == 10_000
+    with pytest.raises(ValueError):
+        TimeSeries("s", max_points=4, mode="nope")
+    with pytest.raises(ValueError):
+        TimeSeries("s", max_points=0, mode="ring")
+
+
+def test_registry_series_accepts_bounds():
+    registry = MetricsRegistry()
+    bounded = registry.series("s", max_points=4, mode="ring")
+    for i in range(32):
+        bounded.record(float(i), float(i))
+    assert len(registry.snapshot()["s"]) == 4
 
 
 def test_histogram_summary_is_ordered():

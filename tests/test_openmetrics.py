@@ -1,0 +1,170 @@
+"""OpenMetrics exposition (repro.obs.openmetrics): golden text,
+parse-back fidelity, bucket-based percentile recovery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    metric_name,
+    parse_openmetrics,
+    percentile_from_buckets,
+    render_openmetrics,
+)
+from repro.obs.openmetrics import CONTENT_TYPE
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serving.requests_completed").inc(3)
+    registry.gauge("serving.kv.occupancy").set(0.25)
+    series = registry.series("serving.queue_depth")
+    series.record(0.0, 1.0)
+    series.record(1.0, 4.0)
+    hist = registry.histogram("serving.ttft_s", growth=2.0)
+    hist.observe(0.0)  # underflow bucket
+    hist.observe(1.5)  # bucket index 0: (1, 2]
+    hist.observe(3.0)  # bucket index 1: (2, 4]
+    return registry
+
+
+# -- golden exposition -----------------------------------------------------
+
+_GOLDEN = """\
+# TYPE serving_kv_occupancy gauge
+# HELP serving_kv_occupancy serving.kv.occupancy
+serving_kv_occupancy 0.25
+# TYPE serving_queue_depth gauge
+# HELP serving_queue_depth serving.queue_depth
+serving_queue_depth 4
+# TYPE serving_requests_completed counter
+# HELP serving_requests_completed serving.requests_completed
+serving_requests_completed_total 3
+# TYPE serving_ttft_s histogram
+# HELP serving_ttft_s serving.ttft_s
+serving_ttft_s_bucket{le="0"} 1
+serving_ttft_s_bucket{le="2"} 2
+serving_ttft_s_bucket{le="4"} 3
+serving_ttft_s_bucket{le="+Inf"} 3
+serving_ttft_s_sum 4.5
+serving_ttft_s_count 3
+# EOF
+"""
+
+
+def test_golden_exposition():
+    """The exact text format is API: scrapers depend on it."""
+    assert render_openmetrics(_registry()) == _GOLDEN
+    assert CONTENT_TYPE.startswith("application/openmetrics-text")
+
+
+def test_multi_registry_labels_and_family_merge():
+    server = MetricsRegistry()
+    server.counter("points.settled").inc(5)
+    job = MetricsRegistry()
+    job.counter("points.settled").inc(2)
+    text = render_openmetrics([(server, None), (job, {"job": "j0001"})])
+    lines = text.splitlines()
+    assert lines.count("# TYPE points_settled counter") == 1  # one family
+    assert "points_settled_total 5" in lines
+    assert 'points_settled_total{job="j0001"} 2' in lines
+    assert lines[-1] == "# EOF"
+
+
+def test_kind_collision_across_registries_is_an_error():
+    a = MetricsRegistry()
+    a.counter("x")
+    b = MetricsRegistry()
+    b.gauge("x")
+    with pytest.raises(ValueError, match="both"):
+        render_openmetrics([(a, None), (b, {"job": "j1"})])
+
+
+def test_metric_name_sanitization_and_escaping():
+    assert metric_name("serving.ttft_s") == "serving_ttft_s"
+    assert metric_name("9lives") == "_9lives"
+    registry = MetricsRegistry()
+    registry.counter("weird.name-with%chars").inc()
+    text = render_openmetrics([(registry, {"tag": 'a"b\\c\nd'})])
+    parsed = parse_openmetrics(text)
+    family = parsed["weird_name_with_chars"]
+    assert family["help"] == "weird.name-with%chars"  # original preserved
+    assert family["samples"][0]["labels"]["tag"] == 'a"b\\c\nd'  # round-trips
+
+
+def test_empty_series_is_skipped():
+    registry = MetricsRegistry()
+    registry.series("quiet")
+    text = render_openmetrics(registry)
+    # TYPE/HELP are emitted, but there is no valueless sample line.
+    assert not any(line.startswith("quiet") for line in text.splitlines())
+    assert parse_openmetrics(text)["quiet"]["samples"] == []
+
+
+# -- parse-back ------------------------------------------------------------
+
+
+def test_parse_back_matches_snapshot():
+    registry = _registry()
+    parsed = parse_openmetrics(render_openmetrics(registry))
+    snap = registry.snapshot()
+    assert parsed["serving_requests_completed"]["type"] == "counter"
+    assert parsed["serving_requests_completed"]["samples"][0] == {
+        "suffix": "_total", "labels": {}, "value": snap["serving.requests_completed"],
+    }
+    assert parsed["serving_kv_occupancy"]["samples"][0]["value"] == snap["serving.kv.occupancy"]
+    assert parsed["serving_queue_depth"]["samples"][0]["value"] == snap["serving.queue_depth"][-1][1]
+    hist = parsed["serving_ttft_s"]
+    by_suffix = {}
+    for sample in hist["samples"]:
+        by_suffix.setdefault(sample["suffix"], []).append(sample)
+    assert by_suffix["_count"][0]["value"] == snap["serving.ttft_s"]["count"]
+    assert by_suffix["_sum"][0]["value"] == pytest.approx(4.5)
+    # Cumulative buckets are monotone and end at the total count.
+    values = [s["value"] for s in by_suffix["_bucket"]]
+    assert values == sorted(values) and values[-1] == 3
+    bounds = [s["labels"]["le"] for s in by_suffix["_bucket"]]
+    assert bounds[-1] == "+Inf"
+
+
+def test_parse_rejects_undeclared_sample():
+    with pytest.raises(ValueError, match="TYPE"):
+        parse_openmetrics("mystery_total 3\n# EOF\n")
+
+
+def test_bucket_percentiles_recover_histogram_estimates():
+    rng = np.random.default_rng(7)
+    samples = rng.lognormal(mean=-2.0, sigma=1.0, size=10_000)
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", growth=1.02)
+    for value in samples:
+        hist.observe(float(value))
+    parsed = parse_openmetrics(render_openmetrics(registry))
+    for q in (50, 95, 99):
+        recovered = percentile_from_buckets(parsed["h"]["samples"], q, growth=1.02)
+        assert recovered == pytest.approx(hist.percentile(q), rel=0.02), q
+
+
+def test_percentile_from_buckets_edge_cases():
+    assert percentile_from_buckets([], 50) == 0.0
+    only_inf = [{"suffix": "_bucket", "labels": {"le": "+Inf"}, "value": 0.0}]
+    assert percentile_from_buckets(only_inf, 50) == 0.0
+    underflow = [
+        {"suffix": "_bucket", "labels": {"le": "0"}, "value": 3.0},
+        {"suffix": "_bucket", "labels": {"le": "+Inf"}, "value": 3.0},
+    ]
+    assert percentile_from_buckets(underflow, 99) == 0.0  # all non-positive
+
+
+def test_value_formatting():
+    registry = MetricsRegistry()
+    registry.gauge("nan").set(math.nan)
+    registry.gauge("inf").set(math.inf)
+    registry.gauge("neg").set(-math.inf)
+    registry.gauge("frac").set(0.1)
+    text = render_openmetrics(registry)
+    assert "nan NaN" in text and "inf +Inf" in text and "neg -Inf" in text
+    assert "frac 0.1" in text  # repr round-trip, not 0.10000000000000001

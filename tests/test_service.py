@@ -468,6 +468,171 @@ def test_kill_and_resume_from_journal_and_cache(tmp_path):
     assert report == direct.to_report_json().encode()
 
 
+def _telemetry_spec() -> dict:
+    """A windowed, SLO-monitored, fault-injected serving job: one decode
+    node dies at t=3s and rejoins at t=6s."""
+    return {
+        "target": "serving",
+        "grid": {"request_rate": [8]},
+        "base": {
+            **SERVING_BASE,
+            "num_requests": 120,
+            "mode": "disaggregated",
+            "prompt_mean": 256,
+            "output_mean": 64,
+        },
+        "window_s": 2.0,
+        "slo": ["burn>2@0.9"],
+        "faults": {
+            "events": [{"time": 3.0, "kind": "node", "target": "decode", "mttr": 3.0}]
+        },
+        "seed": 17,
+    }
+
+
+def test_metrics_exposition_and_self_telemetry(tmp_path):
+    from repro.obs import parse_openmetrics
+
+    spec = {"target": "serving", "grid": {"request_rate": [4]}, "base": SERVING_BASE}
+
+    async def body(server, client):
+        _, job = await client.post_json("/jobs", spec)
+        await client.collect_events(f"/jobs/{job['id']}/events", timeout=30)
+        await asyncio.sleep(0.15)  # let the telemetry pump tick
+        status, headers, text = await client.request("GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"].startswith("application/openmetrics-text")
+        families = parse_openmetrics(text.decode())
+        # Server self-telemetry families.
+        for family in (
+            "service_loop_lag_s",
+            "service_queue_depth",
+            "service_workers_utilization",
+            "service_cache_hit_ratio",
+            "service_journal_fsync_s",
+            "service_points_settled",
+        ):
+            assert family in families, family
+        assert families["service_points_settled"]["samples"][0]["value"] == 1
+        # The job's registry rides along, labeled.
+        progress = families["sweep_progress"]["samples"]
+        assert progress[0]["labels"] == {"job": job["id"]}
+        # Two scrapes are monotone on counters (http requests grew).
+        first = families["service_http_requests"]["samples"][0]["value"]
+        _, _, text2 = await client.request("GET", "/metrics")
+        second = parse_openmetrics(text2.decode())
+        assert second["service_http_requests"]["samples"][0]["value"] > first
+        # The legacy JSON snapshot stays available behind ?format=json.
+        status, snap = await client.get_json("/metrics?format=json")
+        assert status == 200 and set(snap) == {"server"}  # legacy shape
+        assert snap["server"]["service.points.settled"] == 1
+        assert 0.0 <= snap["server"]["service.workers.utilization"] <= 1.0
+        assert isinstance(snap["server"]["service.journal.fsync_s"], dict)
+
+    asyncio.run(_with_server(_config(tmp_path, telemetry_interval_s=0.05), body))
+
+
+def test_alert_frames_ride_the_stream_and_replay(tmp_path):
+    async def body(server, client):
+        _, job = await client.post_json("/jobs", _telemetry_spec())
+        events = await client.collect_events(f"/jobs/{job['id']}/events", timeout=60)
+        alerts = [d for e, d in events if e == "alert"]
+        states = [a["state"] for a in alerts]
+        assert "fire" in states and "resolve" in states
+        fire = next(a for a in alerts if a["state"] == "fire")
+        assert fire["rule"] == "burn>2@0.9"
+        assert fire["during_fault"] and fire["fault_target"] == "decode"
+        assert fire["job"] == job["id"] and fire["index"] == 0
+        # Alert frames are critical: a late subscriber replays them.
+        replayed = await client.collect_events(f"/jobs/{job['id']}/events", timeout=5)
+        assert [d for e, d in replayed if e == "alert"] == alerts
+
+    asyncio.run(_with_server(_config(tmp_path), body))
+
+
+def test_report_windows_section_is_opt_in(tmp_path):
+    from repro.obs import merge_window_rollups
+
+    async def body(server, client):
+        spec = _telemetry_spec()
+        spec["grid"] = {"request_rate": [6, 8]}
+        _, job = await client.post_json("/jobs", spec)
+        await client.collect_events(f"/jobs/{job['id']}/events", timeout=60)
+        # Default report: the verbatim artifact, no merged section.
+        status, _, report = await client.request("GET", f"/jobs/{job['id']}/report")
+        assert status == 200
+        doc = json.loads(report)
+        assert "windows" not in doc
+        assert doc["points"][0]["result"]["windows"]  # per-point rollups ride
+        # ?windows=1 derives the cross-point merge on demand.
+        status, _, with_windows = await client.request(
+            "GET", f"/jobs/{job['id']}/report?windows=1"
+        )
+        assert status == 200
+        merged_doc = json.loads(with_windows)
+        section = merged_doc["windows"]
+        assert section["points"] == 2
+        expected = merge_window_rollups(
+            [p["result"]["windows"] for p in doc["points"]]
+        )
+        assert section["merged"] == json.loads(json.dumps(expected))
+        assert len(section["summaries"]) == len(expected)
+        # Everything but the added section is unchanged.
+        merged_doc.pop("windows")
+        assert merged_doc == doc
+
+    asyncio.run(_with_server(_config(tmp_path), body))
+
+
+def test_dash_page_embeds_jobs(tmp_path):
+    spec = {"target": "serving", "grid": {"request_rate": [4]}, "base": SERVING_BASE}
+
+    async def body(server, client):
+        status, headers, page = await client.request("GET", "/dash")
+        assert status == 200 and headers["content-type"].startswith("text/html")
+        html = page.decode()
+        assert "no jobs yet" in html and "EventSource" in html
+        _, job = await client.post_json("/jobs", spec)
+        await client.collect_events(f"/jobs/{job['id']}/events", timeout=30)
+        _, _, page = await client.request("GET", "/dash")
+        html = page.decode()
+        assert job["id"] in html  # embedded snapshot covers terminal jobs
+
+    asyncio.run(_with_server(_config(tmp_path), body))
+
+
+def test_telemetry_payload_validation(tmp_path):
+    spec = {"target": "serving", "grid": {"request_rate": [4]}, "base": SERVING_BASE}
+
+    async def body(server, client):
+        status, payload = await client.post_json("/jobs", {**spec, "window_s": -1.0})
+        assert status == 400 and "window_s" in payload["error"]
+        status, payload = await client.post_json("/jobs", {**spec, "window_s": True})
+        assert status == 400 and "window_s" in payload["error"]
+        status, payload = await client.post_json(
+            "/jobs", {**spec, "slo": ["burn>2@0.9"]}
+        )
+        assert status == 400 and "window_s" in payload["error"]
+        status, payload = await client.post_json(
+            "/jobs", {**spec, "window_s": 2.0, "slo": ["garbage"]}
+        )
+        assert status == 400 and "slo" in payload["error"].lower()
+        status, payload = await client.post_json(
+            "/jobs", {**spec, "window_s": 2.0, "slo": []}
+        )
+        assert status == 400 and "slo" in payload["error"].lower()
+        # A well-formed pair is accepted, with the rules canonicalized.
+        status, job = await client.post_json(
+            "/jobs", {**spec, "window_s": 2.0, "slo": ["burn>2@0.9"]}
+        )
+        assert status == 202
+        await client.collect_events(f"/jobs/{job['id']}/events", timeout=30)
+        _, detail = await client.get_json(f"/jobs/{job['id']}")
+        assert detail["state"] == "done" and detail["errors"] == 0
+
+    asyncio.run(_with_server(_config(tmp_path), body))
+
+
 def test_restart_lists_finished_jobs(tmp_path):
     """Terminal jobs survive a restart: listed, artifact-served, and
     their SSE stream replays to an immediate terminal event."""

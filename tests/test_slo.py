@@ -1,0 +1,208 @@
+"""SLO rules and burn-rate alerting (repro.obs.slo) + the acceptance
+scenario: a seeded fault-injected serving run produces a deterministic
+alert timeline — fires during the outage, resolves after repair — that
+is byte-identical across runs and across sweep worker counts."""
+
+import json
+
+import pytest
+
+from repro.obs import AlertEvent, SloRule, evaluate_slo, parse_slo_rules
+from repro.serving import ServingSimulator, SimConfig, WorkloadSpec, report_asdict
+from repro.sweep import SweepSpec, run_sweep
+
+# -- rule construction / parsing -------------------------------------------
+
+
+def test_rule_requires_exactly_one_form():
+    with pytest.raises(ValueError):
+        SloRule(name="both", threshold=0.5, burn_rate=2.0)
+    with pytest.raises(ValueError):
+        SloRule(name="neither")
+    with pytest.raises(ValueError):
+        SloRule(name="op", threshold=0.5, op="==")
+    with pytest.raises(ValueError):
+        SloRule(name="obj", burn_rate=2.0, objective=1.0)
+    with pytest.raises(ValueError):
+        SloRule(name="deb", burn_rate=2.0, for_windows=0)
+
+
+def test_parse_compact_strings():
+    burn, thresh = parse_slo_rules(["burn>2@0.9", "tpot_p99<=0.05"])
+    assert burn.burn_rate == 2.0 and burn.objective == 0.9
+    assert thresh.metric == "tpot_p99" and thresh.op == "<=" and thresh.threshold == 0.05
+    (default_obj,) = parse_slo_rules(["burn>14"])
+    assert default_obj.objective == 0.99  # @OBJECTIVE optional
+    with pytest.raises(ValueError):
+        parse_slo_rules(["burn=2"])
+    with pytest.raises(ValueError):
+        parse_slo_rules(["no_operator_here"])
+    with pytest.raises(ValueError):
+        parse_slo_rules([42])
+
+
+def test_rule_dict_round_trip_is_canonical():
+    rule = SloRule(name="r", burn_rate=2.0, objective=0.9, for_windows=2)
+    data = rule.to_dict()
+    assert data == {"name": "r", "burn_rate": 2.0, "objective": 0.9, "for_windows": 2}
+    assert SloRule.from_dict(json.loads(json.dumps(data))) == rule
+    with pytest.raises(ValueError):
+        SloRule.from_dict({"name": "r", "burn_rate": 2.0, "bogus": 1})
+    with pytest.raises(ValueError):
+        SloRule.from_dict({"burn_rate": 2.0})
+    # parse_slo_rules passes dicts and SloRules through.
+    assert parse_slo_rules([data, rule]) == (rule, rule)
+
+
+# -- evaluation ------------------------------------------------------------
+
+
+def _summaries(attainments):
+    return [
+        {"index": i, "start": 2.0 * i, "end": 2.0 * i + 2.0, "slo_attainment": a}
+        for i, a in enumerate(attainments)
+    ]
+
+
+def test_burn_rate_fire_and_resolve():
+    rule = SloRule(name="burn", burn_rate=2.0, objective=0.9)
+    # attainment 0.5 -> burn 5 (breach); 1.0 -> burn 0 (healthy)
+    events = evaluate_slo(_summaries([1.0, 0.5, 0.5, 1.0]), [rule])
+    assert [(e.state, e.window) for e in events] == [("fire", 1), ("resolve", 3)]
+    assert events[0].time == 4.0  # end of the breaching window
+    assert events[0].value == pytest.approx(5.0)
+    assert events[0].limit == 2.0
+
+
+def test_threshold_rule_uses_summary_metric():
+    rule = SloRule(name="tpot", metric="tpot_p99", op="<", threshold=0.05)
+    summaries = _summaries([1.0, 1.0])
+    summaries[0]["tpot_p99"] = 0.04
+    summaries[1]["tpot_p99"] = 0.09  # breach: not (0.09 < 0.05)
+    events = evaluate_slo(summaries, [rule])
+    assert [(e.state, e.window) for e in events] == [("fire", 1)]
+
+
+def test_debounce_requires_consecutive_windows():
+    rule = SloRule(name="b", burn_rate=2.0, objective=0.9, for_windows=2, clear_windows=2)
+    # One-window blips never fire; two consecutive breaches do, and the
+    # alert needs two consecutive healthy windows to resolve.
+    blip = evaluate_slo(_summaries([0.0, 1.0, 0.0, 1.0]), [rule])
+    assert blip == []
+    events = evaluate_slo(_summaries([0.0, 0.0, 1.0, 0.0, 1.0, 1.0]), [rule])
+    assert [(e.state, e.window) for e in events] == [("fire", 1), ("resolve", 5)]
+
+
+def test_no_data_windows_hold_state():
+    rule = SloRule(name="b", burn_rate=2.0, objective=0.9)
+    # None-attainment windows neither clear a firing alert nor break a
+    # breach streak: fire at window 0 survives the idle gap.
+    events = evaluate_slo(_summaries([0.0, None, None, 1.0]), [rule])
+    assert [(e.state, e.window) for e in events] == [("fire", 0), ("resolve", 3)]
+
+
+def test_timeline_is_sorted_and_open_alerts_stay_open():
+    rules = [
+        SloRule(name="a", burn_rate=2.0, objective=0.9),
+        SloRule(name="b", burn_rate=4.0, objective=0.9),
+    ]
+    events = evaluate_slo(_summaries([0.0, 0.0]), rules)
+    assert [(e.time, e.rule, e.state) for e in events] == [
+        (2.0, "a", "fire"),
+        (2.0, "b", "fire"),
+    ]  # sorted by (time, rule, state); neither ever resolves
+    assert all(isinstance(e, AlertEvent) for e in events)
+
+
+# -- simulator integration / acceptance ------------------------------------
+
+_WORKLOAD = dict(
+    request_rate=8.0,
+    num_requests=120,
+    prompt_mean=256,
+    prompt_cv=0.3,
+    output_mean=64,
+    output_cv=0.3,
+)
+
+#: One decode node dies at t=3s and rejoins at t=6s: attainment must
+#: collapse inside the outage and recover after repair (traffic keeps
+#: arriving well past the repair, so healthy windows follow the drain).
+_FAULTS = {"events": [{"time": 3.0, "kind": "node", "target": "decode", "mttr": 3.0}]}
+
+
+def _sim_config(**overrides):
+    return SimConfig(
+        workload=WorkloadSpec(**_WORKLOAD),
+        mode="disaggregated",
+        seed=17,
+        **overrides,
+    )
+
+
+def test_simconfig_validates_telemetry_options():
+    with pytest.raises(ValueError):
+        _sim_config(window_s=0.0)
+    with pytest.raises(ValueError):
+        _sim_config(slo_rules=("burn>2@0.9",))  # rules need a window
+    cfg = _sim_config(window_s=2.0, slo_rules=("burn>2@0.9",))
+    assert cfg.slo_rules == parse_slo_rules(["burn>2@0.9"])
+
+
+def test_windowed_run_does_not_perturb_the_simulation():
+    plain = ServingSimulator(_sim_config()).run()
+    windowed = ServingSimulator(
+        _sim_config(window_s=2.0, slo_rules=("burn>2@0.9",))
+    ).run()
+    assert windowed.windows and windowed.alerts is not None
+    for field in ("completed", "duration", "tokens_generated", "ttft",
+                  "tpot", "throughput_tokens_per_s"):
+        assert getattr(plain, field) == getattr(windowed, field), field
+    # Unmonitored runs carry no telemetry keys at all.
+    assert {"windows", "alerts"}.isdisjoint(report_asdict(plain))
+
+
+def test_quiet_monitored_run_reports_empty_timeline():
+    report = ServingSimulator(
+        _sim_config(window_s=2.0, slo_rules=("queue_depth_max<1e9",))
+    ).run()
+    assert report.alerts == ()  # monitored and quiet, not unmonitored
+
+
+def test_alerts_fire_during_outage_and_resolve_after_repair():
+    from repro.faults import FaultSchedule
+
+    report = ServingSimulator(
+        _sim_config(
+            window_s=2.0,
+            slo_rules=("burn>2@0.9",),
+            faults=FaultSchedule.from_json(_FAULTS),
+        )
+    ).run()
+    states = [a["state"] for a in report.alerts]
+    assert "fire" in states and "resolve" in states
+    fire = next(a for a in report.alerts if a["state"] == "fire")
+    resolve = next(a for a in report.alerts if a["state"] == "resolve")
+    assert fire["during_fault"] and fire["fault_target"] == "decode"
+    assert 3.0 <= fire["time"] <= 6.0 + 2.0  # inside the outage (+1 window lag)
+    assert resolve["time"] > 6.0  # only after the repair
+
+
+def test_alert_timeline_is_byte_identical_across_runs_and_workers():
+    """The PR's acceptance bar: same seed -> same bytes, any workers."""
+    spec = SweepSpec(
+        target="serving",
+        points=[{"request_rate": 8.0}],
+        base={**_WORKLOAD, "mode": "disaggregated", "faults": _FAULTS,
+              "window_s": 2.0, "slo": ["burn>2@0.9"]},
+        seed=17,
+    )
+    documents = [
+        run_sweep(spec, workers=workers, cache=None, progress=False).to_json()
+        for workers in (1, 4, 1)
+    ]
+    assert documents[0] == documents[1] == documents[2]
+    record = json.loads(documents[0])["points"][0]["result"]
+    states = [a["state"] for a in record["alerts"]]
+    assert "fire" in states and "resolve" in states
+    assert record["windows"], "windowed rollup must ride the sweep record"
