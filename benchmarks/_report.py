@@ -15,9 +15,17 @@ import json
 import subprocess
 from pathlib import Path
 
+from repro.core.proc import peak_rss_bytes
 from repro.obs.summary import print_table
 
-__all__ = ["compare", "default_meta", "paper_vs_measured", "print_table", "write_json"]
+__all__ = [
+    "compare",
+    "default_meta",
+    "paper_vs_measured",
+    "peak_rss_bytes",
+    "print_table",
+    "write_json",
+]
 
 
 @functools.lru_cache(maxsize=1)
@@ -42,9 +50,12 @@ def _git_sha() -> str:
 
 def default_meta(**extra: object) -> dict:
     """A self-description block for :func:`write_json`: the git SHA of
-    the working tree (``"unknown"`` outside a repo) plus any bench
-    configuration passed as keyword arguments."""
-    return {"git_sha": _git_sha(), **extra}
+    the working tree (``"unknown"`` outside a repo), the process's peak
+    RSS at meta-build time (bytes — a memory-footprint audit trail for
+    every committed baseline), plus any bench configuration passed as
+    keyword arguments.  Lives under ``"_meta"``, which :func:`compare`
+    skips, so the machine-dependent RSS never trips a ``--check``."""
+    return {"git_sha": _git_sha(), "peak_rss_bytes": peak_rss_bytes(), **extra}
 
 
 def write_json(name: str, payload: dict, meta: dict | None = None) -> Path:

@@ -24,4 +24,4 @@ Subpackages:
   journaled sessions over the sweep engine.
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"

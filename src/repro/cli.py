@@ -15,6 +15,10 @@ Commands:
 * ``budget [--tokens T]`` — training GPU-hour/dollar budget.
 * ``serve-sim`` — request-level serving simulation (§2.3.1–§2.3.3);
   ``--json`` dumps the full ``SimReport`` as machine-readable JSON.
+  Streams by default (constant memory — ``--requests 1000000`` is
+  routine, with periodic progress on stderr for large runs);
+  ``--record`` keeps exact per-request records and the per-request
+  degradation breakdown.
 * ``trace`` — run a simulator scenario with the observability layer
   on, write a Chrome trace-event file (chrome://tracing / Perfetto)
   and print a top-K span/metric summary.
@@ -228,9 +232,36 @@ def _serving_config(args: argparse.Namespace):
         decode_gpus=args.decode_gpus,
         seed=args.seed,
         faults=faults,
+        record_requests=bool(getattr(args, "record", False)),
         **({"window_s": window} if window is not None else {}),
         **({"slo_rules": tuple(slo_rules)} if slo_rules else {}),
     )
+
+
+#: serve-sim prints periodic progress only past this size — small runs
+#: finish in well under a second and the extra lines would be noise.
+_PROGRESS_MIN_REQUESTS = 10_000
+
+
+def _serve_sim_progress(args: argparse.Namespace):
+    """Progress callback for large ``serve-sim`` runs, or ``None``.
+
+    Bounded output: the simulator fires every 5% of retired requests
+    (≤ 21 lines for any request count).  Lines go to stderr so they
+    never pollute piped output, and ``--json`` silences them entirely.
+    """
+    if args.json or args.requests < _PROGRESS_MIN_REQUESTS:
+        return None
+
+    def on_progress(done: int, total: int, sim_time: float) -> None:
+        print(
+            f"  {done:>{len(str(total))}}/{total} requests "
+            f"({done / total:4.0%})  sim t={sim_time:,.1f}s",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return on_progress
 
 
 def _print_degradation(degradation) -> None:
@@ -259,7 +290,9 @@ def _print_degradation(degradation) -> None:
 def _cmd_serve_sim(args: argparse.Namespace) -> None:
     from .serving import ServingSimulator, report_asdict
 
-    simulator = ServingSimulator(_serving_config(args))
+    simulator = ServingSimulator(
+        _serving_config(args), on_progress=_serve_sim_progress(args)
+    )
     report = _run_profiled(args, simulator.run)
     if args.json:
         print(json.dumps(report_asdict(report), indent=2, sort_keys=True))
@@ -695,6 +728,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mtp", action="store_true", help="enable MTP speculative decoding")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--smoke", action="store_true", help="small fast workload")
+    mode_group = p.add_mutually_exclusive_group()
+    mode_group.add_argument(
+        "--stream", action="store_true",
+        help="constant-memory streaming aggregation (the default): "
+        "histogram-derived percentiles, no per-request records",
+    )
+    mode_group.add_argument(
+        "--record", action="store_true",
+        help="keep exact per-request records (O(requests) memory; "
+        "enables the per-request degradation breakdown)",
+    )
     p.add_argument(
         "--json", action="store_true",
         help="dump the full SimReport as machine-readable JSON",

@@ -1,0 +1,39 @@
+"""Process self-measurement helpers.
+
+The memory story of the serving core (streaming constant-memory
+reporting, flat-array workload state) is only verifiable if benches can
+*measure* it: :func:`peak_rss_bytes` reads the process's resident-set
+high-water mark, the number the ``BENCH_simcore_scale.json`` baseline
+pins and CI gates.
+
+The value is a high-water mark: it never decreases within a process,
+so comparing scenarios requires one fresh process per scenario (the
+scale bench forks itself per measurement for exactly this reason).
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:  # Unix-only stdlib module; absent on some platforms.
+    import resource
+except ImportError:  # pragma: no cover - non-Unix fallback
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["peak_rss_bytes"]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process, in bytes.
+
+    ``getrusage`` reports ``ru_maxrss`` in kilobytes on Linux and in
+    bytes on macOS; both are normalized to bytes.  Returns 0 where the
+    ``resource`` module is unavailable, so callers can record the value
+    unconditionally.
+    """
+    if resource is None:  # pragma: no cover - non-Unix fallback
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(peak)
+    return int(peak) * 1024

@@ -177,8 +177,13 @@ class Histogram:
         """Record one sample."""
         self.count += 1
         self.total += value
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
+        # Branches instead of min()/max() builtins: observe() runs once
+        # per retired request on the streaming hot path, and the bounds
+        # move only O(log n) times over n samples.
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
         if value <= 0.0:
             self._zero += 1
             return

@@ -513,12 +513,17 @@ class JobManager:
     def update_utilization(self) -> None:
         """Refresh the queue-depth / worker-utilization gauges (called
         from the server's telemetry pump)."""
+        from ..core.proc import peak_rss_bytes
+
         running = sum(1 for job in self.jobs.values() if job.state == "running")
         self.registry.gauge("service.workers.busy").set(running)
         self.registry.gauge("service.workers.utilization").set(
             running / self.job_workers if self.job_workers else 0.0
         )
         self.registry.gauge("service.queue.depth").set(self._queue.qsize())
+        # Process high-water mark: lets the dashboard/scraper confirm the
+        # streaming serving path keeps long-running services flat.
+        self.registry.gauge("service.proc.peak_rss_bytes").set(peak_rss_bytes())
 
     def _set_state(self, job: Job, state: str) -> None:
         job.state = state

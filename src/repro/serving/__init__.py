@@ -11,6 +11,7 @@ so the simulator's saturated steady state cross-validates against the
 closed forms (pinned by ``tests/test_serving_sim.py``).
 """
 
+from .calqueue import CalendarQueue
 from .costmodel import MTPConfig, StepCostModel
 from .kvpool import KVPoolConfig, PagedKVPool, kv_pool_blocks
 from .report import (
@@ -18,6 +19,7 @@ from .report import (
     LatencyStats,
     SimReport,
     build_report,
+    build_streaming_report,
     compact_record,
     report_asdict,
 )
@@ -35,9 +37,16 @@ from .simulator import (
     ServingSimulator,
     SimConfig,
 )
-from .workload import Request, WorkloadSpec, generate_requests
+from .workload import (
+    Request,
+    RequestColumns,
+    WorkloadSpec,
+    generate_request_columns,
+    generate_requests,
+)
 
 __all__ = [
+    "CalendarQueue",
     "MTPConfig",
     "StepCostModel",
     "KVPoolConfig",
@@ -47,6 +56,7 @@ __all__ = [
     "LatencyStats",
     "SimReport",
     "build_report",
+    "build_streaming_report",
     "compact_record",
     "report_asdict",
     "SchedulerConfig",
@@ -60,6 +70,8 @@ __all__ = [
     "ServingSimulator",
     "SimConfig",
     "Request",
+    "RequestColumns",
     "WorkloadSpec",
+    "generate_request_columns",
     "generate_requests",
 ]

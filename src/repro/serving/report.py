@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs.metrics import Histogram
 from .workload import Request
 
 if TYPE_CHECKING:  # circular at runtime: repro.faults builds on this module
@@ -46,6 +47,25 @@ class LatencyStats:
             p95=float(p95),
             p99=float(p99),
             max=float(arr.max()),
+        )
+
+    @staticmethod
+    def from_histogram(hist: Histogram) -> "LatencyStats":
+        """Summary from a streaming geometric-bucket histogram.
+
+        Mean, count and max are exact (running aggregates); the
+        percentiles carry the histogram's bounded relative error
+        (≈1% at the default growth) — the streaming-mode trade that
+        makes report memory independent of request count.
+        """
+        if hist.count == 0:
+            return LatencyStats(0.0, 0.0, 0.0, 0.0, 0.0)
+        return LatencyStats(
+            mean=hist.mean,
+            p50=hist.percentile(50),
+            p95=hist.percentile(95),
+            p99=hist.percentile(99),
+            max=hist.max,
         )
 
 
@@ -229,6 +249,64 @@ def build_report(
         queue_depth_trace=tuple(queue_trace),
         kv_occupancy_trace=tuple(kv_trace),
         degradation=degradation,
+        windows=windows,
+        alerts=alerts,
+    )
+
+
+def build_streaming_report(
+    *,
+    completed: int,
+    slo_met: int,
+    tokens_generated: int,
+    ttft: Histogram,
+    tpot: Histogram,
+    e2e: Histogram,
+    duration: float,
+    preemptions: int,
+    decode_steps: int,
+    prefill_batches: int,
+    draft_attempts: int,
+    draft_accepted: int,
+    channel_samples: int,
+    queue_sum: float,
+    queue_max: int,
+    kv_sum: float,
+    kv_peak: float,
+    queue_trace: list[tuple[float, int]],
+    kv_trace: list[tuple[float, float]],
+    windows: tuple[dict, ...] | None = None,
+    alerts: tuple[dict, ...] | None = None,
+) -> SimReport:
+    """Aggregate streaming run state into a :class:`SimReport`.
+
+    The constant-memory counterpart of :func:`build_report`: counts,
+    rates, means, maxima and KV/queue dynamics are exact (running
+    integer/float aggregates over every event); only the latency
+    *percentiles* are histogram estimates with bounded relative error.
+    Traces are the decimated channels — full time span, bounded points.
+    """
+    return SimReport(
+        completed=completed,
+        preemptions=preemptions,
+        duration=duration,
+        tokens_generated=tokens_generated,
+        ttft=LatencyStats.from_histogram(ttft),
+        tpot=LatencyStats.from_histogram(tpot),
+        e2e=LatencyStats.from_histogram(e2e),
+        throughput_tokens_per_s=tokens_generated / duration if duration > 0 else 0.0,
+        goodput_requests_per_s=slo_met / duration if duration > 0 else 0.0,
+        slo_attainment=slo_met / completed if completed else 0.0,
+        mean_queue_depth=queue_sum / channel_samples if channel_samples else 0.0,
+        max_queue_depth=queue_max,
+        mean_kv_occupancy=kv_sum / channel_samples if channel_samples else 0.0,
+        peak_kv_occupancy=kv_peak,
+        decode_steps=decode_steps,
+        prefill_batches=prefill_batches,
+        mtp_acceptance_measured=draft_accepted / draft_attempts if draft_attempts else 0.0,
+        queue_depth_trace=tuple(queue_trace),
+        kv_occupancy_trace=tuple(kv_trace),
+        degradation=None,
         windows=windows,
         alerts=alerts,
     )

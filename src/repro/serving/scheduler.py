@@ -69,10 +69,12 @@ def form_prefill_batch(
             break
         if decode_load + len(batch) >= decode_cap:
             break
-        if not kv.can_allocate(need):
+        # Single allocate attempt: a False return is exactly the old
+        # can_allocate pre-check failing, without computing the block
+        # count twice per admitted request.
+        if not kv.allocate(head.rid, need):
             break
         queue.popleft()
-        kv.allocate(head.rid, need)
         head.kv_tokens = kv.capacity_tokens(head.rid)  # decode-step cursor
         batch.append(head)
         tokens += head.prompt_tokens

@@ -10,11 +10,12 @@ Drives individual requests through one or two modeled GPU pools:
   wait behind prefill bursts.
 
 All stochastic choices (arrivals, lengths, MTP acceptance) come from
-named streams of :func:`repro.core.rng.seeded_generator`, and the event
-heap breaks time ties with a monotone sequence number, so a seed fully
-determines the run: two simulations with the same config produce
-``SimReport``s that compare equal — and, with a
-:class:`repro.obs.Tracer` attached, byte-identical trace files.
+named streams of :func:`repro.core.rng.seeded_generator`, and the
+calendar-queue event scheduler (:class:`repro.serving.calqueue.CalendarQueue`,
+pop order proven identical to a binary heap) breaks time ties with
+``(kind, seq)``, so a seed fully determines the run: two simulations
+with the same config produce ``SimReport``s that compare equal — and,
+with a :class:`repro.obs.Tracer` attached, byte-identical trace files.
 
 Step costs come from :class:`repro.serving.costmodel.StepCostModel`,
 which is calibrated against the analytic rooflines — the simulator
@@ -45,11 +46,25 @@ Hot-path design (pinned bit-for-bit by ``tests/test_simcore_golden.py``):
 * Event counters accumulate in plain ints and flush into the
   :class:`MetricsRegistry` once per run, so tracing-off runs pay no
   per-event instrument overhead.
+
+Memory design (million-request runs, gated by
+``benchmarks/bench_simcore_scale.py``):
+
+* The workload is sampled in bounded chunks into flat numpy columns
+  (:class:`repro.serving.workload.RequestColumns`, ~24 bytes/request);
+  a mutable :class:`Request` is materialized only when its arrival
+  fires, and each arrival event feeds the next, so live Python objects
+  are O(active requests).
+* Reporting streams by default: retired requests fold into
+  geometric-bucket histograms and running sums, traces decimate to
+  ``STREAM_TRACE_POINTS``, and the report is assembled by
+  :func:`repro.serving.report.build_streaming_report`.  Exact
+  per-request records return behind ``SimConfig.record_requests`` (and
+  automatically for fault runs, whose degradation report needs them).
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 from bisect import bisect_left, insort
 from collections import deque
@@ -68,11 +83,13 @@ from ..obs import (
     parse_slo_rules,
     window_summaries,
 )
+from ..obs.metrics import Histogram
+from .calqueue import CalendarQueue
 from .costmodel import StepCostModel
 from .kvpool import KVPoolConfig, PagedKVPool, kv_pool_blocks
-from .report import SLO, SimReport, build_report
+from .report import SLO, SimReport, build_report, build_streaming_report
 from .scheduler import SchedulerConfig, form_prefill_batch
-from .workload import Request, WorkloadSpec, generate_requests
+from .workload import Request, WorkloadSpec, generate_request_columns
 
 COLOCATED = "colocated"
 DISAGGREGATED = "disaggregated"
@@ -99,6 +116,10 @@ KV_OCCUPANCY = "serving.kv_occupancy"
 #: Scheduler order: oldest-first with rid tie-break (see scheduler.py).
 _BY_ARRIVAL = attrgetter("arrival", "rid")
 _BY_RID = attrgetter("rid")
+
+#: Streaming mode keeps the queue/KV traces at decaying resolution
+#: (TimeSeries decimate mode) instead of one exact sample per event.
+STREAM_TRACE_POINTS = 2048
 
 
 @dataclass(frozen=True)
@@ -135,6 +156,16 @@ class SimConfig:
             dicts, or compact strings like ``"burn>2@0.9"``).
             Requires ``window_s``; the resulting alert timeline lands
             in ``SimReport.alerts``.
+        record_requests: Keep exact per-request records and full-
+            resolution traces (O(total requests) memory) and build the
+            report from them — the bit-exact mode the golden tests pin.
+            The default is *streaming*: latency distributions fold into
+            geometric-bucket histograms as requests finish, traces
+            decimate to a bounded point budget, and steady-state memory
+            is O(active requests + histogram buckets + windows), so
+            million-request runs fit in a flat footprint.  Runs with a
+            non-empty fault schedule always keep records — the
+            degradation report needs per-request timelines.
     """
 
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
@@ -152,6 +183,7 @@ class SimConfig:
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
     window_s: float | None = None
     slo_rules: tuple = ()
+    record_requests: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in (COLOCATED, DISAGGREGATED):
@@ -267,6 +299,10 @@ class ServingSimulator:
         metrics: Optional metrics registry; a fresh one is created per
             ``run`` when not supplied, and is available afterwards as
             ``self.metrics``.
+        on_progress: Optional ``callback(done, total, sim_time)`` fired
+            roughly every 5% of requests retired (finished or dropped),
+            and once at the end.  Lets long runs surface bounded
+            progress without the caller polling simulator internals.
     """
 
     def __init__(
@@ -274,6 +310,7 @@ class ServingSimulator:
         config: SimConfig,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        on_progress=None,
     ) -> None:
         self.config = config
         self.tracer = NULL_TRACER if tracer is None else tracer
@@ -281,6 +318,9 @@ class ServingSimulator:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._mtp_rng = seeded_generator(config.seed, "mtp")
         self._windowed: WindowedMetrics | None = None
+        self._on_progress = on_progress
+        self._progress_total = config.workload.num_requests
+        self._progress_every = max(1, self._progress_total // 20)
 
     def _make_pools(self) -> tuple[_Pool, ...]:
         cfg = self.config
@@ -334,25 +374,54 @@ class ServingSimulator:
             tracer.thread(pool.pid, 0, "steps")
         tracer.process(self._requests_pid, "requests")
 
-        heap: list[tuple[float, int, int, object]] = []
+        # Calendar queue sized so an average bucket spans a fraction of
+        # the mean interarrival gap — O(1) amortized push/pop at any
+        # request count, with pop order identical to the old heapq
+        # (pinned by the goldens and tests/test_calqueue.py).
+        events = CalendarQueue(
+            bucket_width=max(1e-6, 0.25 / cfg.workload.request_rate)
+        )
         seq = 0
 
         def push(time: float, kind: int, payload: object) -> None:
             nonlocal seq
-            heapq.heappush(heap, (time, kind, seq, payload))
+            events.push((time, kind, seq, payload))
             seq += 1
 
-        requests = generate_requests(cfg.workload, seeded_generator(cfg.seed, "workload"))
-        for request in requests:
-            push(request.arrival, _ARRIVAL, request)
-
-        # Fault schedule: serving-applicable events enter the same heap
+        # Fault schedule: serving-applicable events enter the same queue
         # as ordinary simulation events.  An absent/empty schedule adds
         # nothing, keeping the fault-free event sequence — and thus the
         # golden outputs — bit-identical.
         fault_events = (
             cfg.faults.for_kinds(_SERVING_FAULT_KINDS) if cfg.faults else ()
         )
+        # Record mode keeps exact per-request state; fault runs imply it
+        # because the degradation report needs per-request timelines.
+        records_kept = cfg.record_requests or bool(fault_events)
+
+        # Workload state stays in flat numpy columns; a Request object
+        # exists only from its arrival event until it finishes (or is
+        # dropped), so live object count tracks *active* requests.  Each
+        # arrival pop feeds the next arrival push: arrivals are sorted
+        # by time and fed in rid order, so every same-(time, kind) tie
+        # keeps its relative sequence order and the pop order is
+        # identical to pushing the whole stream up front.
+        columns = generate_request_columns(
+            cfg.workload, seeded_generator(cfg.seed, "workload")
+        )
+        total_requests = len(columns)
+        all_requests: list[Request] | None = [] if records_kept else None
+        next_arrival = 0
+
+        def feed_arrival() -> None:
+            nonlocal next_arrival
+            request = columns.materialize(next_arrival)
+            next_arrival += 1
+            if all_requests is not None:
+                all_requests.append(request)
+            push(request.arrival, _ARRIVAL, request)
+
+        feed_arrival()
         for event in fault_events:
             push(event.time, _FAULT, event)
         # Live telemetry: fold events into sim-time windows as they
@@ -369,7 +438,7 @@ class ServingSimulator:
         self._lost_tokens = 0
 
         finished: list[Request] = []
-        dropped: list[Request] = []
+        dropped: list[int] = []  # rids only — drop records are counters
         # Event counters accumulate in plain ints; they flush into the
         # registry once at the end of the run (nothing reads them
         # mid-run, and per-event Counter.inc() calls are pure overhead).
@@ -381,24 +450,58 @@ class ServingSimulator:
         self._n_completed = 0
         self._n_dropped = 0
         self._batch_profile: dict[int, list] = {}
-        queue_series = metrics.series(QUEUE_DEPTH)
-        kv_series = metrics.series(KV_OCCUPANCY)
+        # Streaming aggregation state: latency histograms plus running
+        # sums over the sampled channels replace per-request lists.
+        self._record_finished = finished if records_kept else None
+        self._n_slo_met = 0
+        self._tokens_generated = 0
+        self._ttft_hist = Histogram("ttft")
+        self._tpot_hist = Histogram("tpot")
+        self._e2e_hist = Histogram("e2e")
+        channel_samples = 0
+        queue_sum = 0
+        queue_max = 0
+        kv_sum = 0.0
+        kv_peak = 0.0
+        if records_kept:
+            queue_series = metrics.series(QUEUE_DEPTH)
+            kv_series = metrics.series(KV_OCCUPANCY)
+        else:
+            queue_series = metrics.series(
+                QUEUE_DEPTH, max_points=STREAM_TRACE_POINTS, mode="decimate"
+            )
+            kv_series = metrics.series(
+                KV_OCCUPANCY, max_points=STREAM_TRACE_POINTS, mode="decimate"
+            )
         queue_append = queue_series.samples.append
         kv_append = kv_series.samples.append
         total_blocks = sum(p.kv.config.total_blocks for p in pools)
         now = 0.0
 
         def sample_channels(t: float) -> None:
+            nonlocal channel_samples, queue_sum, queue_max, kv_sum, kv_peak
             depth = 0
             used = 0
             for p in pools:
                 depth += len(p.prefill_queue) + len(p.entry_queue)
                 used += p.kv.used_blocks
-            queue_append((t, depth))
-            kv_append((t, used / total_blocks))
+            occupancy = used / total_blocks
+            if records_kept:
+                queue_append((t, depth))
+                kv_append((t, occupancy))
+            else:
+                channel_samples += 1
+                queue_sum += depth
+                kv_sum += occupancy
+                if depth > queue_max:
+                    queue_max = depth
+                if occupancy > kv_peak:
+                    kv_peak = occupancy
+                queue_series.record(t, depth)
+                kv_series.record(t, occupancy)
             if windowed is not None:
                 windowed.sample("queue_depth", t, depth)
-                windowed.sample("kv_occupancy", t, used / total_blocks)
+                windowed.sample("kv_occupancy", t, occupancy)
             if tracer.enabled:
                 for p in pools:
                     pool_depth = len(p.prefill_queue) + len(p.entry_queue)
@@ -407,10 +510,12 @@ class ServingSimulator:
                     tracer.counter("kv_occupancy", p.pid, t, {"fraction": pool_occ})
                     tracer.counter("active_streams", p.pid, t, {"requests": len(p.active)})
 
-        while heap:
-            now, kind, _, payload = heapq.heappop(heap)
+        while events:
+            now, kind, _, payload = events.pop()
             if kind == _ARRIVAL:
                 assert isinstance(payload, Request)
+                if next_arrival < total_requests:
+                    feed_arrival()
                 if windowed is not None:
                     windowed.count("arrivals", now)  # offered load, pre-shed
                 if self._active_faults and self._shed_arrival(
@@ -469,11 +574,11 @@ class ServingSimulator:
             ):
                 metrics.counter(name).inc(value)
             degradation = build_degradation(
-                requests,
+                all_requests,
                 fault_events,
                 cfg.slo,
                 horizon=duration,
-                admitted=len(requests),
+                admitted=total_requests,
                 finished=self._n_completed,
                 dropped=self._n_dropped,
                 shed=self._n_shed,
@@ -511,26 +616,52 @@ class ServingSimulator:
                                 "limit": a["limit"],
                             },
                         )
-        report = build_report(
-            finished,
-            cfg.slo,
-            duration,
-            self._n_preemptions,
-            self._n_decode_steps,
-            self._n_prefill_batches,
-            self._n_draft_attempts,
-            self._n_draft_accepted,
-            queue_series.samples,
-            kv_series.samples,
-            degradation=degradation,
-            windows=windows,
-            alerts=alerts,
-        )
+        if records_kept:
+            report = build_report(
+                finished,
+                cfg.slo,
+                duration,
+                self._n_preemptions,
+                self._n_decode_steps,
+                self._n_prefill_batches,
+                self._n_draft_attempts,
+                self._n_draft_accepted,
+                queue_series.samples,
+                kv_series.samples,
+                degradation=degradation,
+                windows=windows,
+                alerts=alerts,
+            )
+        else:
+            report = build_streaming_report(
+                completed=self._n_completed,
+                slo_met=self._n_slo_met,
+                tokens_generated=self._tokens_generated,
+                ttft=self._ttft_hist,
+                tpot=self._tpot_hist,
+                e2e=self._e2e_hist,
+                duration=duration,
+                preemptions=self._n_preemptions,
+                decode_steps=self._n_decode_steps,
+                prefill_batches=self._n_prefill_batches,
+                draft_attempts=self._n_draft_attempts,
+                draft_accepted=self._n_draft_accepted,
+                channel_samples=channel_samples,
+                queue_sum=queue_sum,
+                queue_max=queue_max,
+                kv_sum=kv_sum,
+                kv_peak=kv_peak,
+                queue_trace=queue_series.samples,
+                kv_trace=kv_series.samples,
+                windows=windows,
+                alerts=alerts,
+            )
         self.decode_batch_profile = tuple(
             (batch, count, total / count)
             for batch, (count, total) in sorted(self._batch_profile.items())
         )
-        self.dropped = tuple(r.rid for r in dropped)
+        self.dropped = tuple(dropped)
+        self.finished_requests = tuple(finished)  # finish order; () when streaming
         return report
 
     # -- per-request trace helpers ---------------------------------------
@@ -541,8 +672,8 @@ class ServingSimulator:
             args=args or None,
         )
 
-    def _drop(self, request: Request, now: float, dropped: list[Request]) -> None:
-        dropped.append(request)
+    def _drop(self, request: Request, now: float, dropped: list[int]) -> None:
+        dropped.append(request.rid)
         self._n_dropped += 1
         if self._windowed is not None:
             self._windowed.count("dropped", now)
@@ -551,6 +682,14 @@ class ServingSimulator:
                 "drop", "request", self._requests_pid, request.rid, now,
                 args={"context_tokens": request.context_tokens},
             )
+        if self._on_progress is not None:
+            self._progress(now)
+
+    def _progress(self, now: float) -> None:
+        """Fire the progress callback on every 5% of retired requests."""
+        done = self._n_completed + self._n_dropped
+        if done % self._progress_every == 0 or done == self._progress_total:
+            self._on_progress(done, self._progress_total, now)
 
     # -- fault injection (repro.faults) ----------------------------------
 
@@ -572,7 +711,7 @@ class ServingSimulator:
         event: FaultEvent,
         now: float,
         pools: tuple[_Pool, ...],
-        dropped: list[Request],
+        dropped: list[int],
         push,
     ) -> None:
         """Inject one gpu/node failure: abort the in-flight step, shrink
@@ -638,7 +777,7 @@ class ServingSimulator:
         self._emit_failed_gpus(pool, now)
 
     def _fail_request(
-        self, request: Request, now: float, dropped: list[Request], push
+        self, request: Request, now: float, dropped: list[int], push
     ) -> None:
         """An in-flight request lost its GPU: retry with exponential
         backoff until the budget runs out, then drop."""
@@ -664,7 +803,7 @@ class ServingSimulator:
         request: Request,
         now: float,
         pools: tuple[_Pool, ...],
-        dropped: list[Request],
+        dropped: list[int],
     ) -> bool:
         """Degraded admission control: while a fault window is open,
         arrivals beyond the queue limit are shed at the door (FCFS makes
@@ -685,7 +824,7 @@ class ServingSimulator:
         pool: _Pool,
         now: float,
         pools: tuple[_Pool, ...],
-        dropped: list[Request],
+        dropped: list[int],
         push,
     ) -> None:
         if pool.busy or pool.num_gpus < 1:
@@ -743,7 +882,7 @@ class ServingSimulator:
                 profile[1] += duration
             push(now + duration, _STEP_DONE, (pool, pool.step_epoch))
 
-    def _admit_entrants(self, pool: _Pool, now: float, dropped: list[Request]) -> None:
+    def _admit_entrants(self, pool: _Pool, now: float, dropped: list[int]) -> None:
         kv = pool.kv
         while pool.entry_queue and len(pool.active) < pool.decode_cap:
             head = pool.entry_queue[0]
@@ -882,8 +1021,21 @@ class ServingSimulator:
         request.finish_time = now
         pool.kv.free(request.rid)
         request.kv_tokens = 0
-        finished.append(request)
+        if self._record_finished is not None:
+            finished.append(request)
+        else:
+            # Streaming: fold the request into the run-level aggregates
+            # and let the object die — nothing retains it past here.
+            self._ttft_hist.observe(request.ttft)
+            if request.has_tpot:
+                self._tpot_hist.observe(request.tpot)
+            self._e2e_hist.observe(request.e2e)
+            self._tokens_generated += request.generated
+            if self.config.slo.met_by(request):
+                self._n_slo_met += 1
         self._n_completed += 1
+        if self._on_progress is not None:
+            self._progress(now)
         windowed = self._windowed
         if windowed is not None:
             windowed.count("finished", now)

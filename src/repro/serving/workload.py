@@ -125,42 +125,120 @@ class WorkloadSpec:
             raise ValueError("need 0 < burst_fraction < 1 and burst_factor > 1")
 
 
+#: Per-draw batch size for :func:`generate_request_columns`.  Bounds the
+#: transient numpy buffers during generation; the flat output columns
+#: themselves are ~24 bytes/request regardless of chunking.
+DEFAULT_CHUNK_REQUESTS = 65_536
+
+
+@dataclass(frozen=True, slots=True)
+class RequestColumns:
+    """Flat per-request workload state, indexed by rid.
+
+    Three parallel numpy columns replace the up-front ``list[Request]``
+    at the engine boundary: ~24 bytes per request instead of a ~400-byte
+    Python object, and the simulator materializes a :class:`Request`
+    only when its arrival fires (O(active) live objects, not O(total)).
+    """
+
+    arrivals: np.ndarray  # float64, ascending (cumsum of positive gaps)
+    prompts: np.ndarray  # int64 prompt lengths, >= 1
+    outputs: np.ndarray  # int64 output lengths, >= 1
+
+    def __len__(self) -> int:
+        return self.arrivals.shape[0]
+
+    def materialize(self, rid: int) -> Request:
+        """Build the mutable runtime object for one request."""
+        return Request(
+            rid=rid,
+            arrival=float(self.arrivals[rid]),
+            prompt_tokens=int(self.prompts[rid]),
+            output_tokens=int(self.outputs[rid]),
+        )
+
+
+def _fill_chunked(out: np.ndarray, draw, chunk: int) -> None:
+    """Fill ``out`` with ``draw(m)`` batches of at most ``chunk`` draws.
+
+    numpy Generators produce identical streams whether a distribution is
+    sampled once with ``size=n`` or in consecutive slices summing to n,
+    so chunking is invisible to the result — only the transient buffer
+    size changes.  Pinned by ``tests/test_workload_chunking.py``.
+    """
+    n = out.shape[0]
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        out[start:stop] = draw(stop - start)
+
+
 def _lognormal_lengths(
-    rng: np.random.Generator, mean: int, cv: float, n: int
+    rng: np.random.Generator, mean: int, cv: float, n: int, chunk: int
 ) -> np.ndarray:
     if cv == 0:
         return np.full(n, mean, dtype=np.int64)
     sigma2 = math.log1p(cv * cv)
     mu = math.log(mean) - sigma2 / 2.0
-    draws = rng.lognormal(mean=mu, sigma=math.sqrt(sigma2), size=n)
-    return np.maximum(1, np.rint(draws)).astype(np.int64)
+    sigma = math.sqrt(sigma2)
+    out = np.empty(n, dtype=np.int64)
+    _fill_chunked(
+        out,
+        lambda m: np.maximum(1, np.rint(rng.lognormal(mean=mu, sigma=sigma, size=m))),
+        chunk,
+    )
+    return out
 
 
-def _interarrival_gaps(rng: np.random.Generator, spec: WorkloadSpec) -> np.ndarray:
+def _interarrival_gaps(
+    rng: np.random.Generator, spec: WorkloadSpec, chunk: int
+) -> np.ndarray:
     n = spec.num_requests
+    gaps = np.empty(n, dtype=np.float64)
     if spec.arrival == "poisson":
-        return rng.exponential(1.0 / spec.request_rate, size=n)
+        _fill_chunked(gaps, lambda m: rng.exponential(1.0 / spec.request_rate, size=m), chunk)
+        return gaps
     # Hyperexponential: fraction p of gaps at rate k*r_slow, the rest at
     # r_slow, with r_slow chosen so the mixture mean is 1/request_rate.
+    # Draw order (all uniforms, then all exponentials) matches the
+    # historical eager path so seeds reproduce byte-identical streams.
     p, k = spec.burst_fraction, spec.burst_factor
     rate_slow = spec.request_rate * (p / k + (1.0 - p))
-    fast = rng.uniform(size=n) < p
-    gaps = rng.exponential(1.0 / rate_slow, size=n)
+    fast = np.empty(n, dtype=bool)
+    _fill_chunked(fast, lambda m: rng.uniform(size=m) < p, chunk)
+    _fill_chunked(gaps, lambda m: rng.exponential(1.0 / rate_slow, size=m), chunk)
     gaps[fast] /= k
     return gaps
 
 
+def generate_request_columns(
+    spec: WorkloadSpec,
+    rng: np.random.Generator,
+    chunk_requests: int = DEFAULT_CHUNK_REQUESTS,
+) -> RequestColumns:
+    """Sample the request stream into flat columns (sorted by arrival).
+
+    Draws happen in batches of at most ``chunk_requests`` so transient
+    memory is bounded; the resulting columns are byte-identical to a
+    single eager draw for the same seed.
+    """
+    if chunk_requests < 1:
+        raise ValueError("chunk_requests must be at least 1")
+    gaps = _interarrival_gaps(rng, spec, chunk_requests)
+    arrivals = np.cumsum(gaps, out=gaps)
+    prompts = _lognormal_lengths(
+        rng, spec.prompt_mean, spec.prompt_cv, spec.num_requests, chunk_requests
+    )
+    outputs = _lognormal_lengths(
+        rng, spec.output_mean, spec.output_cv, spec.num_requests, chunk_requests
+    )
+    return RequestColumns(arrivals=arrivals, prompts=prompts, outputs=outputs)
+
+
 def generate_requests(spec: WorkloadSpec, rng: np.random.Generator) -> list[Request]:
-    """Sample the request stream (sorted by arrival time)."""
-    arrivals = np.cumsum(_interarrival_gaps(rng, spec))
-    prompts = _lognormal_lengths(rng, spec.prompt_mean, spec.prompt_cv, spec.num_requests)
-    outputs = _lognormal_lengths(rng, spec.output_mean, spec.output_cv, spec.num_requests)
-    return [
-        Request(
-            rid=i,
-            arrival=float(arrivals[i]),
-            prompt_tokens=int(prompts[i]),
-            output_tokens=int(outputs[i]),
-        )
-        for i in range(spec.num_requests)
-    ]
+    """Sample the request stream (sorted by arrival time).
+
+    Eager convenience wrapper over :func:`generate_request_columns`;
+    large runs should keep the columns and materialize lazily.
+    """
+    columns = generate_request_columns(spec, rng)
+    return [columns.materialize(i) for i in range(len(columns))]

@@ -27,7 +27,8 @@ keys map onto ``WorkloadSpec`` (``request_rate``, ``num_requests``,
 (``FaultSchedule.to_json`` shape), a ``recovery`` kwargs dict, and the
 telemetry pair ``window_s`` (window width) / ``slo`` (a rule list for
 :func:`repro.obs.parse_slo_rules`) — when set, each point's record
-gains mergeable ``windows`` and an ``alerts`` timeline.
+gains mergeable ``windows`` and an ``alerts`` timeline.  Points run in
+constant-memory streaming mode unless ``record_requests`` is true.
 
 ``flowsim`` — shifted-ring all-to-all on a two-layer fat tree through
 :class:`repro.network.FlowSimulator` (``num_leaves``,
@@ -120,6 +121,11 @@ def _serving_target(config: dict, seed: int) -> dict:
         block_tokens=cfg.pop("block_tokens", 64),
         context_bucket=cfg.pop("context_bucket", 512),
         seed=seed,
+        # Streaming aggregation by default — sweep points routinely run
+        # large request counts, and compact_record only reads aggregate
+        # fields.  record_requests=True opts back into exact per-request
+        # records (identical aggregates, O(requests) memory).
+        record_requests=bool(cfg.pop("record_requests", False)),
         faults=FaultSchedule.from_json(faults) if faults else None,
         **({"recovery": RecoveryPolicy(**recovery)} if recovery else {}),
         **({"window_s": window_s} if window_s is not None else {}),

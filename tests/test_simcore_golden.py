@@ -64,6 +64,7 @@ def _colocated_config() -> SimConfig:
         decode_gpus=3,
         kv_blocks_per_gpu=24,
         seed=7,
+        record_requests=True,
     )
 
 
@@ -81,6 +82,7 @@ def _disaggregated_config() -> SimConfig:
         prefill_gpus=2,
         decode_gpus=6,
         seed=3,
+        record_requests=True,
     )
 
 
