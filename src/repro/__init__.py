@@ -18,10 +18,15 @@ Subpackages:
 * :mod:`repro.faults` - seeded fault schedules, injection and recovery
   for the serving, network-flow and training simulators.
 * :mod:`repro.sweep` - deterministic parallel experiment engine with a
-  content-addressed result cache over registered simulation targets.
+  content-addressed result cache and supervised execution (per-point
+  timeouts, retries, poison-point quarantine) over registered targets.
 * :mod:`repro.service` - long-lived asyncio experiment server (``repro
-  serve``) with a bounded job queue, SSE live streaming and resumable
-  journaled sessions over the sweep engine.
+  serve``) with a bounded job queue, SSE live streaming, resumable
+  journaled sessions, graceful drain, per-job deadlines and a
+  per-target circuit breaker over the sweep engine.
+* :mod:`repro.chaos` - seeded chaos harness: wraps any sweep target in
+  process-level sabotage (kill/hang/raise/slow) to prove the platform
+  recovers with byte-identical reports.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"

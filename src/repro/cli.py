@@ -509,12 +509,19 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
     spec = SweepSpec(target=args.target, points=grid(**axes), base=base, seed=args.seed)
     cache = None if args.no_cache else SweepCache(args.cache_dir)
     metrics = MetricsRegistry()
+    supervise = None
+    if args.timeout is not None or args.retries > 1:
+        from .sweep import SupervisorPolicy
+
+        supervise = SupervisorPolicy(timeout_s=args.timeout, max_attempts=args.retries)
     result = run_sweep(
         spec,
         workers=args.workers,
         cache=cache,
         metrics=metrics,
         progress=not args.json,
+        strict=not args.keep_going,
+        supervise=supervise,
     )
     if args.json:
         payload = result.payload()
@@ -558,6 +565,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
 
 def _cmd_serve(args: argparse.Namespace) -> None:
     import asyncio
+    import signal
 
     from .service import ExperimentServer, ServiceConfig
 
@@ -572,6 +580,12 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         max_sweep_workers=args.max_sweep_workers,
         heartbeat_s=args.heartbeat,
         metrics_interval_s=args.metrics_interval,
+        telemetry_interval_s=args.telemetry_interval,
+        drain_grace_s=args.drain_grace,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        hung_after_s=args.hung_after,
+        history_limit=args.history_limit,
     )
 
     async def _main() -> None:
@@ -589,7 +603,33 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             f"jobs {len(server.manager.jobs)} ({resumed} resumed)",
             flush=True,
         )
-        await server.serve_forever()
+        # SIGTERM/SIGINT drain instead of dying mid-point: stop
+        # accepting (503 + Retry-After), interrupt running jobs at a
+        # point boundary, journal the drain, then exit — a restarted
+        # server resumes the interrupted jobs from the cache.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        serving = asyncio.create_task(server.serve_forever())
+        await stop.wait()
+        print(
+            f"repro service draining (grace {config.drain_grace_s:g}s)...",
+            file=sys.stderr,
+            flush=True,
+        )
+        settled = await server.drain()
+        await server.stop()
+        serving.cancel()
+        try:
+            await serving
+        except asyncio.CancelledError:
+            pass
+        print(
+            "repro service stopped"
+            + ("" if settled else " (drain grace expired with jobs running)"),
+            file=sys.stderr,
+        )
 
     try:
         asyncio.run(_main())
@@ -799,6 +839,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo", action="append", default=[], metavar="RULE",
         help="SLO monitor rule per point (repeatable); requires --windows",
     )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="supervised execution: kill any point attempt exceeding this "
+        "budget (counts as one failed attempt)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="supervised execution: attempts per point before quarantine "
+        "(default 1 = no retry; >1 enables the supervisor)",
+    )
+    p.add_argument(
+        "--keep-going", action="store_true",
+        help="record per-point failures as structured error records and "
+        "continue instead of aborting on the first one",
+    )
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -841,6 +896,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--telemetry-interval", type=float, default=0.5,
         help="server self-telemetry sampling interval, seconds",
+    )
+    p.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds to wait for running jobs to stop at a point "
+        "boundary on SIGTERM/SIGINT before exiting",
+    )
+    p.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive failed jobs that trip a target's circuit "
+        "breaker (rejected with 503 until the cooldown)",
+    )
+    p.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="seconds an open breaker waits before admitting one "
+        "half-open probe job",
+    )
+    p.add_argument(
+        "--hung-after", type=float, default=60.0,
+        help="flag a running job as hung after this many seconds "
+        "without a settled point (journal + SSE + metrics; 0 disables)",
+    )
+    p.add_argument(
+        "--history-limit", type=int, default=10_000,
+        help="SSE replay history cap per job (oldest events drop with "
+        "a leading 'truncated' marker for late subscribers)",
     )
     p.set_defaults(func=_cmd_serve)
 

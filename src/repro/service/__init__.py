@@ -28,6 +28,14 @@ numpy/networkx) that
   byte-identical to an uninterrupted run;
 * serves **artifacts**: the deterministic sweep report and the
   Chrome trace JSON per job;
+* **hardens itself**: graceful drain on SIGTERM/SIGINT (``503`` +
+  ``Retry-After`` while draining, running jobs interrupted at a point
+  boundary with a journaled ``drain`` record, restart resumes
+  byte-identically), per-job ``deadline_s``, a hung-job watchdog, a
+  per-target :class:`CircuitBreaker` (consecutive-failure trip,
+  half-open probe → ``503``), and supervised sweep execution
+  (``timeout_s`` / ``max_attempts`` per job) so hostile points are
+  killed, retried, and quarantined instead of wedging a worker;
 * exposes **live telemetry**: ``GET /metrics`` renders every registry
   (server self-telemetry — event-loop lag, queue depth, worker
   utilization, cache hit ratio, journal fsync latency — plus one
@@ -41,6 +49,7 @@ stdlib test/scripting client, and the ``repro serve`` CLI subcommand
 the front door.
 """
 
+from .breaker import CircuitBreaker, CircuitOpen
 from .client import ServiceClient
 from .dash import render_dashboard
 from .events import EventBroker, TERMINAL_EVENTS
@@ -49,6 +58,8 @@ from .server import ExperimentServer, ServiceConfig
 from .state import StateStore
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
     "EventBroker",
     "ExperimentServer",
     "Job",

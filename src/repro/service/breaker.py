@@ -1,0 +1,130 @@
+"""Per-target circuit breaker for job admission.
+
+A target whose jobs keep failing (a broken custom target, a config
+class that OOMs workers faster than the supervisor can quarantine)
+should stop consuming worker slots *before* the queue fills with doomed
+work.  The breaker applies the classic three-state pattern per target
+name:
+
+* **closed** — normal admission; consecutive job failures are counted.
+* **open** — ``threshold`` consecutive failures trip the breaker; every
+  submission for that target is rejected (``503`` + ``Retry-After`` at
+  the HTTP layer) until ``cooldown_s`` elapses.
+* **half-open** — after the cooldown, exactly one *probe* job is
+  admitted.  Its outcome decides: success closes the breaker, failure
+  re-opens it for another full cooldown.
+
+Failure counting happens at job granularity (see
+``JobManager._finalize``): a job counts as failed when it ends
+``failed`` or when every one of its points errored — one poisoned point
+in an otherwise healthy grid does not trip anything.
+
+The breaker is deliberately synchronous, clock-injected state — no
+tasks, no locks (the event loop serializes access) — so it is trivially
+testable and restart-safe to *not* persist: a restarted server starts
+closed and re-learns, which errs on the side of accepting work.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["CircuitBreaker", "CircuitOpen"]
+
+
+class CircuitOpen(Exception):
+    """Submission rejected: the target's breaker is open."""
+
+    def __init__(self, target: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit breaker open for target {target!r}; "
+            f"retry in {retry_after:.0f}s"
+        )
+        self.target = target
+        self.retry_after = retry_after
+
+
+class _TargetState:
+    __slots__ = ("state", "failures", "opened_at", "probing")
+
+    def __init__(self) -> None:
+        self.state = "closed"
+        self.failures = 0  # consecutive
+        self.opened_at = 0.0
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker keyed by sweep target name."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._targets: dict[str, _TargetState] = {}
+
+    def _state(self, target: str) -> _TargetState:
+        return self._targets.setdefault(target, _TargetState())
+
+    def admit(self, target: str) -> None:
+        """Gate one submission; raises :class:`CircuitOpen` when tripped.
+
+        An open breaker past its cooldown transitions to half-open and
+        admits the caller as the single probe; further submissions are
+        rejected until that probe settles.
+        """
+        ts = self._state(target)
+        if ts.state == "open":
+            elapsed = self._clock() - ts.opened_at
+            if elapsed < self.cooldown_s:
+                raise CircuitOpen(target, self.cooldown_s - elapsed)
+            ts.state = "half_open"
+            ts.probing = False
+        if ts.state == "half_open":
+            if ts.probing:
+                raise CircuitOpen(target, self.cooldown_s)
+            ts.probing = True
+
+    def record_success(self, target: str) -> None:
+        ts = self._state(target)
+        ts.state = "closed"
+        ts.failures = 0
+        ts.probing = False
+
+    def record_failure(self, target: str) -> None:
+        ts = self._state(target)
+        if ts.state == "half_open":
+            # The probe failed: re-open for a fresh cooldown.
+            ts.state = "open"
+            ts.opened_at = self._clock()
+            ts.probing = False
+            return
+        ts.failures += 1
+        if ts.failures >= self.threshold:
+            ts.state = "open"
+            ts.opened_at = self._clock()
+
+    def state_of(self, target: str) -> str:
+        return self._targets[target].state if target in self._targets else "closed"
+
+    def describe(self) -> dict:
+        """Non-closed targets and their state (for ``/healthz``)."""
+        return {
+            name: {"state": ts.state, "failures": ts.failures}
+            for name, ts in sorted(self._targets.items())
+            if ts.state != "closed" or ts.failures
+        }
+
+    @property
+    def open_count(self) -> int:
+        return sum(1 for ts in self._targets.values() if ts.state != "closed")

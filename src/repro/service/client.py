@@ -60,9 +60,33 @@ class ServiceClient:
         status, _, body = await self.request("GET", path)
         return status, _parse_json(body)
 
-    async def post_json(self, path: str, payload: dict) -> tuple[int, dict]:
-        status, _, body = await self.request("POST", path, payload)
-        return status, _parse_json(body)
+    async def post_json(
+        self, path: str, payload: dict, *, retry_budget_s: float = 0.0
+    ) -> tuple[int, dict]:
+        """POST with optional bounded retry of ``429`` backpressure.
+
+        With a positive ``retry_budget_s``, a ``429`` whose
+        ``Retry-After`` fits in the remaining budget is honored: sleep
+        exactly what the server asked, deduct it, retry.  A hint that
+        does not fit (or a missing one once the budget is spent)
+        surfaces the ``429`` to the caller — the client never waits
+        longer than its budget in total, and with the default ``0.0``
+        behaves exactly as before (no retry).
+        """
+        budget = retry_budget_s
+        while True:
+            status, headers, body = await self.request("POST", path, payload)
+            if status != 429:
+                return status, _parse_json(body)
+            try:
+                delay = float(headers.get("retry-after", "1"))
+            except ValueError:
+                delay = 1.0
+            delay = max(delay, 0.05)
+            if delay > budget:
+                return status, _parse_json(body)
+            await asyncio.sleep(delay)
+            budget -= delay
 
     async def delete_json(self, path: str) -> tuple[int, dict]:
         status, _, body = await self.request("DELETE", path)

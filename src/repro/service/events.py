@@ -15,7 +15,12 @@ cannot block the worker or grow server memory:
 The broker also keeps a bounded replay ``history`` of critical events:
 a client that connects after the job started (or finished) first
 receives everything that already happened, then the live stream — that
-is what makes "submit, then open the SSE stream" race-free.
+is what makes "submit, then open the SSE stream" race-free.  The
+history is capped (``history_limit``): a very long job drops its
+*oldest* replay events rather than growing server RSS without bound,
+and late subscribers get a leading ``truncated`` marker frame telling
+them how many events aged out (the terminal status and recent tail are
+always intact).
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ TERMINAL_EVENTS = ("done", "failed", "cancelled")
 class EventBroker:
     """Bounded pub/sub for one job's event stream."""
 
-    def __init__(self, buffer: int = 256, history_limit: int = 100_000) -> None:
+    def __init__(self, buffer: int = 256, history_limit: int = 10_000) -> None:
         self.buffer = buffer
         self.history_limit = history_limit
         self.history: deque[tuple[str, dict]] = deque(maxlen=history_limit)
@@ -68,11 +73,19 @@ class EventBroker:
 
         Returns ``(replay, queue)``: the critical events published so
         far, and the bounded live queue.  Both are taken in one event
-        loop step, so no event is ever missed or delivered twice.
+        loop step, so no event is ever missed or delivered twice.  When
+        the history cap already dropped old events, the replay leads
+        with a ``truncated`` marker frame carrying the drop count, so a
+        late client knows its view of the early job is incomplete.
         """
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.buffer)
         self._subscribers.add(queue)
-        return list(self.history), queue
+        replay = list(self.history)
+        if self.trimmed:
+            replay.insert(
+                0, ("truncated", {"trimmed": self.trimmed, "kept": len(replay)})
+            )
+        return replay, queue
 
     def unsubscribe(self, queue: asyncio.Queue) -> None:
         self._subscribers.discard(queue)

@@ -33,14 +33,17 @@ from ..faults import FaultSchedule
 from ..obs import MetricsRegistry, Tracer, parse_slo_rules
 from ..sweep import (
     PointResult,
+    SupervisorPolicy,
     SweepCache,
     SweepInterrupted,
     SweepSpec,
+    get_target,
     grid,
     run_sweep,
     target_names,
 )
 from ..sweep.spec import canonical_config
+from .breaker import CircuitBreaker
 from .events import EventBroker
 from .state import StateStore
 
@@ -67,6 +70,9 @@ class JobSpec:
     seed: int = 0
     workers: int = 1
     name: str | None = None
+    deadline_s: float | None = None
+    timeout_s: float | None = None
+    max_attempts: int = 1
 
     @classmethod
     def from_payload(cls, payload: dict, *, max_workers: int = 4) -> "JobSpec":
@@ -83,20 +89,34 @@ class JobSpec:
         :func:`repro.obs.parse_slo_rules`, canonicalized then folded
         into ``base`` so journal and cache keys are client-order
         independent).
+
+        Robustness knobs: ``deadline_s`` (whole-job wall-clock budget;
+        an overdue job is interrupted at a point boundary and ends
+        ``failed``), and the supervised-execution pair ``timeout_s``
+        (per point-attempt kill budget) / ``max_attempts`` (retries
+        before quarantine) which route the sweep through
+        :class:`repro.sweep.SupervisorPolicy`.
         """
         if not isinstance(payload, dict):
             raise ValueError("job spec must be a JSON object")
         unknown = set(payload) - {
             "target", "grid", "points", "base", "seed", "workers", "name",
             "faults", "recovery", "window_s", "slo",
+            "deadline_s", "timeout_s", "max_attempts",
         }
         if unknown:
             raise ValueError(f"unknown job spec keys: {sorted(unknown)}")
         target = payload.get("target")
-        if not isinstance(target, str) or target not in target_names():
+        if not isinstance(target, str):
+            raise ValueError("'target' must be a string")
+        try:
+            # get_target rather than a target_names() membership test:
+            # it resolves lazily-registered targets (repro.chaos) too.
+            get_target(target)
+        except KeyError:
             raise ValueError(
                 f"unknown target {target!r} (registered: {', '.join(target_names())})"
-            )
+            ) from None
         points: list[dict] = []
         axes = payload.get("grid")
         if axes is not None:
@@ -161,6 +181,18 @@ class JobSpec:
         seed = payload.get("seed", 0)
         if not isinstance(seed, int):
             raise ValueError("'seed' must be an integer")
+        deadline_s = payload.get("deadline_s")
+        timeout_s = payload.get("timeout_s")
+        for label, value in (("deadline_s", deadline_s), ("timeout_s", timeout_s)):
+            if value is not None and (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or value <= 0
+            ):
+                raise ValueError(f"'{label}' must be a positive number")
+        max_attempts = payload.get("max_attempts", 1)
+        if not isinstance(max_attempts, int) or max_attempts < 1:
+            raise ValueError("'max_attempts' must be a positive integer")
         return cls(
             target=target,
             points=tuple(points),
@@ -168,6 +200,9 @@ class JobSpec:
             seed=seed,
             workers=min(workers, max_workers),
             name=name,
+            deadline_s=deadline_s,
+            timeout_s=timeout_s,
+            max_attempts=max_attempts,
         )
 
     def to_payload(self) -> dict:
@@ -179,6 +214,9 @@ class JobSpec:
             "seed": self.seed,
             "workers": self.workers,
             "name": self.name,
+            "deadline_s": self.deadline_s,
+            "timeout_s": self.timeout_s,
+            "max_attempts": self.max_attempts,
         }
 
     @classmethod
@@ -190,6 +228,18 @@ class JobSpec:
             seed=payload.get("seed", 0),
             workers=payload.get("workers", 1),
             name=payload.get("name"),
+            deadline_s=payload.get("deadline_s"),
+            timeout_s=payload.get("timeout_s"),
+            max_attempts=payload.get("max_attempts", 1),
+        )
+
+    def supervisor_policy(self) -> SupervisorPolicy | None:
+        """The supervised-execution policy, or ``None`` for the plain
+        pool path (no timeout, single attempt)."""
+        if self.timeout_s is None and self.max_attempts <= 1:
+            return None
+        return SupervisorPolicy(
+            timeout_s=self.timeout_s, max_attempts=self.max_attempts
         )
 
     def sweep_spec(self) -> SweepSpec:
@@ -206,7 +256,13 @@ class Job:
     """One submitted sweep and its live state."""
 
     def __init__(
-        self, job_id: str, spec: JobSpec, *, buffer: int = 256, resumed: bool = False
+        self,
+        job_id: str,
+        spec: JobSpec,
+        *,
+        buffer: int = 256,
+        history_limit: int = 10_000,
+        resumed: bool = False,
     ) -> None:
         self.id = job_id
         self.spec = spec
@@ -219,8 +275,12 @@ class Job:
         self.cache_hits = 0
         self.errors = 0
         self.error: str | None = None  # terminal failure, not per-point
-        self.broker = EventBroker(buffer=buffer)
+        self.broker = EventBroker(buffer=buffer, history_limit=history_limit)
         self.cancel_requested = threading.Event()
+        self.deadline_exceeded = threading.Event()
+        self.run_started: float | None = None  # monotonic, set per run
+        self.last_progress: float | None = None  # monotonic, watchdog input
+        self.hung = False
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
 
@@ -245,6 +305,12 @@ class Job:
             "cache_hits": self.cache_hits,
             "errors": self.errors,
             **({"error": self.error} if self.error else {}),
+            **({"hung": True} if self.hung else {}),
+            **(
+                {"deadline_s": self.spec.deadline_s}
+                if self.spec.deadline_s is not None
+                else {}
+            ),
         }
 
     def _counts(self) -> dict:
@@ -271,8 +337,12 @@ class JobManager:
         max_sweep_workers: int = 4,
         metrics_interval: float = 1.0,
         client_buffer: int = 256,
+        history_limit: int = 10_000,
         retry_after: float = 2.0,
         registry: MetricsRegistry | None = None,
+        breaker: CircuitBreaker | None = None,
+        hung_after_s: float = 60.0,
+        watchdog_interval_s: float = 0.5,
     ) -> None:
         self.state = state
         self.cache = cache
@@ -281,13 +351,20 @@ class JobManager:
         self.max_sweep_workers = max_sweep_workers
         self.metrics_interval = metrics_interval
         self.client_buffer = client_buffer
+        self.history_limit = history_limit
         self.retry_after = retry_after
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.breaker = breaker
+        self.hung_after_s = hung_after_s
+        self.watchdog_interval_s = watchdog_interval_s
         self.jobs: dict[str, Job] = {}
         self._queue: asyncio.Queue[Job] = asyncio.Queue()
         self._tasks: list[asyncio.Task] = []
         self._seq = 0
         self._loop: asyncio.AbstractEventLoop | None = None
+        # Drain is a threading.Event because the sweep's interrupt
+        # callable polls it from the executor thread.
+        self._drain = threading.Event()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -296,6 +373,7 @@ class JobManager:
         self._restore()
         for _ in range(self.job_workers):
             self._tasks.append(asyncio.create_task(self._worker()))
+        self._tasks.append(asyncio.create_task(self._watchdog()))
 
     async def stop(self) -> None:
         for task in self._tasks:
@@ -306,6 +384,40 @@ class JobManager:
             except asyncio.CancelledError:
                 pass
         self._tasks.clear()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    async def drain(self, grace_s: float) -> bool:
+        """Stop gracefully: interrupt running jobs at a point boundary.
+
+        Sets the drain flag (the HTTP layer turns new submissions into
+        ``503`` + ``Retry-After``), journals a ``drain`` record for
+        every queued job, and waits up to ``grace_s`` for running jobs
+        to settle out of ``running`` — each journals its own ``drain``
+        record (with progress counts) as its sweep interrupt lands.
+        Every point completed before the interrupt is already in the
+        cache, so a restarted server re-enqueues these jobs and
+        recomputes only the unevaluated points; the final report is
+        byte-identical to an undrained run.  Returns ``True`` when all
+        running jobs settled within the grace period.
+        """
+        if not self._drain.is_set():
+            self._drain.set()
+            self.registry.counter("service.drains").inc()
+            for job in self.jobs.values():
+                if job.state == "queued":
+                    self.state.append(
+                        job.id, {"kind": "drain", "done": 0, "total": job.total}
+                    )
+        deadline = time.monotonic() + grace_s
+        while any(job.state == "running" for job in self.jobs.values()):
+            if time.monotonic() >= deadline:
+                self.registry.counter("service.drain.overruns").inc()
+                return False
+            await asyncio.sleep(0.02)
+        return True
 
     # -- submission / capacity -------------------------------------------
 
@@ -319,10 +431,19 @@ class JobManager:
         return self.queue_size + self.job_workers
 
     def submit(self, spec: JobSpec) -> Job:
-        """Enqueue a new job, or raise :class:`ServiceBusy` at capacity."""
+        """Enqueue a new job, or raise :class:`ServiceBusy` at capacity
+        (:class:`~repro.service.breaker.CircuitOpen` when the target's
+        breaker is tripped — checked after capacity so a rejected
+        submission never claims the half-open probe slot)."""
         if self.in_flight >= self.capacity:
             self.registry.counter("service.jobs.rejected").inc()
             raise ServiceBusy(self.retry_after)
+        if self.breaker is not None:
+            try:
+                self.breaker.admit(spec.target)
+            except Exception:
+                self.registry.counter("service.breaker.rejected").inc()
+                raise
         job = self._new_job(spec)
         self.state.append(job.id, {"kind": "submit", "spec": spec.to_payload()})
         self._enqueue(job)
@@ -343,7 +464,11 @@ class JobManager:
     def _new_job(self, spec: JobSpec, *, resumed: bool = False) -> Job:
         self._seq += 1
         job = Job(
-            f"j{self._seq:04d}", spec, buffer=self.client_buffer, resumed=resumed
+            f"j{self._seq:04d}",
+            spec,
+            buffer=self.client_buffer,
+            history_limit=self.history_limit,
+            resumed=resumed,
         )
         self.jobs[job.id] = job
         return job
@@ -378,7 +503,13 @@ class JobManager:
                 None,
             )
             self._seq = max(self._seq, _job_seq(job_id))
-            job = Job(job_id, spec, buffer=self.client_buffer, resumed=terminal is None)
+            job = Job(
+                job_id,
+                spec,
+                buffer=self.client_buffer,
+                history_limit=self.history_limit,
+                resumed=terminal is None,
+            )
             self.jobs[job.id] = job
             if terminal is not None:
                 job.state = terminal
@@ -404,17 +535,77 @@ class JobManager:
             job = await self._queue.get()
             if job.terminal:  # cancelled while queued
                 continue
+            if self._drain.is_set():
+                # Draining: leave the job queued-but-unstarted; its
+                # journal has no terminal status, so a restarted
+                # server re-enqueues it untouched.
+                continue
             await self._run_job(job)
+
+    async def _watchdog(self) -> None:
+        """Deadline + hung-job sentinel over every running job.
+
+        Deadlines fire the job's ``deadline_exceeded`` event (the sweep
+        interrupt picks it up at the next point boundary — under
+        supervised execution that boundary is bounded by ``timeout_s``).
+        A job with no settled point for ``hung_after_s`` is flagged
+        hung: journaled, published as a critical SSE frame, counted —
+        and un-flagged the moment progress resumes.  The watchdog never
+        kills anything itself; killing is the supervisor's job, with
+        the deadline/cancel machinery as the job-level lever.
+        """
+        hung_gauge = self.registry.gauge("service.jobs.hung")
+        while True:
+            await asyncio.sleep(self.watchdog_interval_s)
+            now = time.monotonic()
+            for job in self.jobs.values():
+                if job.state != "running" or job.run_started is None:
+                    continue
+                deadline = job.spec.deadline_s
+                if (
+                    deadline is not None
+                    and now - job.run_started > deadline
+                    and not job.deadline_exceeded.is_set()
+                ):
+                    job.deadline_exceeded.set()
+                    self.state.append(
+                        job.id, {"kind": "deadline", "deadline_s": deadline}
+                    )
+                    job.broker.publish(
+                        "deadline", {"deadline_s": deadline, **job._counts()}
+                    )
+                    self.registry.counter("service.jobs.deadline_exceeded").inc()
+                stalled = now - (job.last_progress or job.run_started)
+                if self.hung_after_s and stalled > self.hung_after_s and not job.hung:
+                    job.hung = True
+                    self.state.append(
+                        job.id, {"kind": "hung", "stalled_s": round(stalled, 3)}
+                    )
+                    job.broker.publish(
+                        "hung", {"stalled_s": round(stalled, 3), **job._counts()}
+                    )
+                    self.registry.counter("service.jobs.hung_detected").inc()
+            hung_gauge.set(sum(1 for j in self.jobs.values() if j.hung))
 
     async def _run_job(self, job: Job) -> None:
         assert self._loop is not None
         loop = self._loop
+        job.run_started = time.monotonic()
+        job.last_progress = job.run_started
         self._set_state(job, "running")
         pump = asyncio.create_task(self._metrics_pump(job))
         cache = self.cache
+        drain_flag = self._drain
 
         def on_point(point: PointResult) -> None:
             loop.call_soon_threadsafe(self._point_settled, job, point)
+
+        def interrupted() -> bool:
+            return (
+                job.cancel_requested.is_set()
+                or job.deadline_exceeded.is_set()
+                or drain_flag.is_set()
+            )
 
         def blocking_run():
             return run_sweep(
@@ -425,13 +616,32 @@ class JobManager:
                 metrics=job.metrics,
                 strict=False,
                 on_point=on_point,
-                interrupt=job.cancel_requested.is_set,
+                interrupt=interrupted,
+                supervise=job.spec.supervisor_policy(),
             )
 
         try:
             result = await loop.run_in_executor(None, blocking_run)
         except SweepInterrupted:
-            self._finalize(job, "cancelled")
+            # Precedence: an explicit cancel or blown deadline is a
+            # per-job verdict; a drain interrupt is *not* terminal —
+            # the journal records the pause and a restarted server
+            # resumes the job from the cache.
+            if job.cancel_requested.is_set():
+                self._finalize(job, "cancelled")
+            elif job.deadline_exceeded.is_set():
+                job.error = (
+                    f"JobDeadlineExceeded: exceeded deadline_s="
+                    f"{job.spec.deadline_s:g} after {job.done_points}/{job.total} points"
+                )
+                self._finalize(job, "failed")
+            else:
+                self.state.append(
+                    job.id,
+                    {"kind": "drain", "done": job.done_points, "total": job.total},
+                )
+                self._set_state(job, "interrupted")
+                self.registry.counter("service.jobs.drained").inc()
         except Exception as exc:  # noqa: BLE001 - job-level failure
             job.error = f"{type(exc).__name__}: {exc}"
             self._finalize(job, "failed")
@@ -460,6 +670,9 @@ class JobManager:
     # -- event-loop-side bookkeeping -------------------------------------
 
     def _point_settled(self, job: Job, point: PointResult) -> None:
+        job.last_progress = time.monotonic()
+        if job.hung:
+            job.hung = False  # progress resumed; the gauge follows
         job.done_points += 1
         if point.cached:
             job.cache_hits += 1
@@ -547,6 +760,18 @@ class JobManager:
         job.broker.publish(state, {"state": state, **job._counts()})
         self.registry.counter(f"service.jobs.{state}").inc()
         self.registry.gauge("service.jobs.in_flight").set(self.in_flight)
+        if self.breaker is not None and state in ("done", "failed"):
+            # A job "succeeds" for breaker purposes unless it failed
+            # outright or *every* point errored — one poisoned point in
+            # a healthy grid must not trip the target.
+            total_failure = state == "failed" or (
+                job.total > 0 and job.errors >= job.total
+            )
+            if total_failure:
+                self.breaker.record_failure(job.spec.target)
+            else:
+                self.breaker.record_success(job.spec.target)
+            self.registry.gauge("service.breaker.open").set(self.breaker.open_count)
 
 
 def _job_seq(job_id: str) -> int:

@@ -61,6 +61,7 @@ from .http import (
     read_request,
     sse_event,
 )
+from .breaker import CircuitBreaker, CircuitOpen
 from .jobs import JobManager, JobSpec, ServiceBusy
 from .state import StateStore
 
@@ -83,7 +84,13 @@ class ServiceConfig:
     metrics_interval_s: float = 1.0
     telemetry_interval_s: float = 0.5
     client_buffer: int = 256
+    history_limit: int = 10_000
     retry_after_s: float = 2.0
+    drain_grace_s: float = 10.0
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
+    hung_after_s: float = 60.0
+    watchdog_interval_s: float = 0.5
 
 
 class ExperimentServer:
@@ -96,6 +103,10 @@ class ExperimentServer:
         self.metrics = MetricsRegistry()
         self.state = StateStore(config.state_dir, metrics=self.metrics)
         self.cache = SweepCache(config.cache_dir) if config.cache else None
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            cooldown_s=config.breaker_cooldown_s,
+        )
         self.manager = JobManager(
             state=self.state,
             cache=self.cache,
@@ -104,8 +115,12 @@ class ExperimentServer:
             max_sweep_workers=config.max_sweep_workers,
             metrics_interval=config.metrics_interval_s,
             client_buffer=config.client_buffer,
+            history_limit=config.history_limit,
             retry_after=config.retry_after_s,
             registry=self.metrics,
+            breaker=self.breaker,
+            hung_after_s=config.hung_after_s,
+            watchdog_interval_s=config.watchdog_interval_s,
         )
         self.host = config.host
         self.port: int | None = None
@@ -140,6 +155,18 @@ class ExperimentServer:
         assert self._server is not None
         async with self._server:
             await self._server.serve_forever()
+
+    async def drain(self) -> bool:
+        """Graceful shutdown, phase one: refuse new work, settle old.
+
+        Idempotent; flips the manager into draining (new ``POST /jobs``
+        answer ``503`` + ``Retry-After`` immediately) and waits up to
+        ``drain_grace_s`` for running jobs to stop at a point boundary
+        and journal their ``drain`` records.  The listener stays up the
+        whole time so health checks and SSE clients see the drain
+        happen.  Call :meth:`stop` afterwards to close the socket.
+        """
+        return await self.manager.drain(self.config.drain_grace_s)
 
     async def stop(self) -> None:
         if self._telemetry_task is not None:
@@ -249,6 +276,8 @@ class ExperimentServer:
                 "jobs": len(self.manager.jobs),
                 "in_flight": self.manager.in_flight,
                 "capacity": self.manager.capacity,
+                "draining": self.manager.draining,
+                "breakers": self.breaker.describe(),
             }
         )
 
@@ -271,6 +300,12 @@ class ExperimentServer:
         )
 
     def _post_jobs(self, request: HttpRequest) -> HttpResponse:
+        if self.manager.draining:
+            raise HttpError(
+                503,
+                "server is draining; not accepting new jobs",
+                headers={"Retry-After": f"{self.config.retry_after_s:g}"},
+            )
         try:
             spec = JobSpec.from_payload(
                 request.json(), max_workers=self.config.max_sweep_workers
@@ -284,6 +319,12 @@ class ExperimentServer:
                 429,
                 "job queue at capacity",
                 headers={"Retry-After": f"{exc.retry_after:g}"},
+            ) from None
+        except CircuitOpen as exc:
+            raise HttpError(
+                503,
+                str(exc),
+                headers={"Retry-After": f"{max(1.0, exc.retry_after):g}"},
             ) from None
         return json_response(job.describe(), status=202)
 

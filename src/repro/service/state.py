@@ -40,7 +40,18 @@ def _atomic_write(path: Path, body: str) -> None:
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        # os.replace only orders the rename against *this process*; the
+        # directory entry itself can still be lost to a crash until the
+        # parent directory is fsync'd.  server.json is how restarted
+        # tooling finds the server, so make the rename durable.
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
     except BaseException:
         try:
             os.unlink(tmp)

@@ -31,16 +31,26 @@ from .runner import (
     run_sweep,
 )
 from .spec import SweepSpec, canonical_config, grid, point_key
+from .supervise import (
+    PointQuarantined,
+    SupervisorPolicy,
+    current_attempt,
+    retry_delay_s,
+)
 from .targets import get_target, register_target, target_names
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "SweepCache",
+    "PointQuarantined",
     "PointResult",
+    "SupervisorPolicy",
     "SweepInterrupted",
     "SweepResult",
+    "current_attempt",
     "merged_windows_section",
     "print_sweep_summary",
+    "retry_delay_s",
     "run_sweep",
     "SweepSpec",
     "canonical_config",

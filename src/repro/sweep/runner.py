@@ -35,6 +35,13 @@ Long-lived callers (the experiment service) hook in three ways: an
 ``interrupt`` callable cancels mid-sweep (:class:`SweepInterrupted`),
 and ``strict=False`` turns per-point failures into structured error
 records instead of aborting the whole sweep.
+
+Hostile points — ones that hang, kill their own worker, or fail
+transiently — wedge or abort the pool paths above.  Passing
+``supervise=SupervisorPolicy(...)`` routes evaluation through
+:mod:`repro.sweep.supervise` instead: one forked process per attempt
+with per-attempt timeouts, worker-death recovery, deterministic-backoff
+retries, and poison-point quarantine.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..obs.summary import print_table
 from .cache import SweepCache
 from .spec import SweepSpec, canonical_config
+from .supervise import SupervisorPolicy, run_supervised
 from .targets import get_target
 
 __all__ = [
@@ -266,6 +274,7 @@ def run_sweep(
     strict: bool = True,
     on_point: Callable[[PointResult], None] | None = None,
     interrupt: Callable[[], bool] | None = None,
+    supervise: SupervisorPolicy | None = None,
 ) -> SweepResult:
     """Evaluate every point of ``spec``; see the module docstring.
 
@@ -291,6 +300,16 @@ def run_sweep(
             cancels the pending work and raises
             :class:`SweepInterrupted`.  Completed points are already
             cached, so the same spec resumes incrementally.
+        supervise: Evaluate cache misses under a
+            :class:`~repro.sweep.supervise.SupervisorPolicy` — every
+            point (even at ``workers=1``) runs in its own forked
+            process with per-attempt timeouts, worker-death recovery,
+            deterministic-backoff retries, and quarantine after
+            ``max_attempts`` failures.  With ``strict=True`` a
+            quarantined point raises
+            :class:`~repro.sweep.supervise.PointQuarantined`; with
+            ``strict=False`` it becomes a worker-count-independent
+            ``PointQuarantined`` error record (never cached).
     """
     if workers < 1:
         raise ValueError("workers must be positive")
@@ -364,7 +383,24 @@ def run_sweep(
     capture = not strict
     if _interrupted():
         raise SweepInterrupted(done, total)
-    if len(missing) > 1 and workers > 1:
+    if supervise is not None and missing:
+        try:
+            run_supervised(
+                target=spec.target,
+                configs=configs,
+                seeds=seeds,
+                indices=missing,
+                policy=supervise,
+                workers=workers,
+                epoch=epoch,
+                strict=strict,
+                finish=_finish,
+                interrupted=_interrupted,
+                metrics=metrics,
+            )
+        except InterruptedError:
+            raise SweepInterrupted(done, total) from None
+    elif len(missing) > 1 and workers > 1:
         ctx = _pool_context()
         with ProcessPoolExecutor(
             max_workers=min(workers, len(missing)), mp_context=ctx

@@ -1,0 +1,369 @@
+"""Supervised sweep execution: timeouts, retries, quarantine, recovery.
+
+The plain :func:`repro.sweep.run_sweep` fan-out trusts its workers: a
+point that hangs forever wedges the sweep, and a worker that dies
+(OOM-killed, segfaulted, SIGKILL'd) breaks the whole
+``ProcessPoolExecutor`` and aborts the grid.  That is exactly the
+failure model the paper's reliability sections (§5) argue a control
+plane must survive — so this module applies the repository's own
+fault-injection philosophy to the sweep engine itself.
+
+:func:`run_supervised` replaces the shared pool with **one forked
+process per attempt**, each reporting over its own pipe, so the
+supervisor can observe and act on every failure mode independently:
+
+* **timeout** — an attempt that exceeds ``timeout_s`` is SIGKILL'd and
+  recorded as a structured ``PointTimeout`` failure;
+* **worker death** — an attempt whose process exits without reporting
+  (killed from outside, or from *inside* by the point itself) is a
+  ``WorkerDied`` failure; only that point is affected, never the grid;
+* **retry** — failed attempts are retried up to
+  ``SupervisorPolicy.max_attempts`` with exponential backoff whose
+  jitter derives from the point's content seed
+  (:func:`retry_delay_s`), so retry *schedules* are deterministic and
+  worker-count independent even though wall-clock is not;
+* **quarantine** — a point that exhausts its attempts becomes a
+  ``PointQuarantined`` error record carrying the per-attempt failure
+  history.  Quarantined records are byte-identical at any worker
+  count and are never written to the result cache, so a later run
+  (with the poison fixed) retries them.
+
+Every spawned process is joined (or killed and joined) before
+:func:`run_supervised` returns — including on interrupt and on
+exception — so a supervised sweep never leaks orphan workers.
+
+The observable counters (``sweep.retries``, ``sweep.timeouts``,
+``sweep.worker_deaths``, ``sweep.quarantined``) land in the metrics
+registry passed by the caller, which is how the experiment service
+exports them as ``/metrics`` families per job.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Callable
+
+from ..core.rng import derive_seed
+from ..obs import MetricsRegistry
+from .spec import canonical_config
+
+__all__ = [
+    "PointQuarantined",
+    "SupervisorPolicy",
+    "current_attempt",
+    "retry_delay_s",
+    "run_supervised",
+]
+
+#: Attempt number of the point evaluation running in *this* process
+#: (1-based).  Set by the supervisor in the forked child before the
+#: target runs; stays 1 in unsupervised / in-process evaluation.  Chaos
+#: policies (:mod:`repro.chaos`) read it to sabotage only early
+#: attempts.
+_ATTEMPT = 1
+
+#: Supervisor poll tick (seconds): the upper bound on how late a
+#: timeout kill, retry launch, or interrupt check can fire.
+_TICK_S = 0.02
+
+
+def current_attempt() -> int:
+    """The 1-based attempt number of the current point evaluation."""
+    return _ATTEMPT
+
+
+class PointQuarantined(RuntimeError):
+    """A point exhausted its attempts under ``strict=True``.
+
+    Carries the structured quarantine ``record`` (the same dict that
+    ``strict=False`` would have attached to the :class:`PointResult`).
+    """
+
+    def __init__(self, record: dict) -> None:
+        super().__init__(
+            f"sweep point quarantined after {record['attempts']} attempts: "
+            f"{record['message']}"
+        )
+        self.record = record
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """How hard the supervisor defends a sweep against its own points.
+
+    Attributes:
+        timeout_s: Per-*attempt* wall-clock budget; an overdue attempt
+            is killed and counted as a ``PointTimeout`` failure.
+            ``None`` disables the watchdog (hangs then block forever,
+            as unsupervised).
+        max_attempts: Total attempts per point (first try included).
+            A point still failing after the last attempt is
+            quarantined.
+        backoff_base_s: Backoff before attempt 2; doubles per attempt.
+        backoff_cap_s: Upper bound on any single backoff delay.
+    """
+
+    timeout_s: float | None = None
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+
+
+def retry_delay_s(policy: SupervisorPolicy, point_seed: int, attempt: int) -> float:
+    """Backoff before ``attempt`` (>= 2) of the point seeded ``point_seed``.
+
+    Exponential in the attempt number, capped, with a deterministic
+    jitter factor in ``[0.5, 1.0]`` derived from the point's content
+    seed — two sweeps of the same spec retry on the same schedule, and
+    colliding points (many retries at once) spread out without any
+    shared RNG state.
+    """
+    base = min(policy.backoff_cap_s, policy.backoff_base_s * 2 ** (attempt - 2))
+    jitter = derive_seed(point_seed, f"sweep/backoff/{attempt}") % 2**20 / 2**20
+    return base * (0.5 + 0.5 * jitter)
+
+
+def _failure_record(
+    kind: str, message: str, *, target: str, config: dict, seed: int, attempt: int
+) -> dict:
+    """One structured attempt-failure record (parent-side kinds)."""
+    return {
+        "target": target,
+        "config": canonical_config(config),
+        "seed": seed,
+        "type": kind,
+        "message": message,
+        "attempt": attempt,
+    }
+
+
+def _quarantine_record(
+    *, target: str, config: dict, seed: int, failures: list[dict]
+) -> dict:
+    """The terminal error record of a poison point.
+
+    Everything in it is a pure function of the point and its
+    deterministic failure history — no pids, no wall-clock — so
+    quarantined points serialize byte-identically at any worker count.
+    """
+    kinds = [f["type"] for f in failures]
+    return {
+        "target": target,
+        "config": canonical_config(config),
+        "seed": seed,
+        "type": "PointQuarantined",
+        "message": f"quarantined after {len(failures)} failed attempts "
+        f"({', '.join(kinds)})",
+        "attempts": len(failures),
+        "failures": [
+            {"attempt": f["attempt"], "type": f["type"], "message": f["message"]}
+            for f in failures
+        ],
+    }
+
+
+def _attempt_main(conn, target: str, config: dict, seed: int, epoch: float, attempt: int):
+    """Child entry point: run one attempt, report over the pipe.
+
+    Runs with capture on — an exception becomes a structured record
+    formatted here, in the failing process (identical to the
+    unsupervised ``strict=False`` records, plus the attempt number).
+    If the point kills its own process nothing is sent and the parent
+    reads EOF, which is precisely the worker-death signal.
+    """
+    global _ATTEMPT
+    _ATTEMPT = attempt
+    from .runner import _evaluate
+
+    try:
+        result, error, started, elapsed = _evaluate(
+            target, config, seed, epoch, capture=True
+        )
+        if error is not None:
+            error["attempt"] = attempt
+        conn.send((result, error, started, elapsed))
+    finally:
+        conn.close()
+
+
+class _Running:
+    """One in-flight attempt: the process, its pipe, and its deadline."""
+
+    __slots__ = ("index", "attempt", "proc", "conn", "deadline", "started")
+
+    def __init__(self, index, attempt, proc, conn, deadline, started):
+        self.index = index
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+        self.started = started
+
+
+def run_supervised(
+    *,
+    target: str,
+    configs: list[dict],
+    seeds: list[int],
+    indices: list[int],
+    policy: SupervisorPolicy,
+    workers: int,
+    epoch: float,
+    strict: bool,
+    finish: Callable[[int, dict | None, dict | None, float, float], None],
+    interrupted: Callable[[], bool],
+    metrics: MetricsRegistry | None = None,
+) -> None:
+    """Evaluate ``indices`` of ``configs`` under ``policy``.
+
+    Called by :func:`repro.sweep.run_sweep` when a supervisor policy is
+    given; every point — even at ``workers=1`` — runs in its own forked
+    process so the parent survives anything the point does.  Settled
+    points (success or terminal quarantine) are delivered through
+    ``finish`` exactly as the unsupervised paths deliver theirs; with
+    ``strict`` the first quarantined point raises
+    :class:`PointQuarantined` instead.
+
+    ``interrupted`` is polled every tick; when it fires, all in-flight
+    attempt processes are killed and joined before the
+    :class:`InterruptedError` sentinel propagates to the runner (which
+    re-raises its public :class:`repro.sweep.SweepInterrupted`).
+    """
+    import multiprocessing
+
+    ctx = (
+        multiprocessing.get_context("fork")
+        if "fork" in multiprocessing.get_all_start_methods()
+        else multiprocessing.get_context()
+    )
+
+    retries = metrics.counter("sweep.retries") if metrics is not None else None
+    timeouts = metrics.counter("sweep.timeouts") if metrics is not None else None
+    deaths = metrics.counter("sweep.worker_deaths") if metrics is not None else None
+    quarantined = metrics.counter("sweep.quarantined") if metrics is not None else None
+
+    #: (index, attempt, not_before) — attempts eligible to launch.
+    pending: list[tuple[int, int, float]] = [(i, 1, 0.0) for i in indices]
+    running: list[_Running] = []
+    failures: dict[int, list[dict]] = {}
+
+    def _spawn(index: int, attempt: int) -> None:
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_attempt_main,
+            args=(send, target, configs[index], seeds[index], epoch, attempt),
+            daemon=True,
+        )
+        proc.start()
+        send.close()  # parent keeps only the read end: EOF == child gone
+        now = time.monotonic()
+        deadline = None if policy.timeout_s is None else now + policy.timeout_s
+        running.append(_Running(index, attempt, proc, recv, deadline, now))
+
+    def _reap(run: _Running) -> None:
+        running.remove(run)
+        run.proc.join()
+        run.conn.close()
+
+    def _fail(run: _Running, record: dict) -> None:
+        history = failures.setdefault(run.index, [])
+        history.append(record)
+        if run.attempt < policy.max_attempts:
+            if retries is not None:
+                retries.inc()
+            delay = retry_delay_s(policy, seeds[run.index], run.attempt + 1)
+            pending.append((run.index, run.attempt + 1, time.monotonic() + delay))
+            return
+        terminal = _quarantine_record(
+            target=target,
+            config=configs[run.index],
+            seed=seeds[run.index],
+            failures=history,
+        )
+        if quarantined is not None:
+            quarantined.inc()
+        if strict:
+            raise PointQuarantined(terminal)
+        finish(run.index, None, terminal, 0.0, time.monotonic() - run.started)
+
+    try:
+        while pending or running:
+            if interrupted():
+                raise InterruptedError
+            now = time.monotonic()
+            # Launch every eligible attempt the worker budget allows.
+            eligible = sorted(
+                (t for t in pending if t[2] <= now), key=lambda t: (t[2], t[0])
+            )
+            for task in eligible[: max(0, workers - len(running))]:
+                pending.remove(task)
+                _spawn(task[0], task[1])
+
+            if not running:
+                time.sleep(_TICK_S)
+                continue
+            ready = connection.wait((r.conn for r in running), timeout=_TICK_S)
+            for run in [r for r in running if r.conn in ready]:
+                try:
+                    result, error, started, elapsed = run.conn.recv()
+                except EOFError:
+                    # The process ended without reporting: it was killed
+                    # (possibly by the point itself) or crashed hard.
+                    _reap(run)
+                    if deaths is not None:
+                        deaths.inc()
+                    _fail(
+                        run,
+                        _failure_record(
+                            "WorkerDied",
+                            f"worker process died without reporting "
+                            f"(exitcode {run.proc.exitcode})",
+                            target=target,
+                            config=configs[run.index],
+                            seed=seeds[run.index],
+                            attempt=run.attempt,
+                        ),
+                    )
+                    continue
+                _reap(run)
+                if error is None:
+                    finish(run.index, result, None, started, elapsed)
+                else:
+                    _fail(run, error)
+
+            now = time.monotonic()
+            for run in [r for r in running if r.deadline is not None and now >= r.deadline]:
+                run.proc.kill()
+                _reap(run)
+                if timeouts is not None:
+                    timeouts.inc()
+                _fail(
+                    run,
+                    _failure_record(
+                        "PointTimeout",
+                        f"attempt exceeded timeout_s={policy.timeout_s:g}",
+                        target=target,
+                        config=configs[run.index],
+                        seed=seeds[run.index],
+                        attempt=run.attempt,
+                    ),
+                )
+    finally:
+        # Whatever path exits — done, interrupt, quarantine-raise — no
+        # attempt process may outlive the sweep.
+        for run in running:
+            run.proc.kill()
+        for run in running:
+            run.proc.join()
+            run.conn.close()
+        running.clear()

@@ -63,7 +63,14 @@ def register_target(name: str, fn: Target | None = None):
 
 
 def get_target(name: str) -> Target:
-    """Resolve a registered target by name."""
+    """Resolve a registered target by name.
+
+    ``chaos`` resolves lazily — importing :mod:`repro.chaos` registers
+    it — so CLI and service jobs can name it without a prior import.
+    """
+    if name == "chaos" and name not in _REGISTRY:
+        import repro.chaos  # noqa: F401 - registers the target
+
     try:
         return _REGISTRY[name]
     except KeyError:

@@ -1,0 +1,511 @@
+"""Robustness machinery of the experiment service.
+
+Covers graceful drain (503 + Retry-After, journaled ``drain`` record,
+byte-identical resume), per-job deadlines, the hung-job watchdog, the
+per-target circuit breaker, bounded SSE replay history, the client's
+bounded 429 retry, journal crash-truncation at every byte offset, and
+supervised (chaos-hardened) job execution end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import ChaosPolicy, chaos_spec, reference_spec
+from repro.service import (
+    CircuitBreaker,
+    CircuitOpen,
+    EventBroker,
+    ExperimentServer,
+    JobSpec,
+    ServiceClient,
+    ServiceConfig,
+    StateStore,
+)
+from repro.sweep import SupervisorPolicy, SweepSpec, register_target, run_sweep
+
+
+@register_target("robust-sleepy")
+def _sleepy(config: dict, seed: int) -> dict:
+    time.sleep(config.get("sleep_s", 0.1))
+    return {"x": config.get("x", 0), "seed": seed}
+
+
+@register_target("robust-doomed")
+def _doomed(config: dict, seed: int) -> dict:
+    raise RuntimeError("this target never works")
+
+
+@register_target("robust-inner")
+def _robust_inner(config: dict, seed: int) -> dict:
+    return {"y": config["y"] * 3, "seed": seed}
+
+
+def _config(tmp_path: Path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        state_dir=tmp_path / "state",
+        cache_dir=tmp_path / "cache",
+        heartbeat_s=0.2,
+        metrics_interval_s=0.05,
+        watchdog_interval_s=0.05,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+async def _with_server(config: ServiceConfig, body) -> None:
+    server = ExperimentServer(config)
+    await server.start()
+    try:
+        await body(server, ServiceClient(server.host, server.port))
+    finally:
+        await server.stop()
+
+
+async def _wait_for(predicate, timeout: float = 10.0, interval: float = 0.02):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError("condition never became true")
+        await asyncio.sleep(interval)
+
+
+def _journal_kinds(state_dir: Path, job_id: str) -> list[str]:
+    path = state_dir / "jobs" / f"{job_id}.jsonl"
+    return [json.loads(line)["kind"] for line in path.read_text().splitlines()]
+
+
+# ---------------------------------------------------------------------------
+# JobSpec robustness knobs
+# ---------------------------------------------------------------------------
+
+
+def test_jobspec_accepts_and_journals_robustness_knobs():
+    payload = {
+        "target": "robust-sleepy",
+        "points": [{"x": 1}],
+        "deadline_s": 30.0,
+        "timeout_s": 5.0,
+        "max_attempts": 3,
+    }
+    spec = JobSpec.from_payload(payload)
+    assert (spec.deadline_s, spec.timeout_s, spec.max_attempts) == (30.0, 5.0, 3)
+    assert JobSpec.from_journal(spec.to_payload()) == spec
+    policy = spec.supervisor_policy()
+    assert policy == SupervisorPolicy(timeout_s=5.0, max_attempts=3)
+    # Defaults keep the plain pool path.
+    plain = JobSpec.from_payload({"target": "robust-sleepy", "points": [{"x": 1}]})
+    assert plain.supervisor_policy() is None
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"deadline_s": 0},
+        {"deadline_s": "soon"},
+        {"timeout_s": -1},
+        {"timeout_s": True},
+        {"max_attempts": 0},
+        {"max_attempts": 1.5},
+    ],
+)
+def test_jobspec_rejects_bad_robustness_values(bad):
+    payload = {"target": "robust-sleepy", "points": [{"x": 1}], **bad}
+    with pytest.raises(ValueError):
+        JobSpec.from_payload(payload)
+
+
+def test_jobspec_resolves_lazily_registered_chaos_target():
+    spec = JobSpec.from_payload(
+        {
+            "target": "chaos",
+            "points": [
+                {
+                    "chaos_mode": "none",
+                    "chaos_attempts": 1,
+                    "chaos_hang_s": 1.0,
+                    "chaos_slow_s": 0.0,
+                    "inner_target": "robust-sleepy",
+                    "inner": {"x": 1, "sleep_s": 0.0},
+                    "inner_seed": 7,
+                }
+            ],
+        }
+    )
+    assert spec.target == "chaos"
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+
+def test_breaker_trips_cools_down_and_half_open_probes():
+    now = {"t": 0.0}
+    breaker = CircuitBreaker(threshold=3, cooldown_s=10.0, clock=lambda: now["t"])
+    for _ in range(2):
+        breaker.record_failure("serving")
+    breaker.admit("serving")  # two failures: still closed
+    breaker.record_failure("serving")
+    assert breaker.state_of("serving") == "open"
+    with pytest.raises(CircuitOpen) as excinfo:
+        breaker.admit("serving")
+    assert 0 < excinfo.value.retry_after <= 10.0
+    # Cooldown elapses: exactly one probe is admitted.
+    now["t"] = 11.0
+    breaker.admit("serving")
+    assert breaker.state_of("serving") == "half_open"
+    with pytest.raises(CircuitOpen):
+        breaker.admit("serving")  # probe in flight
+    # Probe failure re-opens for a fresh cooldown...
+    breaker.record_failure("serving")
+    assert breaker.state_of("serving") == "open"
+    with pytest.raises(CircuitOpen):
+        breaker.admit("serving")
+    # ...and a successful probe closes it fully.
+    now["t"] = 22.0
+    breaker.admit("serving")
+    breaker.record_success("serving")
+    assert breaker.state_of("serving") == "closed"
+    breaker.admit("serving")
+    # Other targets were never affected.
+    breaker.admit("flowsim")
+    assert breaker.describe() == {}
+
+
+def test_breaker_rejects_doomed_target_after_consecutive_failures(tmp_path):
+    config = _config(tmp_path, breaker_threshold=2, breaker_cooldown_s=60.0)
+    spec = {"target": "robust-doomed", "points": [{"x": 1}], "seed": 1}
+
+    async def body(server, client):
+        await client.wait_healthy()
+        for _ in range(2):
+            status, job = await client.post_json("/jobs", spec)
+            assert status == 202
+            events = await client.collect_events(
+                f"/jobs/{job['id']}/events", timeout=30
+            )
+            # Every point errored -> the job counts as a breaker failure.
+            assert events[-1][0] == "done" and events[-1][1]["errors"] == 1
+        status, headers, body_bytes = await client.request("POST", "/jobs", spec)
+        assert status == 503
+        assert "retry-after" in headers
+        assert b"circuit breaker open" in body_bytes
+        _, health = await client.get_json("/healthz")
+        assert health["breakers"]["robust-doomed"]["state"] == "open"
+        # A healthy target is unaffected by the open breaker.
+        ok = {"target": "robust-sleepy", "points": [{"x": 1, "sleep_s": 0.0}]}
+        status, job = await client.post_json("/jobs", ok)
+        assert status == 202
+        await client.collect_events(f"/jobs/{job['id']}/events", timeout=30)
+
+    asyncio.run(_with_server(config, body))
+
+
+# ---------------------------------------------------------------------------
+# Deadlines and the hung-job watchdog
+# ---------------------------------------------------------------------------
+
+
+def test_job_deadline_interrupts_at_point_boundary(tmp_path):
+    config = _config(tmp_path)
+    spec = {
+        "target": "robust-sleepy",
+        "points": [{"x": i, "sleep_s": 0.15} for i in range(20)],
+        "deadline_s": 0.4,
+        "seed": 1,
+    }
+
+    async def body(server, client):
+        await client.wait_healthy()
+        status, job = await client.post_json("/jobs", spec)
+        assert status == 202
+        events = await client.collect_events(f"/jobs/{job['id']}/events", timeout=30)
+        assert events[-1][0] == "failed"
+        assert any(event == "deadline" for event, _ in events)
+        _, detail = await client.get_json(f"/jobs/{job['id']}")
+        assert detail["error"].startswith("JobDeadlineExceeded")
+        assert 0 < detail["done"] < 20  # stopped at a boundary, not the end
+        kinds = _journal_kinds(config.state_dir, job["id"])
+        assert "deadline" in kinds
+        snapshot = server.metrics.snapshot()
+        assert snapshot["service.jobs.deadline_exceeded"] == 1
+
+    asyncio.run(_with_server(config, body))
+
+
+def test_hung_watchdog_flags_and_clears(tmp_path):
+    config = _config(tmp_path, hung_after_s=0.2)
+    spec = {
+        "target": "robust-sleepy",
+        "points": [{"x": 0, "sleep_s": 0.6}, {"x": 1, "sleep_s": 0.0}],
+        "seed": 1,
+    }
+
+    async def body(server, client):
+        await client.wait_healthy()
+        status, job = await client.post_json("/jobs", spec)
+        assert status == 202
+        # The long first point stalls progress past hung_after_s.
+        await _wait_for(lambda: server.manager.jobs[job["id"]].hung, timeout=10)
+        _, detail = await client.get_json(f"/jobs/{job['id']}")
+        assert detail.get("hung") is True
+        events = await client.collect_events(f"/jobs/{job['id']}/events", timeout=30)
+        assert any(event == "hung" for event, _ in events)
+        assert events[-1][0] == "done"  # it was slow, not dead
+        assert not server.manager.jobs[job["id"]].hung  # progress cleared it
+        assert "hung" in _journal_kinds(config.state_dir, job["id"])
+        assert server.metrics.snapshot()["service.jobs.hung_detected"] >= 1
+
+    asyncio.run(_with_server(config, body))
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain
+# ---------------------------------------------------------------------------
+
+
+def test_drain_interrupts_journals_and_rejects(tmp_path):
+    config = _config(tmp_path, job_workers=1, drain_grace_s=10.0)
+    running = {
+        "target": "robust-sleepy",
+        "points": [{"x": i, "sleep_s": 0.1} for i in range(30)],
+        "seed": 1,
+    }
+    queued = {"target": "robust-sleepy", "points": [{"x": 99}], "seed": 2}
+
+    async def body(server, client):
+        await client.wait_healthy()
+        _, first = await client.post_json("/jobs", running)
+        _, second = await client.post_json("/jobs", queued)
+        await _wait_for(
+            lambda: server.manager.jobs[first["id"]].done_points >= 2, timeout=15
+        )
+        settled = await server.drain()
+        assert settled is True
+        job = server.manager.jobs[first["id"]]
+        assert job.state == "interrupted" and 0 < job.done_points < 30
+        assert "drain" in _journal_kinds(config.state_dir, first["id"])
+        assert "drain" in _journal_kinds(config.state_dir, second["id"])
+        # Draining servers advertise it and refuse new work with 503.
+        _, health = await client.get_json("/healthz")
+        assert health["draining"] is True
+        status, headers, _ = await client.request("POST", "/jobs", queued)
+        assert status == 503 and "retry-after" in headers
+        assert server.metrics.snapshot()["service.jobs.drained"] == 1
+
+    asyncio.run(_with_server(config, body))
+
+
+def test_drained_jobs_resume_byte_identically(tmp_path):
+    """Drain mid-job, restart over the same state/cache dirs: the job
+    completes recomputing only unevaluated points, and the report is
+    byte-identical to an undrained run."""
+    points = [{"x": i, "sleep_s": 0.05} for i in range(8)]
+    spec = {"target": "robust-sleepy", "points": points, "seed": 4}
+    config = _config(tmp_path, job_workers=1)
+
+    async def drain_mid_job(server, client):
+        await client.wait_healthy()
+        _, job = await client.post_json("/jobs", spec)
+        await _wait_for(
+            lambda: server.manager.jobs[job["id"]].done_points >= 2, timeout=15
+        )
+        await server.drain()
+        drained = server.manager.jobs[job["id"]]
+        assert drained.state == "interrupted"
+        return job["id"], drained.done_points
+
+    async def run_first():
+        server = ExperimentServer(config)
+        await server.start()
+        try:
+            return await drain_mid_job(server, ServiceClient(server.host, server.port))
+        finally:
+            await server.stop()
+
+    job_id, done_before = asyncio.run(run_first())
+    assert 0 < done_before < len(points)
+
+    async def resume(server, client):
+        await client.wait_healthy()
+        job = server.manager.jobs[job_id]
+        assert job.resumed is True
+        await _wait_for(lambda: job.terminal, timeout=30)
+        assert job.state == "done"
+        # Every pre-drain point came back as a cache hit.
+        assert job.cache_hits == done_before
+        assert job.evaluated == len(points) - done_before
+
+    asyncio.run(_with_server(_config(tmp_path, job_workers=1), resume))
+    artifact = (config.state_dir / "artifacts" / f"{job_id}.report.json").read_text()
+    direct = run_sweep(SweepSpec(target="robust-sleepy", points=points, seed=4))
+    assert artifact == direct.to_report_json()
+
+
+# ---------------------------------------------------------------------------
+# Client 429 retry budget
+# ---------------------------------------------------------------------------
+
+
+def test_client_post_retries_429_within_budget():
+    """A stub server 429s twice with Retry-After: 0.05, then accepts."""
+    hits = []
+
+    async def scenario():
+        async def handle(reader, writer):
+            await reader.readuntil(b"\r\n\r\n")  # headers; body is ignored
+            hits.append(1)
+            if len(hits) <= 2:
+                body = b'{"error": "busy"}'
+                head = (
+                    b"HTTP/1.1 429 Too Many Requests\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Retry-After: 0.05\r\n"
+                    b"Content-Length: %d\r\nConnection: close\r\n\r\n" % len(body)
+                )
+            else:
+                body = b'{"id": "j0001"}'
+                head = (
+                    b"HTTP/1.1 202 Accepted\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: %d\r\nConnection: close\r\n\r\n" % len(body)
+                )
+            writer.write(head + body)
+            await writer.drain()
+            writer.close()
+
+        server = await asyncio.start_server(handle, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        async with server:
+            client = ServiceClient("127.0.0.1", port)
+            # Budget covers both hinted waits: the POST succeeds.
+            status, payload = await client.post_json(
+                "/jobs", {"x": 1}, retry_budget_s=1.0
+            )
+            assert (status, payload["id"], len(hits)) == (202, "j0001", 3)
+            # Zero budget (the default): the 429 surfaces immediately.
+            hits.clear()
+            status, payload = await client.post_json("/jobs", {"x": 1})
+            assert status == 429 and len(hits) == 1
+            # A budget smaller than the hint refuses to wait at all.
+            hits.clear()
+            status, _ = await client.post_json(
+                "/jobs", {"x": 1}, retry_budget_s=0.01
+            )
+            assert status == 429 and len(hits) == 1
+
+    asyncio.run(asyncio.wait_for(scenario(), timeout=15))
+
+
+# ---------------------------------------------------------------------------
+# Journal crash-truncation, atomic writes, bounded replay
+# ---------------------------------------------------------------------------
+
+
+def test_journal_truncated_at_every_byte_offset_never_raises(tmp_path):
+    """Kill an append at any byte: load() keeps every fully-written
+    record and loses at most the one being written."""
+    store = StateStore(tmp_path / "state")
+    records = [
+        {"kind": "submit", "spec": {"target": "t", "points": [{"x": 1}]}},
+        {"kind": "status", "state": "running"},
+        {"kind": "point", "index": 0, "key": "ab" * 8, "cached": False},
+        {"kind": "drain", "done": 1, "total": 4},
+        {"kind": "status", "state": "done"},
+    ]
+    for record in records:
+        store.append("j0001", record)
+    blob = store.journal_path("j0001").read_bytes()
+
+    # Line-end offsets tell us how many records each prefix preserves.
+    # A record survives when its newline made it to disk — or when the
+    # cut landed exactly on the newline, leaving complete JSON behind
+    # (a strict prefix of a JSON object never parses, so nothing
+    # partially-written ever sneaks through).
+    ends = [i + 1 for i, b in enumerate(blob) if b == 0x0A]
+    for offset in range(len(blob) + 1):
+        crash_dir = tmp_path / "crash"
+        crashed = StateStore(crash_dir)
+        crashed.journal_path("j0001").write_bytes(blob[:offset])
+        loaded = crashed.load()  # must never raise
+        expected = sum(1 for end in ends if end <= offset)
+        if offset + 1 in ends:
+            expected += 1
+        got = len(loaded.get("j0001", []))
+        assert got == expected, f"offset {offset}: {got} != {expected}"
+        assert loaded.get("j0001", records[:0]) == records[:expected]
+        crashed.journal_path("j0001").unlink()
+
+
+def test_server_info_survives_rewrite(tmp_path):
+    store = StateStore(tmp_path / "state")
+    path = store.write_server_info("127.0.0.1", 1234)
+    first = json.loads(path.read_text())
+    assert (first["host"], first["port"]) == ("127.0.0.1", 1234)
+    store.write_server_info("127.0.0.1", 5678)
+    assert json.loads(path.read_text())["port"] == 5678
+
+
+def test_event_broker_bounded_replay_with_truncated_marker():
+    broker = EventBroker(buffer=8, history_limit=5)
+    for i in range(8):
+        broker.publish("progress", {"index": i})
+    replay, queue = broker.subscribe()
+    assert replay[0] == ("truncated", {"trimmed": 3, "kept": 5})
+    assert [data["index"] for _, data in replay[1:]] == [3, 4, 5, 6, 7]
+    broker.unsubscribe(queue)
+    # Under the cap there is no marker.
+    small = EventBroker(buffer=8, history_limit=5)
+    small.publish("progress", {"index": 0})
+    replay, queue = small.subscribe()
+    assert replay == [("progress", {"index": 0})]
+
+
+# ---------------------------------------------------------------------------
+# Supervised (chaos-hardened) jobs end to end
+# ---------------------------------------------------------------------------
+
+
+def test_supervised_chaos_job_through_the_service(tmp_path):
+    """A chaos grid submitted as a service job — points kill, hang,
+    raise, and dawdle — still ends 'done' with a report whose results
+    match a chaos-free reference run exactly."""
+    inner = [{"y": i} for i in range(6)]
+    spec = chaos_spec(
+        "robust-inner",
+        inner,
+        seed=33,
+        policy=ChaosPolicy(rate=0.8, slow_s=0.05, attempts=1),
+    )
+    payload = {
+        "target": "chaos",
+        "points": [dict(p) for p in spec.points],
+        "seed": 33,
+        "timeout_s": 1.0,
+        "max_attempts": 3,
+        "workers": 4,
+    }
+    config = _config(tmp_path)
+
+    async def body(server, client):
+        await client.wait_healthy()
+        status, job = await client.post_json("/jobs", payload)
+        assert status == 202
+        events = await client.collect_events(f"/jobs/{job['id']}/events", timeout=60)
+        assert events[-1][0] == "done" and events[-1][1]["errors"] == 0
+        _, _, report = await client.request("GET", f"/jobs/{job['id']}/report")
+        served = json.loads(report)
+        reference = run_sweep(reference_spec(spec), workers=2)
+        for point, ref in zip(served["points"], reference.points):
+            assert point["result"] == ref.result
+
+    asyncio.run(_with_server(config, body))
