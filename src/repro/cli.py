@@ -486,16 +486,18 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
     from .sweep import (
         SweepCache,
         SweepSpec,
+        get_target,
         grid,
         print_sweep_summary,
         run_sweep,
-        target_names,
     )
 
-    if args.target not in target_names():
-        raise SystemExit(
-            f"unknown target {args.target!r} (registered: {', '.join(target_names())})"
-        )
+    try:
+        # get_target rather than a target_names() membership test: it
+        # resolves lazily-registered targets (chaos, optimize) too.
+        get_target(args.target)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
     axes = dict(_sweep_pairs(args.grid, "--grid"))
     base = {k: v[0] for k, v in _sweep_pairs(args.set, "--set")}
     if not axes:
@@ -561,6 +563,70 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         )
         if args.slo:
             print(f"slo: {alerts} alert transitions across all points")
+
+
+def _cmd_optimize(args: argparse.Namespace) -> None:
+    from .obs import MetricsRegistry
+    from .optimize import (
+        FidelityLadder,
+        SearchSpec,
+        parse_objective,
+        print_search_summary,
+        run_search,
+    )
+    from .sweep import SweepCache, get_target
+
+    try:
+        get_target(args.target)  # resolves lazy targets (chaos, optimize)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    space = dict(_sweep_pairs(args.space, "--space"))
+    if not space:
+        raise SystemExit("need at least one --space K=V1,V2,... axis")
+    base = {k: v[0] for k, v in _sweep_pairs(args.set, "--set")}
+    ladder = None
+    if args.ladder is not None:
+        try:
+            ladder = FidelityLadder(**json.loads(args.ladder))
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            raise SystemExit(f"bad --ladder: {exc}")
+    try:
+        parse_objective(args.objective)  # fail fast on DSL errors
+        spec = SearchSpec(
+            target=args.target,
+            objective=args.objective,
+            space=space,
+            base=base,
+            seed=args.seed,
+            eta=args.eta,
+            rungs=args.rungs,
+            budget_s=args.budget,
+            initial=args.initial,
+            ladder=ladder,
+        )
+        spec.resolved_ladder()  # fail fast on a missing/clashing ladder
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"bad search spec: {exc}")
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
+    result = run_search(
+        spec,
+        workers=args.workers,
+        cache=cache,
+        metrics=MetricsRegistry(),
+        progress=not args.json,
+    )
+    if args.json:
+        sys.stdout.write(result.to_json())
+        return
+    print_search_summary(result)
+    where = "off" if cache is None else str(cache.root)
+    print(
+        f"\n{len(result.trajectory)} evaluations  computed {result.evaluated}  "
+        f"cache hits {result.cache_hits}  sim {result.sim_seconds:.1f}s  "
+        f"grid ~{result.grid_sim_seconds:.1f}s (~{result.speedup:.1f}x)  "
+        f"wall {result.wall_time:.2f}s  cache {where}"
+        + ("  [budget stop]" if result.stopped_early else "")
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
@@ -855,6 +921,61 @@ def build_parser() -> argparse.ArgumentParser:
         "continue instead of aborting on the first one",
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "optimize",
+        help="multi-fidelity Pareto search over a sweep target's config space",
+    )
+    p.add_argument("--target", required=True, help="registered sweep target name")
+    p.add_argument(
+        "--objective", required=True,
+        help="objective DSL: 'maximize goodput s.t. tpot_p99<=0.05', "
+        "'pareto(cost, goodput, slo_attainment)', ...",
+    )
+    p.add_argument(
+        "--space", action="append", default=[], metavar="K=V1,V2,...",
+        help="one search axis (repeatable; neighbor expansion steps ±1 "
+        "along the declared value order)",
+    )
+    p.add_argument(
+        "--set", action="append", default=[], metavar="K=V",
+        help="fixed config key shared by every point (repeatable)",
+    )
+    p.add_argument(
+        "--eta", type=int, default=4,
+        help="promotion divisor: ceil(n/eta) survive each rung (default 4)",
+    )
+    p.add_argument(
+        "--rungs", type=int, default=None,
+        help="use only the last N rungs of the target's fidelity ladder",
+    )
+    p.add_argument(
+        "--budget", type=float, default=None, metavar="SIM_SECONDS",
+        help="simulated-seconds budget; no new batch starts once spent",
+    )
+    p.add_argument(
+        "--initial", type=int, default=None, metavar="N",
+        help="seeded rung-0 subsample size (enables best-first neighbor "
+        "expansion; default = the full space)",
+    )
+    p.add_argument(
+        "--ladder", default=None, metavar="JSON",
+        help='override the fidelity ladder, e.g. '
+        '\'{"key": "num_requests", "rungs": [250, 1000, 4000], '
+        '"cost": "duration_s"}\'',
+    )
+    p.add_argument("--workers", type=int, default=1, help="process fan-out per batch")
+    p.add_argument("--seed", type=int, default=0, help="root seed (per-point seeds derive from it)")
+    p.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default ~/.cache/repro-sweep or $REPRO_SWEEP_CACHE)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the deterministic search document instead of the tables",
+    )
+    p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser(
         "serve",

@@ -1,0 +1,124 @@
+"""Fidelity ladders: the cheap→expensive rungs a search climbs.
+
+Multi-fidelity search spends most of its evaluations at a *low*
+fidelity — a serving run of 250 requests instead of 8 000, a flow
+simulation of 1 ring shift instead of 8 — and promotes only the
+surviving fraction to the next, more expensive rung.  A
+:class:`FidelityLadder` encodes how one sweep target is dialed between
+cheap and expensive:
+
+* ``key`` — the config key that controls fidelity (``num_requests``
+  for serving).  It must not also be a search axis.
+* ``rungs`` — ascending fidelity values; the last rung is the *full*
+  fidelity, and the final Pareto frontier is read exclusively from it.
+* ``cost`` — an objective-DSL expression (see
+  :mod:`repro.optimize.objective`) evaluated on each point's record +
+  config, yielding that evaluation's **simulated seconds**.  Budget
+  accounting and the search-vs-grid ratio are sums of this expression,
+  so they are pure functions of the evaluated records — identical
+  whether points came from the cache or were computed fresh.
+
+Built-in ladders cover the three shipped simulators; registering a
+custom target usually pairs with :func:`register_ladder` (the bench
+does this for its routing-dispatch target).  A single-rung ladder is
+legal and degenerates the search into constrained best-first selection
+at fixed fidelity — what closed-form targets (topology cost models)
+want.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .objective import Expr
+
+__all__ = ["FidelityLadder", "get_ladder", "ladder_names", "register_ladder"]
+
+
+@dataclass(frozen=True)
+class FidelityLadder:
+    """How one target scales between cheap and full fidelity."""
+
+    key: str
+    rungs: tuple
+    cost: str = "1"
+
+    def __post_init__(self) -> None:
+        if not self.rungs:
+            raise ValueError("a fidelity ladder needs at least one rung")
+        object.__setattr__(self, "rungs", tuple(self.rungs))
+        object.__setattr__(self, "_cost_expr", Expr(self.cost))
+
+    def truncated(self, rungs: int | None) -> "FidelityLadder":
+        """The ladder limited to its last ``rungs`` rungs (None = all).
+
+        Keeping the *last* rungs preserves the full-fidelity top — a
+        shorter search still reports its frontier at the same fidelity
+        an exhaustive grid would use.
+        """
+        if rungs is None or rungs >= len(self.rungs):
+            return self
+        if rungs < 1:
+            raise ValueError("rungs must be positive")
+        return FidelityLadder(self.key, self.rungs[-rungs:], self.cost)
+
+    def point_cost(self, record: dict, config: dict) -> float:
+        """Simulated seconds of one evaluation (0.0 if unscorable)."""
+        from .objective import MissingMetric
+
+        try:
+            return self._cost_expr.evaluate(record, config)
+        except MissingMetric:
+            return 0.0
+
+    def asdict(self) -> dict:
+        return {"key": self.key, "rungs": list(self.rungs), "cost": self.cost}
+
+
+_LADDERS: dict[str, FidelityLadder] = {}
+
+
+def register_ladder(target: str, ladder: FidelityLadder) -> FidelityLadder:
+    """Associate ``ladder`` as the default for sweep target ``target``."""
+    _LADDERS[target] = ladder
+    return ladder
+
+
+def get_ladder(target: str) -> FidelityLadder:
+    """The registered default ladder of ``target``."""
+    try:
+        return _LADDERS[target]
+    except KeyError:
+        known = ", ".join(sorted(_LADDERS)) or "<none>"
+        raise KeyError(
+            f"no fidelity ladder registered for target {target!r} "
+            f"(registered: {known}); pass an explicit ladder"
+        ) from None
+
+
+def ladder_names() -> list[str]:
+    """Targets with a registered default ladder, sorted."""
+    return sorted(_LADDERS)
+
+
+# Built-in ladders for the shipped simulators.  Costs are simulated
+# time read off each record: the serving sim reports its simulated
+# duration directly; flowsim's makespan is milliseconds of simulated
+# fabric time; the training model's wall_time_s is simulated cluster
+# seconds.
+register_ladder(
+    "serving",
+    FidelityLadder(key="num_requests", rungs=(250, 1000, 4000), cost="duration_s"),
+)
+register_ladder(
+    "flowsim",
+    FidelityLadder(key="shifts", rungs=(1, 2, 4), cost="makespan_ms/1000"),
+)
+register_ladder(
+    "training",
+    FidelityLadder(
+        key="work_s",
+        rungs=(6 * 3600.0, 24 * 3600.0, 96 * 3600.0),
+        cost="wall_time_s",
+    ),
+)

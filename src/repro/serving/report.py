@@ -144,7 +144,12 @@ def report_asdict(report: SimReport) -> dict:
     return payload
 
 
-def compact_record(report: SimReport) -> dict:
+def compact_record(
+    report: SimReport,
+    *,
+    gpus: int | None = None,
+    gpu_cost_per_hour: float | None = None,
+) -> dict:
     """A flat, JSON-able summary record of one run.
 
     This is the per-point payload the sweep engine and the benchmark
@@ -153,6 +158,20 @@ def compact_record(report: SimReport) -> dict:
     small enough to cache per grid point and diff as a committed
     baseline.  Fault runs append the degradation totals under a
     ``"degradation"`` sub-dict.
+
+    Passing ``gpus`` + ``gpu_cost_per_hour`` appends the objective-ready
+    economics fields the co-design optimizer (:mod:`repro.optimize`)
+    scores against, derived entirely from existing report data:
+
+    * ``cost_per_token`` — ``gpus × $/h ÷ 3600 ÷ throughput`` ($/token;
+      ``None`` when the run produced no tokens, which an objective
+      treats as unscorable rather than infinitely cheap);
+    * ``goodput_tokens_per_s`` — token throughput discounted by SLO
+      attainment, the paper's "useful tokens" rate.
+
+    Both are stripped when economics are not configured, so default
+    payloads (goldens, cached sweep entries, BENCH baselines) stay
+    byte-identical to pre-economics output.
     """
     ms = 1e3
     record = {
@@ -177,6 +196,14 @@ def compact_record(report: SimReport) -> dict:
         "mean_kv_occupancy": report.mean_kv_occupancy,
         "peak_kv_occupancy": report.peak_kv_occupancy,
     }
+    if gpu_cost_per_hour is not None:
+        if gpus is None:
+            raise ValueError("economics fields need both gpus and gpu_cost_per_hour")
+        throughput = report.throughput_tokens_per_s
+        record["cost_per_token"] = (
+            gpus * gpu_cost_per_hour / 3600.0 / throughput if throughput > 0 else None
+        )
+        record["goodput_tokens_per_s"] = throughput * report.slo_attainment
     d = report.degradation
     if d is not None:
         record["degradation"] = {

@@ -65,11 +65,14 @@ def register_target(name: str, fn: Target | None = None):
 def get_target(name: str) -> Target:
     """Resolve a registered target by name.
 
-    ``chaos`` resolves lazily — importing :mod:`repro.chaos` registers
-    it — so CLI and service jobs can name it without a prior import.
+    ``chaos`` and ``optimize`` resolve lazily — importing
+    :mod:`repro.chaos` / :mod:`repro.optimize` registers them — so CLI
+    and service jobs can name either without a prior import.
     """
     if name == "chaos" and name not in _REGISTRY:
         import repro.chaos  # noqa: F401 - registers the target
+    if name == "optimize" and name not in _REGISTRY:
+        import repro.optimize  # noqa: F401 - registers the target
 
     try:
         return _REGISTRY[name]
@@ -117,6 +120,11 @@ def _serving_target(config: dict, seed: int) -> dict:
     # legal cache-key material like every other config key).
     window_s = cfg.pop("window_s", None)
     slo_rules = cfg.pop("slo", None)
+    # Economics opt-in: a $/GPU-hour figure turns on the objective-ready
+    # cost_per_token / goodput_tokens_per_s fields in the compact record
+    # (repro.serving.report).  Absent, payloads are byte-identical to
+    # pre-economics output.
+    gpu_cost_per_hour = cfg.pop("gpu_cost_per_hour", None)
     sim = SimConfig(
         workload=workload,
         costs=StepCostModel(mtp=mtp),
@@ -140,7 +148,12 @@ def _serving_target(config: dict, seed: int) -> dict:
     )
     if cfg:
         raise ValueError(f"unknown serving sweep keys: {sorted(cfg)}")
-    return compact_record(ServingSimulator(sim).run())
+    economics = (
+        {"gpus": sim.prefill_gpus + sim.decode_gpus, "gpu_cost_per_hour": gpu_cost_per_hour}
+        if gpu_cost_per_hour is not None
+        else {}
+    )
+    return compact_record(ServingSimulator(sim).run(), **economics)
 
 
 @register_target("flowsim")

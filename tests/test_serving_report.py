@@ -86,3 +86,56 @@ def test_simulated_single_token_workload():
     assert report.tokens_generated == 20
     assert report.tpot.p99 == 0.0
     assert 0 <= report.slo_attainment <= 1
+
+
+def test_compact_record_economics_fields_are_opt_in():
+    from repro.serving import compact_record
+    from repro.serving.report import build_report
+
+    report = build_report(
+        [_completed(1, 0.0, 0.5, 2.0, generated=100)],
+        SLO(), duration=10.0, preemptions=0, decode_steps=10,
+        prefill_batches=1, draft_attempts=0, draft_accepted=0,
+        queue_trace=[(0.0, 0)], kv_trace=[(0.0, 0.0)],
+    )
+    plain = compact_record(report)
+    assert "cost_per_token" not in plain and "goodput_tokens_per_s" not in plain
+    priced = compact_record(report, gpus=8, gpu_cost_per_hour=2.0)
+    # 8 GPUs x $2/h / 3600 s/h / (100 tokens / 10 s) = $4.44e-4/token
+    assert priced["cost_per_token"] == pytest.approx(8 * 2.0 / 3600.0 / 10.0)
+    assert priced["goodput_tokens_per_s"] == pytest.approx(
+        report.throughput_tokens_per_s * report.slo_attainment
+    )
+    # Everything else is byte-identical to the un-priced record.
+    priced.pop("cost_per_token"), priced.pop("goodput_tokens_per_s")
+    assert priced == plain
+    with pytest.raises(ValueError):
+        compact_record(report, gpu_cost_per_hour=2.0)  # gpus required
+
+
+def test_compact_record_zero_token_cost_is_null():
+    from repro.serving import compact_record
+    from repro.serving.report import build_report
+
+    report = build_report(
+        [], SLO(), duration=0.0, preemptions=0, decode_steps=0,
+        prefill_batches=0, draft_attempts=0, draft_accepted=0,
+        queue_trace=[], kv_trace=[],
+    )
+    record = compact_record(report, gpus=8, gpu_cost_per_hour=2.0)
+    assert record["cost_per_token"] is None
+    assert record["goodput_tokens_per_s"] == 0.0
+
+
+def test_serving_target_gpu_cost_per_hour_rides_the_sweep():
+    from repro.sweep import get_target
+
+    base = {"num_requests": 10, "prompt_mean": 64, "output_mean": 16}
+    fn = get_target("serving")
+    plain = fn(dict(base), seed=3)
+    priced = fn({**base, "gpu_cost_per_hour": 2.0}, seed=3)
+    assert "cost_per_token" not in plain
+    assert priced["cost_per_token"] > 0
+    assert priced["goodput_tokens_per_s"] == pytest.approx(
+        priced["throughput_tokens_per_s"] * priced["slo_attainment"]
+    )

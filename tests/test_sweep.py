@@ -392,3 +392,45 @@ def test_report_payload_is_cache_independent(tmp_path):
     assert cold.to_json() != warm.to_json()  # provenance differs...
     assert cold.to_report_json() == warm.to_report_json()  # ...results don't
     assert "cached" not in warm.report_payload()["points"][0]
+
+
+def test_get_many_matches_per_key_get(tmp_path):
+    cache = SweepCache(tmp_path)
+    spec = _counting_spec()
+    keys = [spec.key(c) for c in spec.configs()]
+    # All-miss probe: every key None, no shard directories touched.
+    assert cache.get_many(keys) == {k: None for k in keys}
+    run_sweep(spec, cache=cache)
+    got = cache.get_many(keys)
+    assert got == {k: cache.get(k) for k in keys}
+    assert all(v is not None for v in got.values())
+
+
+def test_get_many_index_survives_own_puts_and_rescans_foreign_writes(tmp_path):
+    cache = SweepCache(tmp_path)
+    spec = _counting_spec()
+    configs = spec.configs()
+    keys = [spec.key(c) for c in configs]
+    cache.get_many(keys)  # warm the (empty) shard index
+    # Our own put updates the index in place: no rescan needed.
+    cache.put(keys[0], target=spec.target, config=configs[0],
+              seed=spec.point_seed(configs[0]), version=spec.version,
+              result={"value": 1})
+    assert cache.get_many(keys)[keys[0]] == {"value": 1}
+    # A foreign writer (second cache instance) bumps the shard mtime;
+    # the next probe revalidates and sees the new entry.
+    other = SweepCache(tmp_path)
+    other.put(keys[1], target=spec.target, config=configs[1],
+              seed=spec.point_seed(configs[1]), version=spec.version,
+              result={"value": 2})
+    assert cache.get_many(keys)[keys[1]] == {"value": 2}
+
+
+def test_get_many_validates_entries_like_get(tmp_path):
+    cache = SweepCache(tmp_path)
+    spec = _counting_spec()
+    run_sweep(spec, cache=cache)
+    key = spec.key(spec.configs()[0])
+    cache.path_for(key).write_text("{not json")
+    fresh = SweepCache(tmp_path)  # no index: forces scandir + full get
+    assert fresh.get_many([key])[key] is None  # corrupt entry is a miss
